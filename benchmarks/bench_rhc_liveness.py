@@ -1,0 +1,81 @@
+"""§V-C / Fig 2 — Remote Health Checker liveness detection.
+
+The EM samples events to an external RHC; silence beyond the timeout
+means the monitoring pipeline itself died.  This benchmark measures
+the RHC's alarm latency after the Event Forwarder is killed, across
+sampling rates, and verifies there are no false alarms on a healthy
+pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.auditors.goshd import GuestOSHangDetector
+from repro.harness import Testbed, TestbedConfig
+from repro.sim.clock import SECOND
+from repro.workloads.common import start_workload
+
+
+def _run_scenario(sample_every: int, timeout_s: int = 3):
+    testbed = Testbed(
+        TestbedConfig(num_vcpus=2, seed=5, with_rhc=True,
+                      rhc_timeout_s=timeout_s)
+    )
+    testbed.boot()
+    testbed.multiplexer.rhc_sample_every = sample_every
+    testbed.monitor([GuestOSHangDetector()])
+    start_workload(testbed.kernel, "make-j2")
+
+    testbed.run_s(5.0)
+    false_alarm = testbed.rhc.alarmed
+    heartbeats_while_healthy = testbed.rhc.heartbeats
+
+    kill_time = testbed.engine.clock.now
+    testbed.kvm.detach_forwarder()  # the monitoring pipeline dies
+    while not testbed.rhc.alarmed and testbed.now_s < 60:
+        testbed.run_ms(100)
+    alarm_latency_s = (
+        (testbed.rhc.alerts[0] - kill_time) / SECOND
+        if testbed.rhc.alarmed
+        else float("inf")
+    )
+    return {
+        "false_alarm": false_alarm,
+        "heartbeats": heartbeats_while_healthy,
+        "alarm_latency_s": alarm_latency_s,
+    }
+
+
+def _run_all():
+    return {
+        sample_every: _run_scenario(sample_every)
+        for sample_every in (16, 64, 256)
+    }
+
+
+def test_rhc_detects_monitoring_death(benchmark, report):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    rows = [
+        [
+            f"1/{sample_every}",
+            r["heartbeats"],
+            "no" if not r["false_alarm"] else "YES",
+            f"{r['alarm_latency_s']:.1f}s",
+        ]
+        for sample_every, r in results.items()
+    ]
+    report(
+        format_table(
+            ["EM sampling rate", "heartbeats (5s healthy)",
+             "false alarm", "alarm latency after EF death"],
+            rows,
+            title="RHC liveness detection (monitoring timeout 3s)",
+        )
+    )
+
+    for r in results.values():
+        assert not r["false_alarm"]
+        assert r["heartbeats"] > 0
+        # Alarm within timeout + ~2 check periods of the pipeline dying.
+        assert r["alarm_latency_s"] <= 6.0

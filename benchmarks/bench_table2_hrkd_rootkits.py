@@ -1,0 +1,97 @@
+"""Table II — HRKD vs real-world rootkits.
+
+Paper's result: all ten rootkits detected, regardless of hiding
+technique (DKOM, syscall hijacking, kmem patching), on every tested
+OS, because the detection rests on architectural invariants only.
+
+The benchmark installs each Table II rootkit against the simulated
+guest, confirms the victim disappears from the in-guest view, and
+records HRKD's verdict.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.attacks.rootkits import ROOTKIT_ZOO, build_rootkit
+from repro.auditors.hrkd import HiddenRootkitDetector
+from repro.harness import Testbed, TestbedConfig
+from repro.vmi.introspection import KernelSymbolMap, OsInvariantView
+
+
+def _malware(ctx):
+    while True:
+        yield ctx.compute(300_000)
+        yield ctx.sys_write(1, 16)
+
+
+def _run_zoo():
+    testbed = Testbed(TestbedConfig(num_vcpus=2, seed=17))
+    testbed.boot()
+    hrkd = HiddenRootkitDetector()
+    testbed.monitor([hrkd])
+    hrkd.set_vmi_view(
+        OsInvariantView(
+            testbed.machine, KernelSymbolMap.from_kernel(testbed.kernel)
+        )
+    )
+    victim = testbed.kernel.spawn_process(
+        _malware, "malware", uid=0, exe="/tmp/.hidden"
+    )
+    testbed.run_s(1.5)
+
+    rows = []
+    for spec in ROOTKIT_ZOO:
+        rootkit = build_rootkit(spec.name, testbed.kernel)
+        rootkit.hide_process(victim.pid)
+        testbed.run_s(0.8)
+        guest_view = testbed.kernel.guest_view_pids()
+        hidden = victim.pid not in guest_view
+        detection = hrkd.scan_against(guest_view, "guest-ps")
+        vmi_detection = hrkd.scan_vmi()
+        rows.append(
+            {
+                "name": spec.name,
+                "os": spec.target_os,
+                "techniques": " + ".join(t.value for t in spec.techniques),
+                "hidden": hidden,
+                "detected": detection.rootkit_detected
+                and victim.pid in detection.hidden_pids,
+                "fools_vmi": victim.pid in vmi_detection.hidden_pids,
+            }
+        )
+        rootkit.unhide_all()
+        testbed.run_s(0.3)
+    return rows
+
+
+def test_table2_hrkd_detects_all_rootkits(benchmark, report):
+    rows = benchmark.pedantic(_run_zoo, rounds=1, iterations=1)
+
+    table = format_table(
+        ["rootkit", "target OS", "hiding technique(s)", "hidden from guest",
+         "HRKD", "fools VMI"],
+        [
+            [
+                r["name"],
+                r["os"],
+                r["techniques"],
+                "yes" if r["hidden"] else "NO",
+                "DETECTED" if r["detected"] else "MISSED",
+                "yes" if r["fools_vmi"] else "no",
+            ]
+            for r in rows
+        ],
+        title="Table II — real-world rootkits evaluated with HRKD",
+    )
+    detected = sum(1 for r in rows if r["detected"])
+    report(
+        table
+        + f"\n\ndetected {detected}/{len(rows)}   (paper: all detected)"
+    )
+
+    assert all(r["hidden"] for r in rows), "every rootkit must hide its victim"
+    assert all(r["detected"] for r in rows), "HRKD must detect every rootkit"
+    # DKOM/kmem rootkits also fool the OS-invariant (VMI) view; pure
+    # syscall hijackers do not — the technique split of §VII-B.
+    assert any(r["fools_vmi"] for r in rows)
+    assert any(not r["fools_vmi"] for r in rows)

@@ -1,0 +1,89 @@
+"""Table III — predicting Ninja's monitoring interval via /proc.
+
+Paper's result: an unprivileged in-guest observer recovers O-Ninja's
+checking interval to sub-millisecond accuracy (predicted mean within
+~0.4ms of the configured 1/2/4/8s; SD of a few hundred microseconds).
+
+The benchmark runs the side-channel measurement for each configured
+interval and prints mean/min/max/SD, like Table III.
+"""
+
+from __future__ import annotations
+
+from _benchlib import FULL, scaled
+
+from repro.analysis.tables import format_table
+from repro.attacks.sidechannel import ProcSideChannel
+from repro.auditors.o_ninja import ONinja
+from repro.harness import Testbed, TestbedConfig
+from repro.sim.clock import MILLISECOND, SECOND
+
+INTERVALS_S = (1, 2, 4, 8)
+SAMPLES = 30 if FULL else scaled(8)
+
+
+def _measure(interval_s: int, samples: int):
+    testbed = Testbed(TestbedConfig(num_vcpus=2, seed=interval_s))
+    testbed.boot()
+    oninja = ONinja(testbed.kernel, interval_ns=interval_s * SECOND)
+    oninja.install()
+
+    def idle(ctx):  # realistic process population (paper used 31)
+        while True:
+            yield ctx.sys_nanosleep(400 * MILLISECOND)
+
+    for i in range(25):
+        testbed.kernel.spawn_process(idle, f"svc{i}", uid=1000)
+    testbed.run_s(0.5)
+
+    channel = ProcSideChannel(
+        testbed.kernel, oninja.pid, poll_period_ns=300_000
+    )
+    channel.launch()
+    # Need `samples` full sleep phases plus slack.
+    testbed.run_s((samples + 2) * (interval_s + 0.2))
+    return channel.estimate(max_samples=samples)
+
+
+def test_table3_interval_prediction(benchmark, report):
+    estimates = {}
+
+    def _run_all():
+        for interval in INTERVALS_S:
+            estimates[interval] = _measure(interval, SAMPLES)
+        return estimates
+
+    benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    rows = []
+    for interval in INTERVALS_S:
+        estimate = estimates[interval]
+        rows.append(
+            [
+                interval,
+                f"{estimate.mean:.5f}",
+                f"{estimate.minimum:.5f}",
+                f"{estimate.maximum:.5f}",
+                f"{estimate.stdev:.5f}",
+                len(estimate.samples),
+            ]
+        )
+    report(
+        format_table(
+            ["Ninja interval (s)", "predicted mean", "min", "max", "SD", "n"],
+            rows,
+            title="Table III — predicting Ninja's monitoring interval "
+            "(seconds)",
+        )
+        + "\n\n(paper: mean within ~0.4ms of the true interval, "
+        "SD 0.0004-0.0007s)"
+    )
+
+    for interval in INTERVALS_S:
+        estimate = estimates[interval]
+        assert estimate is not None and estimate.samples
+        # Predicted mean within 5ms of the configured interval.
+        assert abs(estimate.mean - interval) < 0.005
+        # Tight spread: the side channel is precise enough to time
+        # transient attacks into the blind window.
+        assert estimate.stdev < 0.002

@@ -1,0 +1,17 @@
+"""Pytest plumbing for the benchmark suite."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a block to the real terminal despite pytest capture."""
+
+    def _report(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _report

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Who monitors the monitor?  The Remote Health Checker (Fig 2).
+
+The Event Multiplexer samples every Nth logged event to an RHC on a
+separate machine.  This demo kills the monitoring pipeline mid-run
+(detaches the Event Forwarder, as a hypervisor-level failure would)
+and shows the RHC raising the alarm — and also shows a crashing
+auditor being contained by its auditing container without hurting
+either the guest or the rest of the pipeline.
+
+Run:  python examples/monitoring_liveness.py
+"""
+
+from repro import Testbed, TestbedConfig
+from repro.auditors import GuestOSHangDetector, HTNinja
+from repro.core.auditor import Auditor
+from repro.core.events import EventType
+from repro.workloads import start_workload
+
+
+class BuggyAuditor(Auditor):
+    """An auditor with a bug: crashes on its 100th event."""
+
+    name = "buggy"
+    subscriptions = {EventType.THREAD_SWITCH}
+
+    def audit(self, event):
+        if sum(self.events_seen.values()) >= 100:
+            raise RuntimeError("null deref in auditor")
+
+
+def main() -> None:
+    print("== monitoring-pipeline liveness and containment ==")
+    testbed = Testbed(TestbedConfig(num_vcpus=2, seed=21, with_rhc=True,
+                                    rhc_timeout_s=3))
+    testbed.boot()
+    goshd = GuestOSHangDetector()
+    buggy = BuggyAuditor()
+    testbed.monitor([goshd, buggy, HTNinja()])
+    start_workload(testbed.kernel, "make-j2")
+
+    print("running; EM samples events to the RHC every 64 exits ...")
+    testbed.run_s(5.0)
+    container = testbed.hypertap.container
+    print(f"t=5s   rhc heartbeats={testbed.rhc.heartbeats} "
+          f"alarmed={testbed.rhc.alarmed}")
+    print(f"       buggy auditor crashed: {container.failed} "
+          f"({container.failure_reason}); events dropped: "
+          f"{container.dropped}, guest unaffected")
+
+    print("\nsimulating monitoring death: detaching the Event Forwarder")
+    testbed.kvm.detach_forwarder()
+    testbed.run_s(6.0)
+    print(f"t=11s  rhc alarmed={testbed.rhc.alarmed} "
+          f"(alerts at {[f'{t/1e9:.1f}s' for t in testbed.rhc.alerts]})")
+    print(f"       guest still running: "
+          f"{testbed.kernel.syscall_count} syscalls executed")
+    print("\nthe RHC catches silent death of the monitoring stack itself.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""HRKD demo: hunting every rootkit in Table II.
+
+Installs each of the ten rootkits from the paper against the simulated
+guest (DKOM list unlinking, syscall-table hijacking, kmem patching),
+verifies the victim really disappears from the guest's own `ps` view,
+and shows HRKD's architectural cross-view detecting it every time.
+
+Run:  python examples/rootkit_hunt.py
+"""
+
+from repro import Testbed, TestbedConfig
+from repro.analysis.tables import format_table
+from repro.attacks import ROOTKIT_ZOO, build_rootkit
+from repro.auditors import HiddenRootkitDetector
+from repro.vmi import KernelSymbolMap, OsInvariantView
+
+
+def malware(ctx):
+    """The process the rootkits will hide (keeps using the CPU)."""
+    while True:
+        yield ctx.compute(300_000)
+        yield ctx.sys_write(1, 16)
+
+
+def main() -> None:
+    print("== HRKD vs the Table II rootkit zoo ==")
+    testbed = Testbed(TestbedConfig(num_vcpus=2, seed=11))
+    testbed.boot()
+    hrkd = HiddenRootkitDetector()
+    testbed.monitor([hrkd])
+    hrkd.set_vmi_view(
+        OsInvariantView(
+            testbed.machine, KernelSymbolMap.from_kernel(testbed.kernel)
+        )
+    )
+
+    victim = testbed.kernel.spawn_process(
+        malware, "malware", uid=0, exe="/tmp/.hidden"
+    )
+    print(f"victim process pid={victim.pid} running; warming up ...")
+    testbed.run_s(2.0)
+
+    rows = []
+    for spec in ROOTKIT_ZOO:
+        rootkit = build_rootkit(spec.name, testbed.kernel)
+        rootkit.hide_process(victim.pid)
+        testbed.run_s(1.0)
+
+        guest_view = testbed.kernel.guest_view_pids()
+        hidden_from_ps = victim.pid not in guest_view
+        report = hrkd.scan_against(guest_view, "guest-ps")
+        vmi_report = hrkd.scan_vmi()
+        rows.append(
+            [
+                spec.name,
+                spec.target_os,
+                " + ".join(t.value for t in spec.techniques),
+                "yes" if hidden_from_ps else "NO",
+                "DETECTED" if report.rootkit_detected else "missed",
+                "yes" if victim.pid in vmi_report.hidden_pids else "no",
+            ]
+        )
+        rootkit.unhide_all()
+        testbed.run_s(0.3)
+
+    print(
+        format_table(
+            ["rootkit", "target OS", "technique(s)", "hidden from ps",
+             "HRKD verdict", "fools VMI too"],
+            rows,
+            title="\nTable II reproduction:",
+        )
+    )
+    detected = sum(1 for r in rows if r[4] == "DETECTED")
+    print(f"\n{detected}/{len(rows)} rootkits detected "
+          "(paper: all detected, regardless of hiding technique)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Statistics and presentation helpers for experiment output."""
+
+from repro.analysis.stats import cdf, mean, percentile, stdev
+from repro.analysis.tables import format_table
+from repro.analysis.figures import ascii_bar_chart, ascii_cdf
+
+__all__ = [
+    "mean",
+    "stdev",
+    "percentile",
+    "cdf",
+    "format_table",
+    "ascii_bar_chart",
+    "ascii_cdf",
+]

@@ -1,0 +1,54 @@
+"""ASCII renderings of the paper's figures (bar charts and CDFs)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """Horizontal bar chart (one bar per label)."""
+    if len(labels) != len(values):
+        raise ValueError("labels/values length mismatch")
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not values:
+        return "\n".join(lines + ["(no data)"])
+    top = max(max(values), 1e-12)
+    label_width = max(len(l) for l in labels)
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, int(round(width * value / top)))
+        lines.append(
+            f"{label.ljust(label_width)} | {bar} {value:.2f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def ascii_cdf(
+    series: Sequence[Tuple[str, Sequence[float]]],
+    points: Sequence[float],
+    unit: str = "s",
+    title: str = "",
+) -> str:
+    """Tabulated CDF: one column per series, one row per threshold."""
+    from repro.analysis.stats import fraction_at_or_below
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    names = [name for name, _values in series]
+    header = "  <= ".rjust(10) + "".join(n.rjust(22) for n in names)
+    lines.append(header)
+    for point in points:
+        row = f"{point:>8.1f}{unit}"
+        for _name, values in series:
+            frac = fraction_at_or_below(values, point)
+            row += f"{frac * 100:>20.1f}%"
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Plain-text table formatting for benchmark output."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(
+            " | ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)

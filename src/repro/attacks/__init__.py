@@ -1,0 +1,50 @@
+"""Attacks used in the paper's evaluation.
+
+* :mod:`repro.attacks.rootkits` — re-implementations of the hiding
+  techniques behind every rootkit in Table II (DKOM unlinking,
+  syscall-table hijacking, /dev/kmem patching), applied to the
+  simulated guest kernel's real in-memory structures.
+* :mod:`repro.attacks.exploits` — privilege-escalation payloads
+  modelling CVE-2010-3847 and CVE-2013-1763.
+* :mod:`repro.attacks.strategies` — the four anti-passive-monitoring
+  strategies of §VIII-C1: transient, side-channel, rootkit-combined,
+  and spamming attacks.
+* :mod:`repro.attacks.sidechannel` — the /proc-based measurement of
+  Ninja's monitoring interval (Table III).
+"""
+
+from repro.attacks.rootkits import (
+    HidingTechnique,
+    Rootkit,
+    RootkitSpec,
+    ROOTKIT_ZOO,
+    build_rootkit,
+)
+from repro.attacks.exploits import (
+    CVE_2010_3847,
+    CVE_2013_1763,
+    exploit_program,
+)
+from repro.attacks.strategies import (
+    AttackResult,
+    RootkitCombinedAttack,
+    SpammingAttack,
+    TransientAttack,
+)
+from repro.attacks.sidechannel import ProcSideChannel
+
+__all__ = [
+    "HidingTechnique",
+    "Rootkit",
+    "RootkitSpec",
+    "ROOTKIT_ZOO",
+    "build_rootkit",
+    "CVE_2010_3847",
+    "CVE_2013_1763",
+    "exploit_program",
+    "AttackResult",
+    "TransientAttack",
+    "RootkitCombinedAttack",
+    "SpammingAttack",
+    "ProcSideChannel",
+]

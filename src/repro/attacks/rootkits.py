@@ -1,0 +1,189 @@
+"""Rootkits: process hiding against the simulated guest kernel.
+
+Table II of the paper lists ten real rootkits and their techniques.
+The *techniques* are what matters for reproducing the HRKD result (the
+named binaries are Windows/Linux artifacts); each is implemented
+against the guest kernel's genuine state:
+
+* **DKOM** — Direct Kernel Object Manipulation: unlink the victim's
+  ``task_struct`` from the circular task list by rewriting the
+  neighbours' pointers in guest memory.  The victim keeps running (the
+  scheduler doesn't use that list) but vanishes from /proc, ps, Task
+  Manager, and VMI list walks.
+* **Syscall hijacking** — replace ``sys_call_table`` entries for the
+  /proc readers with filters that censor the hidden pids.  VMI still
+  sees the task list; the *guest's* view is censored.
+* **kmem patching** — the same pointer surgery as DKOM but performed
+  through the /dev/kmem byte-write interface (how SucKIT and PhalanX
+  operate without an LKM).
+
+HRKD's claim — detection independent of technique — holds because none
+of these can stop the victim's CR3/RSP0 from reaching the hardware.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.errors import SimulationError
+from repro.guest.kernel import GuestKernel
+from repro.guest.layouts import TASK_STRUCT
+
+
+class HidingTechnique(enum.Enum):
+    DKOM = "DKOM"
+    SYSCALL_HIJACK = "Hijack system calls"
+    KMEM = "kmem"
+
+
+@dataclass(frozen=True)
+class RootkitSpec:
+    """One Table II row."""
+
+    name: str
+    target_os: str
+    techniques: Tuple[HidingTechnique, ...]
+
+
+#: Table II, verbatim.
+ROOTKIT_ZOO: List[RootkitSpec] = [
+    RootkitSpec("FU", "Win XP, Vista", (HidingTechnique.DKOM,)),
+    RootkitSpec("HideProc", "Win XP, Vista", (HidingTechnique.DKOM,)),
+    RootkitSpec("AFX", "Win XP, Vista", (HidingTechnique.SYSCALL_HIJACK,)),
+    RootkitSpec(
+        "HideToolz", "Win XP, Vista, 7", (HidingTechnique.SYSCALL_HIJACK,)
+    ),
+    RootkitSpec("HE4Hook", "Win XP", (HidingTechnique.SYSCALL_HIJACK,)),
+    RootkitSpec(
+        "BH-Rootkit-NT", "Win XP, Vista", (HidingTechnique.SYSCALL_HIJACK,)
+    ),
+    RootkitSpec(
+        "Ivyl's Rootkit", "Linux >2.6.29", (HidingTechnique.SYSCALL_HIJACK,)
+    ),
+    RootkitSpec(
+        "Enyelkm 1.2",
+        "Linux 2.6",
+        (HidingTechnique.KMEM, HidingTechnique.SYSCALL_HIJACK),
+    ),
+    RootkitSpec(
+        "SucKIT", "Linux 2.6", (HidingTechnique.KMEM, HidingTechnique.DKOM)
+    ),
+    RootkitSpec(
+        "PhalanX", "Linux 2.6", (HidingTechnique.KMEM, HidingTechnique.DKOM)
+    ),
+]
+
+
+class Rootkit:
+    """An installed rootkit instance hiding a set of pids."""
+
+    def __init__(self, spec: RootkitSpec, kernel: GuestKernel) -> None:
+        self.spec = spec
+        self.kernel = kernel
+        self.hidden_pids: Set[int] = set()
+        self._saved_links: Dict[int, Tuple[int, int]] = {}
+        self._hooked = False
+        self._orig_handlers: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    def hide_process(self, pid: int) -> None:
+        """Apply the rootkit's technique(s) to hide ``pid``."""
+        task = self.kernel.find_task(pid)
+        if task is None:
+            raise SimulationError(f"no such pid {pid}")
+        self.hidden_pids.add(pid)
+        for technique in self.spec.techniques:
+            if technique in (HidingTechnique.DKOM, HidingTechnique.KMEM):
+                self._dkom_unlink(task)
+            elif technique is HidingTechnique.SYSCALL_HIJACK:
+                self._install_hooks()
+
+    def unhide_all(self) -> None:
+        """Uninstall: relink tasks and restore the syscall table."""
+        for pid in list(self.hidden_pids):
+            self._dkom_relink(pid)
+        if self._hooked:
+            for name, handler in self._orig_handlers.items():
+                self.kernel.syscall_table[name] = handler
+            self._hooked = False
+        self.hidden_pids.clear()
+
+    # ------------------------------------------------------------------
+    # DKOM / kmem: pointer surgery on the real task list
+    # ------------------------------------------------------------------
+    def _dkom_unlink(self, task) -> None:
+        ref = self.kernel.task_ref(task)
+        next_gva = ref.read("tasks_next")
+        prev_gva = ref.read("tasks_prev")
+        if next_gva == 0 or prev_gva == 0:
+            return  # already unlinked
+        self._saved_links[task.pid] = (prev_gva, next_gva)
+        prv = self.kernel.task_ref_at(prev_gva)
+        nxt = self.kernel.task_ref_at(next_gva)
+        prv.write("tasks_next", next_gva)
+        nxt.write("tasks_prev", prev_gva)
+        # Like real DKOM, the victim's own pointers are left alone so
+        # its exit path doesn't crash.
+
+    def _dkom_relink(self, pid: int) -> None:
+        saved = self._saved_links.pop(pid, None)
+        task = self.kernel.find_task(pid)
+        if saved is None or task is None:
+            return
+        prev_gva, next_gva = saved
+        ref = self.kernel.task_ref(task)
+        prv = self.kernel.task_ref_at(prev_gva)
+        nxt = self.kernel.task_ref_at(next_gva)
+        if prv.read("tasks_next") == next_gva:
+            prv.write("tasks_next", task.task_struct_gva)
+            nxt.write("tasks_prev", task.task_struct_gva)
+            ref.write("tasks_next", next_gva)
+            ref.write("tasks_prev", prev_gva)
+
+    # ------------------------------------------------------------------
+    # Syscall hijacking: censoring the /proc readers
+    # ------------------------------------------------------------------
+    def _install_hooks(self) -> None:
+        if self._hooked:
+            return
+        self._hooked = True
+        hidden = self.hidden_pids  # live reference, not a copy
+
+        orig_list = self.kernel.syscall_table["proc_list"]
+        orig_status = self.kernel.syscall_table["proc_status"]
+        orig_stat = self.kernel.syscall_table["proc_stat"]
+        self._orig_handlers = {
+            "proc_list": orig_list,
+            "proc_status": orig_status,
+            "proc_stat": orig_stat,
+        }
+
+        def hooked_proc_list(kernel, task, args):
+            pids = yield from orig_list(kernel, task, args)
+            return [p for p in pids if p not in hidden]
+
+        def hooked_proc_status(kernel, task, args):
+            result = yield from orig_status(kernel, task, args)
+            if result is not None and result.get("pid") in hidden:
+                return None
+            return result
+
+        def hooked_proc_stat(kernel, task, args):
+            result = yield from orig_stat(kernel, task, args)
+            if result is not None and result.get("pid") in hidden:
+                return None
+            return result
+
+        self.kernel.syscall_table["proc_list"] = hooked_proc_list
+        self.kernel.syscall_table["proc_status"] = hooked_proc_status
+        self.kernel.syscall_table["proc_stat"] = hooked_proc_stat
+
+
+def build_rootkit(name: str, kernel: GuestKernel) -> Rootkit:
+    """Instantiate a Table II rootkit by name."""
+    for spec in ROOTKIT_ZOO:
+        if spec.name == name:
+            return Rootkit(spec, kernel)
+    raise SimulationError(f"unknown rootkit {name!r}")

@@ -1,0 +1,127 @@
+"""H-Ninja: Ninja moved to the hypervisor, still passive (§VIII-C).
+
+Same checking rule as O-Ninja, but the input is a traditional-VMI
+task-list walk instead of /proc.  Moving out of the VM removes the
+/proc side channel (the guest cannot observe the scanner's state), but
+the monitoring is still *polling*: transient escalations between scans
+are missed, DKOM rootkits still fool the list walk, and a long process
+list still stretches the scan (each entry is examined at the snapshot
+time plus its position's share of the scan latency, so late entries
+race against the attacker's exit).
+
+A *blocking* H-Ninja pauses the VM for the duration of each scan; the
+paper notes this variant resists spamming — at the cost of stalling
+the guest every interval.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.auditors.ninja_rules import NinjaPolicy, facts_from_mappings
+from repro.hw.machine import Machine
+from repro.sim.clock import MILLISECOND
+from repro.sim.engine import Engine
+from repro.vmi.introspection import KernelSymbolMap, OsInvariantView
+
+#: Host-side cost to decode one task_struct via VMI (guest page walk +
+#: mapping + parsing).
+DEFAULT_PER_ENTRY_NS = 20_000
+
+
+class HNinja:
+    """Hypervisor-level passive privilege-escalation scanner."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        symbols: KernelSymbolMap,
+        interval_ns: int = 1_000 * MILLISECOND,
+        policy: Optional[NinjaPolicy] = None,
+        per_entry_ns: int = DEFAULT_PER_ENTRY_NS,
+        blocking: bool = False,
+    ) -> None:
+        self.machine = machine
+        self.vmi = OsInvariantView(machine, symbols)
+        self.interval_ns = interval_ns
+        self.policy = policy if policy is not None else NinjaPolicy()
+        self.per_entry_ns = per_entry_ns
+        self.blocking = blocking
+        self.engine: Engine = machine.engine
+        self.detections: List[Dict] = []
+        self.scans_completed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.engine.schedule(self.interval_ns, self._scan, label="h-ninja-scan")
+
+    def stop(self) -> None:
+        self._running = False
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.detections)
+
+    # ------------------------------------------------------------------
+    def _scan(self) -> None:
+        if not self._running:
+            return
+        entries = self.vmi.list_processes()
+        by_gva = {e["task_struct_gva"]: e for e in entries}
+        scan_duration = len(entries) * self.per_entry_ns
+
+        if self.blocking:
+            # Pause the guest for the whole scan: no entry can exit
+            # under us, defeating spamming (at a guest-latency cost).
+            self.machine.vm_paused = True
+            for entry in entries:
+                self._check_entry(entry, by_gva)
+            self._finish_scan(resume=True, delay_ns=scan_duration)
+            return
+
+        # Non-blocking: entry k is effectively examined at
+        # t + k * per_entry_ns; it must still exist then.
+        for index, entry in enumerate(entries):
+            self.engine.schedule(
+                index * self.per_entry_ns,
+                self._recheck_entry,
+                entry,
+                by_gva,
+                label="h-ninja-entry",
+            )
+        self._finish_scan(resume=False, delay_ns=scan_duration)
+
+    def _recheck_entry(self, entry: Dict, by_gva: Dict) -> None:
+        live = self.vmi.decode_task_at(entry["task_struct_gva"])
+        if live is None or live["pid"] != entry["pid"]:
+            return  # the process exited before the scan reached it
+        self._check_entry(live, by_gva)
+
+    def _check_entry(self, entry: Dict, by_gva: Dict) -> None:
+        parent = by_gva.get(entry.get("parent_gva", 0))
+        facts = facts_from_mappings(entry, parent)
+        if self.policy.is_unauthorized_root(facts):
+            self.detections.append(
+                {
+                    "time_ns": self.engine.clock.now,
+                    "pid": facts.pid,
+                    "comm": facts.comm,
+                }
+            )
+
+    def _finish_scan(self, resume: bool, delay_ns: int) -> None:
+        self.scans_completed += 1
+
+        def _next() -> None:
+            if resume:
+                self.machine.vm_paused = False
+            if self._running:
+                self.engine.schedule(
+                    max(1, self.interval_ns), self._scan, label="h-ninja-scan"
+                )
+
+        self.engine.schedule(max(1, delay_ns), _next, label="h-ninja-next")

@@ -1,0 +1,186 @@
+"""Hidden RootKit Detection (HRKD), Section VII-B.
+
+Threat model: rootkits hide processes/threads from administrators and
+scanners — DKOM list unlinking, /dev/kmem patching, syscall-table
+hijacking.  All of those corrupt what the *guest OS reports*; none can
+prevent a hidden task from eventually using a CPU, and every dispatch
+writes CR3 (process) and TSS.RSP0 (thread) — events HyperTap traps.
+
+HRKD therefore builds a *trusted execution view* from switch events,
+deriving each scheduled task's identity from hardware state, and
+cross-validates it against untrusted views:
+
+* the guest's own view (``ps`` / /proc — what Task Manager shows),
+* the traditional-VMI view (OS-invariant task-list walk).
+
+A pid present in the trusted view but absent from an untrusted one is
+hidden.  The detection is independent of the hiding technique, which is
+the paper's Table II claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.core.auditor import Auditor
+from repro.core.derive import DerivedTaskInfo
+from repro.core.events import (
+    EventType,
+    GuestEvent,
+    ProcessSwitchEvent,
+    ThreadSwitchEvent,
+)
+from repro.guest.layouts import PF_KTHREAD
+from repro.sim.clock import SECOND
+from repro.vmi.introspection import OsInvariantView
+
+
+@dataclass
+class TrustedSighting:
+    """One task observed executing, identified architecturally."""
+
+    pid: int
+    comm: str
+    rsp0: int
+    task_struct_gva: int
+    is_kthread: bool
+    last_seen_ns: int
+
+
+@dataclass
+class CrossViewReport:
+    """Result of one HRKD scan."""
+
+    time_ns: int
+    trusted_pids: Set[int]
+    untrusted_pids: Set[int]
+    hidden_pids: Set[int]
+    view_name: str
+    #: Fig 3A process count vs processes the untrusted view reports.
+    trusted_process_count: int
+    untrusted_process_count: int
+
+    @property
+    def rootkit_detected(self) -> bool:
+        return bool(self.hidden_pids) or (
+            self.trusted_process_count > self.untrusted_process_count
+        )
+
+
+class HiddenRootkitDetector(Auditor):
+    """Cross-view rootkit detector over switch events."""
+
+    name = "hrkd"
+    subscriptions = {EventType.PROCESS_SWITCH, EventType.THREAD_SWITCH}
+
+    def __init__(self, sighting_window_ns: int = 10 * SECOND) -> None:
+        super().__init__()
+        self.sighting_window_ns = sighting_window_ns
+        #: rsp0 -> sighting (thread granularity, Fig 3B identity).
+        self.sightings: Dict[int, TrustedSighting] = {}
+        self._vmi: Optional[OsInvariantView] = None
+
+    def on_attach(self) -> None:
+        from repro.vmi.introspection import KernelSymbolMap
+
+        # HRKD's own VMI view for cross-validation (one of the
+        # "other views" the trusted view is compared against).
+        machine = self.hypertap.machine
+        # The symbol map comes from the kernel build; the harness can
+        # override via set_vmi_view() when it has richer symbols.
+        self._vmi = None
+
+    def set_vmi_view(self, vmi: OsInvariantView) -> None:
+        self._vmi = vmi
+
+    # ------------------------------------------------------------------
+    # Event intake: build the trusted execution view
+    # ------------------------------------------------------------------
+    def audit(self, event: GuestEvent) -> None:
+        if isinstance(event, ThreadSwitchEvent):
+            info = self.hypertap.deriver.task_info_from_rsp0(event.rsp0)
+            if info is None:
+                return
+            self.sightings[event.rsp0] = TrustedSighting(
+                pid=info.pid,
+                comm=info.comm,
+                rsp0=event.rsp0,
+                task_struct_gva=info.task_struct_gva,
+                is_kthread=bool(info.flags & PF_KTHREAD),
+                last_seen_ns=event.time_ns,
+            )
+        # ProcessSwitchEvents feed the PDBA set inside the interception
+        # layer; nothing extra to do here.
+
+    # ------------------------------------------------------------------
+    # Scanning
+    # ------------------------------------------------------------------
+    def _fresh_sightings(self, now_ns: int) -> List[TrustedSighting]:
+        cutoff = now_ns - self.sighting_window_ns
+        fresh = []
+        for sighting in self.sightings.values():
+            if sighting.last_seen_ns < cutoff:
+                continue
+            # Re-validate: the task may have exited since we saw it.
+            info = self.hypertap.deriver.task_info_at(
+                sighting.task_struct_gva
+            )
+            if info is None or info.pid != sighting.pid:
+                continue
+            fresh.append(sighting)
+        return fresh
+
+    def trusted_pids(self) -> Set[int]:
+        """Pids of everything recently observed on a CPU."""
+        now = self.hypertap.machine.clock.now
+        return {s.pid for s in self._fresh_sightings(now) if s.pid != 0}
+
+    def trusted_process_count(self) -> int:
+        """Fig 3A count of live user address spaces."""
+        return self.hypertap.count_user_processes()
+
+    def scan_against(
+        self, untrusted_pids: Iterable[int], view_name: str,
+        untrusted_process_count: Optional[int] = None,
+    ) -> CrossViewReport:
+        """Cross-validate the trusted view against an untrusted one."""
+        now = self.hypertap.machine.clock.now
+        trusted = self.trusted_pids()
+        untrusted = {int(p) for p in untrusted_pids}
+        hidden = {p for p in trusted - untrusted if p != 0}
+        report = CrossViewReport(
+            time_ns=now,
+            trusted_pids=trusted,
+            untrusted_pids=untrusted,
+            hidden_pids=hidden,
+            view_name=view_name,
+            trusted_process_count=self.trusted_process_count(),
+            untrusted_process_count=(
+                untrusted_process_count
+                if untrusted_process_count is not None
+                else len(untrusted)
+            ),
+        )
+        if report.rootkit_detected:
+            self.raise_alert(
+                "hidden_tasks",
+                view=view_name,
+                hidden_pids=sorted(hidden),
+                trusted_count=report.trusted_process_count,
+                untrusted_count=report.untrusted_process_count,
+            )
+        return report
+
+    def scan_vmi(self) -> Optional[CrossViewReport]:
+        """Cross-validate against this auditor's own VMI walk."""
+        if self._vmi is None:
+            return None
+        entries = self._vmi.list_processes()
+        return self.scan_against(
+            (e["pid"] for e in entries),
+            view_name="vmi",
+            untrusted_process_count=sum(
+                1 for e in entries if not e["is_kthread"]
+            ),
+        )

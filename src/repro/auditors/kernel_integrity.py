@@ -1,0 +1,106 @@
+"""Kernel data-structure integrity watching via fine-grained
+interception (§VI-D + §VII-D).
+
+Fine-grained EPT interception can watch *individual kernel objects*.
+This auditor write-protects the pages holding selected kernel data —
+the task-list linkage is the default, since DKOM rootkits attack it —
+and audits every trapped write: a write to a watched object coming
+from a context the policy doesn't expect (here: any write reaching
+``tasks_next``/``tasks_prev`` fields from outside the kernel's own
+scheduler/fork paths is suspicious when it *unlinks* an entry) raises
+an alert with the writing task's architecturally-derived identity.
+
+The paper marks this class of checker as future work enabled by
+HyperTap ("detectors for silent data corruption, buffer overflow, and
+code injection"); it also illustrates the §VI-D warning that
+fine-grained interception costs real overhead and should be used for
+selective critical protection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.core.auditor import Auditor
+from repro.core.events import EventType, GuestEvent, MemoryAccessEvent
+from repro.guest.layouts import TASK_STRUCT
+from repro.hw.memory import page_base
+
+
+class KernelDataWatch(Auditor):
+    """Watches the task-list linkage for in-guest pointer surgery."""
+
+    name = "kernel-data-watch"
+    subscriptions = {EventType.MEM_ACCESS}
+    blocking = True  # integrity checks gate the write
+
+    def __init__(self, pause_on_tamper: bool = False) -> None:
+        super().__init__()
+        self.pause_on_tamper = pause_on_tamper
+        #: GVA of every watched link field -> owning pid (at watch time).
+        self._link_fields: Dict[int, int] = {}
+        self._watched_pages: Set[int] = set()
+        self.writes_audited = 0
+
+    # ------------------------------------------------------------------
+    def watch_task(self, kernel, task) -> None:
+        """Protect the page(s) holding one task's own link fields.
+
+        Note the DKOM geometry: unlinking task X rewrites the link
+        fields of X's *neighbours* — so protecting a single task only
+        catches tampering that writes *its* fields (e.g. X is the
+        neighbour of the real victim).  Full protection watches the
+        whole list (:meth:`watch_all_tasks`).
+
+        The guest kernel's own linkage updates (fork/exit) go through
+        its trusted internal paths and are not trapped; any CPU-level
+        write reaching these fields is tampering by definition.
+        """
+        self._watch_linkage(kernel, task.task_struct_gva, task.pid)
+
+    def _watch_linkage(self, kernel, task_struct_gva: int, pid: int) -> None:
+        tracer = self.hypertap.channel.tracer
+        if tracer is None:
+            raise RuntimeError("fine-grained tracer not enabled")
+        for fieldname in ("tasks_next", "tasks_prev"):
+            gva = task_struct_gva + TASK_STRUCT.offset(fieldname)
+            self._link_fields[gva] = pid
+            gpa = kernel.machine.page_registry.gva_to_gpa(
+                kernel.kernel_pdba, gva
+            )
+            page = page_base(gpa)
+            if page not in self._watched_pages:
+                self._watched_pages.add(page)
+                tracer.watch_gpa(gpa, write=True)
+
+    def watch_all_tasks(self, kernel) -> None:
+        """Protect the linkage of every task on the list, including the
+        list head (``init_task``) — DKOM against the newest task writes
+        the head's ``tasks_prev``."""
+        self._watch_linkage(kernel, kernel.init_task_gva, 0)
+        for task in kernel.tasks.values():
+            self.watch_task(kernel, task)
+
+    # ------------------------------------------------------------------
+    def audit(self, event: GuestEvent) -> None:
+        if not isinstance(event, MemoryAccessEvent) or event.access != "w":
+            return
+        self.writes_audited += 1
+        owner_pid = self._link_fields.get(event.gva)
+        if owner_pid is None:
+            return  # a write elsewhere on a shared page
+        # Who performed the write?  Derived from hardware state.
+        writer = self.hypertap.deriver.current_task_info(event.vcpu_index)
+        self.raise_alert(
+            "task_list_tamper",
+            victim_pid=owner_pid,
+            field_gva=event.gva,
+            writer_pid=writer.pid if writer else -1,
+            writer_comm=writer.comm if writer else "?",
+        )
+        if self.pause_on_tamper:
+            self.hypertap.pause_vm()
+
+    @property
+    def tamper_alerts(self):
+        return [a for a in self.alerts if a["kind"] == "task_list_tamper"]

@@ -1,0 +1,73 @@
+"""Ninja's privilege-escalation policy (shared by all three Ninjas).
+
+Ninja [5] flags a *root* process whose parent is not owned by an
+authorized user (the "magic" group), unless the executable is on a
+whitelist of legitimate setuid programs.  The rule itself is identical
+in O-Ninja, H-Ninja and HT-Ninja — what differs is *where the input
+comes from* and *when the check runs*, which is the whole point of the
+three-way comparison in Section VIII-C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+
+@dataclass(frozen=True)
+class ProcessFacts:
+    """The facts the rule needs about one process and its parent."""
+
+    pid: int
+    uid: int
+    euid: int
+    exe: str
+    comm: str
+    is_kthread: bool
+    parent_pid: int
+    parent_uid: int
+    parent_euid: int
+
+
+@dataclass
+class NinjaPolicy:
+    """Configuration mirroring ninja.conf."""
+
+    #: Users allowed to own parents of root processes ("magic group").
+    magic_uids: FrozenSet[int] = frozenset({0})
+    #: Executables exempt from checking (setuid binaries).
+    whitelist: FrozenSet[str] = field(
+        default_factory=lambda: frozenset(
+            {"/bin/su", "/usr/bin/passwd", "/usr/bin/sudo", "/sbin/init"}
+        )
+    )
+
+    def is_unauthorized_root(self, facts: ProcessFacts) -> bool:
+        """The core checking rule."""
+        if facts.is_kthread or facts.pid <= 1:
+            return False
+        if facts.euid != 0:
+            return False
+        if facts.exe in self.whitelist:
+            return False
+        if facts.parent_uid in self.magic_uids:
+            return False
+        return True
+
+
+def facts_from_mappings(
+    proc: dict, parent: Optional[dict]
+) -> ProcessFacts:
+    """Adapter from the dict shape /proc and VMI walks produce."""
+    return ProcessFacts(
+        pid=int(proc.get("pid", 0)),
+        uid=int(proc.get("uid", 0)),
+        euid=int(proc.get("euid", 0)),
+        exe=str(proc.get("exe", "")),
+        comm=str(proc.get("comm", "")),
+        is_kthread=bool(proc.get("is_kthread", False))
+        or bool(int(proc.get("flags", 0)) & 0x0020_0000),
+        parent_pid=int(parent.get("pid", 0)) if parent else 0,
+        parent_uid=int(parent.get("uid", 0)) if parent else 0,
+        parent_euid=int(parent.get("euid", 0)) if parent else 0,
+    )

@@ -1,0 +1,104 @@
+"""O-Ninja: the original, in-guest, passive Ninja (Section VIII-C).
+
+Runs *inside* the guest as a root process.  Each scan reads the pid
+list and per-pid status from /proc — paying guest-visible time per
+visible process, which is what the spamming attack inflates — then
+sleeps for the configured interval, which is what transient attacks
+slip between and what the /proc side channel lets attackers measure.
+
+Being in-guest it also inherits every guest-level weakness: a rootkit
+that hides a process from /proc hides it from O-Ninja.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.auditors.ninja_rules import NinjaPolicy, facts_from_mappings
+from repro.guest.kernel import GuestKernel
+from repro.guest.programs import GuestContext
+from repro.guest.task import Task
+from repro.sim.clock import MILLISECOND
+
+
+class ONinja:
+    """Controller that installs and observes the in-guest scanner."""
+
+    def __init__(
+        self,
+        kernel: GuestKernel,
+        interval_ns: int = 1_000 * MILLISECOND,
+        policy: Optional[NinjaPolicy] = None,
+        kill_on_detect: bool = False,
+    ) -> None:
+        self.kernel = kernel
+        self.interval_ns = interval_ns
+        self.policy = policy if policy is not None else NinjaPolicy()
+        self.kill_on_detect = kill_on_detect
+        self.detections: List[Dict] = []
+        self.scans_completed = 0
+        self.task: Optional[Task] = None
+
+    # ------------------------------------------------------------------
+    def install(self) -> Task:
+        """Spawn the scanner inside the guest (a root daemon)."""
+        self.task = self.kernel.spawn_process(
+            self._program,
+            "ninja",
+            uid=0,
+            euid=0,
+            exe="/usr/sbin/ninja",
+        )
+        return self.task
+
+    @property
+    def pid(self) -> int:
+        return self.task.pid if self.task is not None else -1
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.detections)
+
+    # ------------------------------------------------------------------
+    def _program(self, ctx: GuestContext):
+        """The guest-side scan loop (a generator guest program)."""
+        while True:
+            pids = yield ctx.sys_proc_list()
+            status_by_pid: Dict[int, dict] = {}
+            for pid in pids or ():
+                status = yield ctx.sys_proc_status(pid)
+                if status is not None:
+                    status_by_pid[pid] = status
+                # Parse the /proc text and evaluate the rule — the real
+                # daemon's dominant per-process cost.
+                yield ctx.compute(80_000)
+            self._evaluate(status_by_pid)
+            self.scans_completed += 1
+            if self.interval_ns > 0:
+                yield ctx.sys_nanosleep(self.interval_ns)
+            else:
+                # interval 0: scan continuously, still yielding the CPU
+                # like the real daemon's sched loop does.
+                yield ctx.sys_yield()
+
+    def _evaluate(self, status_by_pid: Dict[int, dict]) -> None:
+        gva_index = {
+            entry["task_struct_gva"]: entry for entry in status_by_pid.values()
+        }
+        for proc in status_by_pid.values():
+            parent = gva_index.get(proc.get("parent_gva", 0))
+            facts = facts_from_mappings(proc, parent)
+            if facts.is_kthread:
+                continue
+            if self.policy.is_unauthorized_root(facts):
+                self.detections.append(
+                    {
+                        "time_ns": self.kernel.machine.clock.now,
+                        "pid": facts.pid,
+                        "comm": facts.comm,
+                    }
+                )
+                if self.kill_on_detect:
+                    target = self.kernel.find_task(facts.pid)
+                    if target is not None:
+                        self.kernel.force_exit(target, code=-9)

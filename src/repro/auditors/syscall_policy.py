@@ -1,0 +1,172 @@
+"""System-call policy enforcement and anomaly detection (§VII-D).
+
+The paper points out that the class of security tools built on
+system-call interposition — policy enforcement à la Systrace [30] and
+sequence-anomaly intrusion detection à la Kosoresow & Hofmeyr [31] —
+can run unmodified on HyperTap's logging channel, gaining the isolated
+root of trust for free.  This module provides both:
+
+* :class:`SyscallPolicyAuditor` — per-executable allow-lists.  The
+  subject of each trapped syscall is derived architecturally
+  (TR -> TSS.RSP0 -> task_struct), so a process cannot lie about who
+  it is; violations raise alerts and can pause the VM.
+* :class:`SyscallSequenceAnomalyDetector` — sliding-window n-gram
+  model of per-process syscall sequences, trained online during a
+  learning phase, flagging unseen n-grams afterwards.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.core.auditor import Auditor
+from repro.core.events import EventType, GuestEvent, SyscallEvent
+from repro.guest.syscalls import SYSCALL_NUMBERS
+
+#: Reverse map for readable alerts.
+SYSCALL_NAMES = {number: name for name, number in SYSCALL_NUMBERS.items()}
+
+
+@dataclass(frozen=True)
+class SyscallPolicy:
+    """Allow-list policy for one executable."""
+
+    exe: str
+    allowed: FrozenSet[int]
+
+    @classmethod
+    def allow(cls, exe: str, *names: str) -> "SyscallPolicy":
+        return cls(
+            exe=exe,
+            allowed=frozenset(SYSCALL_NUMBERS[name] for name in names),
+        )
+
+
+class SyscallPolicyAuditor(Auditor):
+    """Systrace-style enforcement from below the guest."""
+
+    name = "syscall-policy"
+    subscriptions = {EventType.SYSCALL}
+    blocking = True  # enforcement must be synchronous
+
+    def __init__(
+        self,
+        policies: Dict[str, SyscallPolicy],
+        default_allow: bool = True,
+        pause_on_violation: bool = False,
+    ) -> None:
+        super().__init__()
+        self.policies = dict(policies)
+        self.default_allow = default_allow
+        self.pause_on_violation = pause_on_violation
+        self.checked = 0
+
+    def wants_blocking(self, event: GuestEvent) -> bool:
+        return isinstance(event, SyscallEvent)
+
+    def audit(self, event: GuestEvent) -> None:
+        if not isinstance(event, SyscallEvent):
+            return
+        info = self.hypertap.deriver.current_task_info(event.vcpu_index)
+        if info is None:
+            return
+        self.checked += 1
+        policy = self.policies.get(info.exe)
+        if policy is None:
+            if self.default_allow:
+                return
+            self._violation(info, event, reason="no policy for exe")
+            return
+        if event.number not in policy.allowed:
+            self._violation(info, event, reason="syscall not in allow-list")
+
+    def _violation(self, info, event: SyscallEvent, reason: str) -> None:
+        self.raise_alert(
+            "policy_violation",
+            pid=info.pid,
+            exe=info.exe,
+            syscall=SYSCALL_NAMES.get(event.number, event.number),
+            reason=reason,
+        )
+        if self.pause_on_violation:
+            self.hypertap.pause_vm()
+
+    @property
+    def violations(self):
+        return [a for a in self.alerts if a["kind"] == "policy_violation"]
+
+
+class SyscallSequenceAnomalyDetector(Auditor):
+    """Per-process n-gram anomaly detection over the syscall stream.
+
+    During the learning window the detector records every n-gram each
+    executable emits; afterwards, n-grams never seen for that
+    executable raise anomalies.  This mirrors the classic sequence-IDS
+    design, with the trace sourced from trapped hardware events rather
+    than in-guest hooks.
+    """
+
+    name = "syscall-anomaly"
+    subscriptions = {EventType.SYSCALL}
+
+    def __init__(self, ngram: int = 3, learning_window_ns: int = 0) -> None:
+        super().__init__()
+        if ngram < 2:
+            raise ValueError("ngram must be >= 2")
+        self.ngram = ngram
+        self.learning_window_ns = learning_window_ns
+        self._profiles: Dict[str, Set[Tuple[int, ...]]] = defaultdict(set)
+        self._recent: Dict[int, Deque[int]] = {}
+        self._learning_until: Optional[int] = None
+        self.anomalies_found = 0
+
+    # ------------------------------------------------------------------
+    def on_attach(self) -> None:
+        if self.learning_window_ns > 0:
+            self._learning_until = (
+                self.hypertap.machine.clock.now + self.learning_window_ns
+            )
+
+    def finish_learning(self) -> None:
+        """Switch from training to detection immediately."""
+        self._learning_until = self.hypertap.machine.clock.now if self.hypertap else 0
+
+    @property
+    def learning(self) -> bool:
+        if self._learning_until is None:
+            return True  # learn forever unless told otherwise
+        return self.hypertap.machine.clock.now < self._learning_until
+
+    def profile_size(self, exe: str) -> int:
+        return len(self._profiles.get(exe, ()))
+
+    # ------------------------------------------------------------------
+    def audit(self, event: GuestEvent) -> None:
+        if not isinstance(event, SyscallEvent):
+            return
+        info = self.hypertap.deriver.current_task_info(event.vcpu_index)
+        if info is None:
+            return
+        window = self._recent.get(info.pid)
+        if window is None:
+            window = deque(maxlen=self.ngram)
+            self._recent[info.pid] = window
+        window.append(event.number)
+        if len(window) < self.ngram:
+            return
+        gram = tuple(window)
+        profile = self._profiles[info.exe]
+        if self.learning:
+            profile.add(gram)
+            return
+        if gram not in profile:
+            self.anomalies_found += 1
+            self.raise_alert(
+                "syscall_anomaly",
+                pid=info.pid,
+                exe=info.exe,
+                ngram=tuple(SYSCALL_NAMES.get(n, n) for n in gram),
+            )
+            profile.add(gram)  # alert once per novel gram

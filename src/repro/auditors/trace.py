@@ -1,0 +1,101 @@
+"""Execution trace recording (the Ether [19] use case).
+
+Ether used HAV VM Exits to record guest execution traces for offline
+malware analysis.  On HyperTap that is just another auditor: subscribe
+to everything, serialize each event.  The recorder keeps a bounded
+in-memory trace and can dump JSON-lines for offline tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional
+
+from repro.core.auditor import Auditor
+from repro.core.events import (
+    EventType,
+    GuestEvent,
+    IOEvent,
+    ProcessSwitchEvent,
+    SyscallEvent,
+    ThreadSwitchEvent,
+)
+
+
+class TraceRecorder(Auditor):
+    """Records the derived-event stream for offline analysis."""
+
+    name = "trace-recorder"
+    subscriptions = {
+        EventType.PROCESS_SWITCH,
+        EventType.THREAD_SWITCH,
+        EventType.SYSCALL,
+        EventType.IO,
+    }
+
+    def __init__(
+        self,
+        capacity: int = 100_000,
+        event_types: Optional[Iterable[EventType]] = None,
+        resolve_tasks: bool = False,
+    ) -> None:
+        super().__init__()
+        if event_types is not None:
+            self.subscriptions = set(event_types)
+        self.capacity = capacity
+        #: Annotate records with the derived task identity (costlier).
+        self.resolve_tasks = resolve_tasks
+        self.records: Deque[Dict] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    def audit(self, event: GuestEvent) -> None:
+        if len(self.records) == self.records.maxlen:
+            self.dropped += 1
+        record: Dict = {
+            "t": event.time_ns,
+            "vcpu": event.vcpu_index,
+            "type": event.type.value,
+        }
+        if isinstance(event, ProcessSwitchEvent):
+            record["new_pdba"] = event.new_pdba
+            record["old_pdba"] = event.old_pdba
+        elif isinstance(event, ThreadSwitchEvent):
+            record["rsp0"] = event.rsp0
+        elif isinstance(event, SyscallEvent):
+            record["nr"] = event.number
+            record["args"] = list(event.args)
+            record["mechanism"] = event.mechanism
+        elif isinstance(event, IOEvent):
+            record["kind"] = event.kind
+        if self.resolve_tasks and self.hypertap is not None:
+            info = self.hypertap.deriver.current_task_info(event.vcpu_index)
+            if info is not None:
+                record["pid"] = info.pid
+                record["comm"] = info.comm
+        self.records.append(record)
+
+    # ------------------------------------------------------------------
+    # Offline views
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """Serialize the trace as JSON lines (one event per line)."""
+        return "\n".join(json.dumps(r, sort_keys=True) for r in self.records)
+
+    def syscall_trace(self, pid: Optional[int] = None) -> List[Dict]:
+        """Just the syscall records (optionally one pid, if resolved)."""
+        out = []
+        for record in self.records:
+            if record["type"] != EventType.SYSCALL.value:
+                continue
+            if pid is not None and record.get("pid") != pid:
+                continue
+            out.append(record)
+        return out
+
+    def event_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            counts[record["type"]] = counts.get(record["type"], 0) + 1
+        return counts

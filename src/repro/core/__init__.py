@@ -1,0 +1,41 @@
+"""HyperTap core: the paper's primary contribution.
+
+* :mod:`repro.core.events` — the derived guest-event model auditors
+  consume (process switches, thread switches, syscalls, IO, memory
+  accesses, integrity alerts).
+* :mod:`repro.core.derive` — OS-state derivation rooted at
+  architectural invariants (TSS.RSP0 -> thread_info -> task_struct).
+* :mod:`repro.core.interception` — the algorithms of Fig 3 (process
+  counting, thread-switch interception, TSS integrity checking, both
+  system-call interception flavours, IO and fine-grained interception).
+* :mod:`repro.core.channel` — the unified logging channel.
+* :mod:`repro.core.auditor` — the auditor programming model.
+* :mod:`repro.core.hypertap` — the framework facade gluing machine,
+  hypervisor, EF/EM, interceptors, containers and auditors together.
+"""
+
+from repro.core.events import (
+    EventType,
+    GuestEvent,
+    ProcessSwitchEvent,
+    ThreadSwitchEvent,
+    SyscallEvent,
+    IOEvent,
+    MemoryAccessEvent,
+    TssIntegrityAlert,
+)
+from repro.core.auditor import Auditor
+from repro.core.hypertap import HyperTap
+
+__all__ = [
+    "EventType",
+    "GuestEvent",
+    "ProcessSwitchEvent",
+    "ThreadSwitchEvent",
+    "SyscallEvent",
+    "IOEvent",
+    "MemoryAccessEvent",
+    "TssIntegrityAlert",
+    "Auditor",
+    "HyperTap",
+]

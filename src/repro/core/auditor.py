@@ -1,0 +1,91 @@
+"""Auditor programming model.
+
+An auditor declares the derived event types it needs, receives events
+from the unified channel (inside an auditing container), and may use
+the framework's control interface (pause/resume the VM) and the
+architectural deriver to turn hardware state into OS state.
+
+Audits are non-blocking by default: analysis proceeds in parallel with
+the target VM (the event's vCPU pays only logging costs).  A blocking
+auditor makes the logging phase synchronous for its events — the vCPU
+is charged the audit time — which is how an auditor can guarantee it
+checks *before* a monitored operation's effects (Section V-B).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional, Set, TYPE_CHECKING
+
+from repro.core.events import EventType, GuestEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.hypertap import HyperTap
+
+
+class Auditor:
+    """Base class for all RnS auditors."""
+
+    #: Human-readable auditor name.
+    name = "auditor"
+    #: Derived event types this auditor subscribes to.
+    subscriptions: Set[EventType] = set()
+    #: If True, audits run synchronously with the trapped operation.
+    blocking = False
+
+    def __init__(self) -> None:
+        self.hypertap: Optional["HyperTap"] = None
+        self.events_seen: Counter = Counter()
+        self.alerts: list = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def bind(self, hypertap: "HyperTap") -> None:
+        """Called by the framework when monitoring is attached."""
+        self.hypertap = hypertap
+        self.on_attach()
+
+    def on_attach(self) -> None:
+        """Hook for auditors that need setup (timers, baselines)."""
+
+    def on_detach(self) -> None:
+        """Hook called when monitoring is torn down."""
+
+    # ------------------------------------------------------------------
+    # Event intake
+    # ------------------------------------------------------------------
+    def on_event(self, event: GuestEvent) -> None:
+        """Receive one derived event; subclasses override ``audit``."""
+        self.events_seen[event.type] += 1
+        self.audit(event)
+
+    def audit(self, event: GuestEvent) -> None:
+        raise NotImplementedError
+
+    def wants_blocking(self, event: GuestEvent) -> bool:
+        """Should *this* event be audited synchronously?
+
+        Blocking auditors may relax to asynchronous delivery for events
+        they merely observe (the vCPU then only pays logging costs);
+        the default blocks on everything when ``blocking`` is set.
+        """
+        return self.blocking
+
+    # ------------------------------------------------------------------
+    # Conveniences
+    # ------------------------------------------------------------------
+    def raise_alert(self, kind: str, **details) -> dict:
+        """Record a detection; returns the alert record."""
+        alert = {
+            "time_ns": self.hypertap.machine.clock.now if self.hypertap else 0,
+            "auditor": self.name,
+            "kind": kind,
+            **details,
+        }
+        self.alerts.append(alert)
+        return alert
+
+    @property
+    def alarmed(self) -> bool:
+        return bool(self.alerts)

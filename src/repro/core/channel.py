@@ -1,0 +1,134 @@
+"""The unified logging channel.
+
+One channel per VM owns the interception algorithms and the auditor
+subscription list.  It registers with the Event Multiplexer for the
+union of exit reasons its interceptors need — so an exit is trapped,
+forwarded and processed once no matter how many auditors consume the
+derived events.  That sharing is the paper's core performance claim
+(Fig 7: combined overhead ~= slowest individual, not the sum).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.auditor import Auditor
+from repro.core.events import EventType, GuestEvent, REQUIRED_EXIT_REASONS
+from repro.core.interception import (
+    FastSyscallInterceptor,
+    FineGrainedTracer,
+    Int80SyscallInterceptor,
+    Interceptor,
+    IOInterceptor,
+    ProcessSwitchInterceptor,
+    RawExitInterceptor,
+    ThreadSwitchInterceptor,
+    TssIntegrityChecker,
+)
+from repro.hw.cpu import VCPU
+from repro.hw.exits import VMExit
+from repro.hw.machine import Machine
+from repro.hypervisor.containers import AuditingContainer
+
+
+class UnifiedChannel:
+    """Shared logging channel for one VM."""
+
+    def __init__(self, machine: Machine, vm_id: str) -> None:
+        self.machine = machine
+        self.vm_id = vm_id
+        self.interceptors: List[Interceptor] = []
+        #: (auditor, container) pairs subscribed to derived events.
+        self._subscribers: List[Tuple[Auditor, AuditingContainer]] = []
+        self.events_published: Counter = Counter()
+        # Named handles for interceptors auditors may query directly.
+        self.process_switches: Optional[ProcessSwitchInterceptor] = None
+        self.thread_switches: Optional[ThreadSwitchInterceptor] = None
+        self.tss_integrity: Optional[TssIntegrityChecker] = None
+        self.fast_syscalls: Optional[FastSyscallInterceptor] = None
+        self.int80_syscalls: Optional[Int80SyscallInterceptor] = None
+        self.io: Optional[IOInterceptor] = None
+        self.tracer: Optional[FineGrainedTracer] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def build_for_event_types(self, needed: set) -> None:
+        """Instantiate interceptors for the requested event types."""
+        if EventType.PROCESS_SWITCH in needed or EventType.THREAD_SWITCH in needed:
+            self.process_switches = ProcessSwitchInterceptor(
+                self.machine, self.vm_id, self.publish
+            )
+            self.interceptors.append(self.process_switches)
+        if EventType.THREAD_SWITCH in needed:
+            self.thread_switches = ThreadSwitchInterceptor(
+                self.machine, self.vm_id, self.publish
+            )
+            self.interceptors.append(self.thread_switches)
+        if EventType.SYSCALL in needed:
+            self.fast_syscalls = FastSyscallInterceptor(
+                self.machine, self.vm_id, self.publish
+            )
+            self.int80_syscalls = Int80SyscallInterceptor(
+                self.machine, self.vm_id, self.publish
+            )
+            self.interceptors.append(self.fast_syscalls)
+            self.interceptors.append(self.int80_syscalls)
+        if EventType.IO in needed:
+            self.io = IOInterceptor(self.machine, self.vm_id, self.publish)
+            self.interceptors.append(self.io)
+        if EventType.MEM_ACCESS in needed:
+            self.tracer = FineGrainedTracer(
+                self.machine, self.vm_id, self.publish
+            )
+            self.interceptors.append(self.tracer)
+        if EventType.TSS_INTEGRITY in needed:
+            self.tss_integrity = TssIntegrityChecker(
+                self.machine, self.vm_id, self.publish
+            )
+            self.interceptors.append(self.tss_integrity)
+        if EventType.RAW_EXIT in needed:
+            self.interceptors.append(
+                RawExitInterceptor(self.machine, self.vm_id, self.publish)
+            )
+
+    def enable_all(self) -> None:
+        for interceptor in self.interceptors:
+            interceptor.enable()
+
+    def disable_all(self) -> None:
+        for interceptor in self.interceptors:
+            interceptor.disable()
+
+    @property
+    def exit_reasons(self) -> frozenset:
+        """Union of exit reasons the interceptor set needs."""
+        union = frozenset()
+        for interceptor in self.interceptors:
+            union |= interceptor.reasons
+        return union
+
+    # ------------------------------------------------------------------
+    # Subscription and delivery
+    # ------------------------------------------------------------------
+    def subscribe(self, auditor: Auditor, container: AuditingContainer) -> None:
+        self._subscribers.append((auditor, container))
+
+    def on_exit(self, vcpu: VCPU, exit_event: VMExit) -> None:
+        """EM consumer entry point: raw exit -> interception -> events."""
+        self._current_vcpu = vcpu
+        for interceptor in self.interceptors:
+            if exit_event.reason in interceptor.reasons:
+                interceptor.on_exit(vcpu, exit_event)
+
+    def publish(self, event: GuestEvent) -> None:
+        """Deliver a derived event to every subscribed auditor."""
+        self.events_published[event.type] += 1
+        for auditor, container in self._subscribers:
+            if event.type in auditor.subscriptions:
+                if auditor.blocking and auditor.wants_blocking(event):
+                    vcpu = getattr(self, "_current_vcpu", None)
+                    if vcpu is not None:
+                        vcpu.charge(self.machine.costs.blocking_audit_ns)
+                container.deliver(auditor, event)

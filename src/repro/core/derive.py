@@ -1,0 +1,141 @@
+"""OS-state derivation rooted at architectural invariants.
+
+Section IV-B: HyperTap uses architectural invariants as the *root of
+trust* when deriving OS state.  Concretely: the hardware guarantees
+that ``TSS.RSP0`` is the kernel stack top of the running thread, so
+
+    thread_info = RSP0 - THREAD_SIZE          (stack layout)
+    task_struct = thread_info->task            (one pointer hop)
+    uid/euid/comm/exe = task_struct fields     (layout knowledge)
+
+An attacker can forge list pointers and /proc contents, but cannot move
+where the hardware loads the kernel stack pointer from — so this chain
+starts from ground an in-VM attacker cannot shift.  Changing the
+*layout* (to make these offsets lie) would require relocating all
+kernel objects and rewriting the code that uses them (Section IV-B's
+argument), which is out of scope for the threat model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.guest.layouts import (
+    KNOWN_KERNEL_GVA,
+    TASK_STRUCT,
+    THREAD_INFO,
+    THREAD_SIZE,
+)
+from repro.hw.machine import Machine
+
+
+@dataclass(frozen=True)
+class DerivedTaskInfo:
+    """Task identity derived from hardware state, not guest reporting."""
+
+    task_struct_gva: int
+    pid: int
+    uid: int
+    euid: int
+    comm: str
+    exe: str
+    flags: int
+    parent_gva: int
+
+
+class ArchDeriver:
+    """Derives guest-OS state from architectural anchors."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+
+    # ------------------------------------------------------------------
+    def _kernel_pdba(self) -> Optional[int]:
+        """Any live PDBA works for kernel GVAs (the kernel half of the
+        address space is shared), mirroring how real introspectors use
+        whatever CR3 is at hand for kernel addresses."""
+        for space in self.machine.page_registry.live_spaces():
+            if space.translate(KNOWN_KERNEL_GVA) is not None:
+                return space.pdba
+        return None
+
+    def read_kernel_u64(self, gva: int) -> Optional[int]:
+        pdba = self._kernel_pdba()
+        if pdba is None:
+            return None
+        gpa = self.machine.page_registry.gva_to_gpa(pdba, gva)
+        if gpa < 0:
+            return None
+        return self.machine.host_read_u64_gpa(gpa)
+
+    def read_kernel_bytes(self, gva: int, length: int) -> Optional[bytes]:
+        pdba = self._kernel_pdba()
+        if pdba is None:
+            return None
+        gpa = self.machine.page_registry.gva_to_gpa(pdba, gva)
+        if gpa < 0:
+            return None
+        return self.machine.memory.read_bytes(
+            self.machine.ept.translate_nofault(gpa), length
+        )
+
+    # ------------------------------------------------------------------
+    def task_gva_from_rsp0(self, rsp0: int) -> Optional[int]:
+        """RSP0 (hardware) -> thread_info -> task_struct."""
+        thread_info_gva = rsp0 - THREAD_SIZE
+        task_gva = self.read_kernel_u64(
+            thread_info_gva + THREAD_INFO.offset("task")
+        )
+        if task_gva in (None, 0):
+            return None
+        return task_gva
+
+    def task_info_at(self, task_gva: int) -> Optional[DerivedTaskInfo]:
+        """Decode a task_struct at a known GVA."""
+
+        def u64(field: str) -> Optional[int]:
+            return self.read_kernel_u64(task_gva + TASK_STRUCT.offset(field))
+
+        def string(field: str) -> str:
+            spec = TASK_STRUCT.spec(field)
+            raw = self.read_kernel_bytes(task_gva + spec.offset, spec.size)
+            if raw is None:
+                return ""
+            end = raw.find(b"\x00")
+            return raw[: end if end >= 0 else spec.size].decode(
+                "ascii", errors="replace"
+            )
+
+        pid = u64("pid")
+        if pid is None:
+            return None
+        return DerivedTaskInfo(
+            task_struct_gva=task_gva,
+            pid=pid,
+            uid=u64("uid") or 0,
+            euid=u64("euid") or 0,
+            comm=string("comm"),
+            exe=string("exe"),
+            flags=u64("flags") or 0,
+            parent_gva=u64("parent") or 0,
+        )
+
+    def task_info_from_rsp0(self, rsp0: int) -> Optional[DerivedTaskInfo]:
+        """The full HT-Ninja derivation chain (Section VII-C)."""
+        task_gva = self.task_gva_from_rsp0(rsp0)
+        if task_gva is None:
+            return None
+        return self.task_info_at(task_gva)
+
+    def current_task_info(self, vcpu_index: int) -> Optional[DerivedTaskInfo]:
+        """Identity of the task currently on ``vcpu`` via TR -> TSS."""
+        from repro.hw.tss import RSP0_OFFSET
+
+        vcpu = self.machine.vcpus[vcpu_index]
+        if vcpu.regs.tr_base == 0:
+            return None
+        rsp0 = self.read_kernel_u64(vcpu.regs.tr_base + RSP0_OFFSET)
+        if rsp0 in (None, 0):
+            return None
+        return self.task_info_from_rsp0(rsp0)

@@ -1,0 +1,149 @@
+"""Derived guest events: what the unified logging channel publishes.
+
+Raw VM Exits are hypervisor-level; the interception algorithms lift
+them into OS-meaningful events whose *provenance is still hardware*:
+every field below is computed from exit-time register snapshots and
+EPT-qualified addresses, never from guest self-reporting.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+from repro.hw.exits import ExitReason, GuestStateSnapshot
+
+
+class EventType(enum.Enum):
+    PROCESS_SWITCH = "process_switch"
+    THREAD_SWITCH = "thread_switch"
+    SYSCALL = "syscall"
+    IO = "io"
+    MEM_ACCESS = "mem_access"
+    TSS_INTEGRITY = "tss_integrity"
+    RAW_EXIT = "raw_exit"
+
+
+#: Exit reasons each event type's interception requires (what HyperTap
+#: must configure the VMCS/EPT to trap).
+REQUIRED_EXIT_REASONS: Dict[EventType, frozenset] = {
+    EventType.PROCESS_SWITCH: frozenset({ExitReason.CR_ACCESS}),
+    EventType.THREAD_SWITCH: frozenset(
+        {ExitReason.CR_ACCESS, ExitReason.EPT_VIOLATION}
+    ),
+    EventType.SYSCALL: frozenset(
+        {ExitReason.WRMSR, ExitReason.EPT_VIOLATION, ExitReason.EXCEPTION}
+    ),
+    EventType.IO: frozenset(
+        {
+            ExitReason.IO_INSTRUCTION,
+            ExitReason.EXTERNAL_INTERRUPT,
+            ExitReason.APIC_ACCESS,
+        }
+    ),
+    EventType.MEM_ACCESS: frozenset({ExitReason.EPT_VIOLATION}),
+    EventType.TSS_INTEGRITY: frozenset(set(ExitReason)),
+    EventType.RAW_EXIT: frozenset(set(ExitReason)),
+}
+
+
+@dataclass
+class GuestEvent:
+    """Base event: timestamp, vCPU, and the hardware state snapshot."""
+
+    time_ns: int
+    vcpu_index: int
+    vm_id: str
+    hw_state: GuestStateSnapshot
+
+    @property
+    def type(self) -> EventType:  # pragma: no cover - overridden
+        return EventType.RAW_EXIT
+
+
+@dataclass
+class ProcessSwitchEvent(GuestEvent):
+    """CR3 was written: a process (address space) switch (Fig 3A)."""
+
+    new_pdba: int = 0
+    old_pdba: int = 0
+
+    @property
+    def type(self) -> EventType:
+        return EventType.PROCESS_SWITCH
+
+
+@dataclass
+class ThreadSwitchEvent(GuestEvent):
+    """TSS.RSP0 was written: a thread switch; ``rsp0`` identifies the
+    scheduled-in thread (Fig 3B)."""
+
+    rsp0: int = 0
+
+    @property
+    def type(self) -> EventType:
+        return EventType.THREAD_SWITCH
+
+
+@dataclass
+class SyscallEvent(GuestEvent):
+    """A system call entered the kernel (Fig 3D/E)."""
+
+    number: int = 0
+    args: Tuple[int, ...] = ()
+    mechanism: str = "sysenter"  # or "int80"
+
+    @property
+    def type(self) -> EventType:
+        return EventType.SYSCALL
+
+
+@dataclass
+class IOEvent(GuestEvent):
+    """Programmed IO, MMIO, or an IO interrupt (Section VI-C)."""
+
+    kind: str = "pio"  # "pio" | "interrupt" | "apic"
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def type(self) -> EventType:
+        return EventType.IO
+
+
+@dataclass
+class MemoryAccessEvent(GuestEvent):
+    """Fine-grained interception: an access to a watched page."""
+
+    gva: int = 0
+    gpa: int = 0
+    access: str = "w"
+
+    @property
+    def type(self) -> EventType:
+        return EventType.MEM_ACCESS
+
+
+@dataclass
+class TssIntegrityAlert(GuestEvent):
+    """The TR register moved: the TSS was relocated (Fig 3C), which no
+    legitimate OS does after boot — an attack indicator."""
+
+    saved_tr: int = 0
+    current_tr: int = 0
+
+    @property
+    def type(self) -> EventType:
+        return EventType.TSS_INTEGRITY
+
+
+@dataclass
+class RawExitEvent(GuestEvent):
+    """Unprocessed exit, for auditors that want the firehose."""
+
+    reason: ExitReason = ExitReason.HLT
+    qualification: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def type(self) -> EventType:
+        return EventType.RAW_EXIT

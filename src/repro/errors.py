@@ -1,0 +1,57 @@
+"""Exception hierarchy shared by every repro subsystem.
+
+The simulation deliberately separates three kinds of failure:
+
+* ``SimulationError`` — a bug or misuse of the simulator itself
+  (programming errors in the harness, impossible configurations).
+* ``GuestFault`` — faults raised *by the simulated hardware* toward the
+  simulated guest (page faults, protection violations).  These are part
+  of normal machine behaviour and are caught by the hypervisor layer.
+* ``MonitorError`` — failures inside monitoring components (auditors,
+  the event multiplexer).  The auditing-container layer catches these so
+  that one broken auditor cannot take down the monitoring pipeline,
+  mirroring the isolation argument of the paper (Section V-C).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class SimulationError(ReproError):
+    """The simulation was misused or reached an impossible state."""
+
+
+class ConfigurationError(SimulationError):
+    """A component was configured with invalid parameters."""
+
+
+class GuestFault(ReproError):
+    """A hardware-level fault delivered to the simulated guest."""
+
+
+class GuestPageFault(GuestFault):
+    """Guest virtual address could not be translated (no PTE)."""
+
+    def __init__(self, gva: int, access: str) -> None:
+        super().__init__(f"guest page fault at GVA {gva:#x} ({access})")
+        self.gva = gva
+        self.access = access
+
+
+class TripleFault(GuestFault):
+    """The guest reached an unrecoverable state (e.g. bad CR3 load)."""
+
+
+class MonitorError(ReproError):
+    """An auditor or monitoring component failed at runtime."""
+
+
+class AuditorCrash(MonitorError):
+    """An auditor raised an unhandled exception while auditing."""
+
+
+class VmxError(SimulationError):
+    """Invalid use of the virtual VMX facilities (VMCS misconfiguration)."""

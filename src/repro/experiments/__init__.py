@@ -1,0 +1,38 @@
+"""Self-service experiment runners for every paper artifact.
+
+Each function reruns one of the paper's tables/figures at a chosen
+scale and returns a plain-text report (the same content the benchmark
+suite prints).  Command-line use::
+
+    python -m repro.experiments list
+    python -m repro.experiments table2
+    python -m repro.experiments fig4 --scale 2.0
+    python -m repro.experiments all
+
+The benchmark suite (`pytest benchmarks/ --benchmark-only`) wraps the
+same primitives with timing and shape assertions.
+"""
+
+from repro.experiments.runners import (
+    EXPERIMENTS,
+    run_experiment,
+    run_fig4_fig5,
+    run_fig7,
+    run_ninja_curves,
+    run_rhc,
+    run_table2,
+    run_table3,
+    run_unified_ablation,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "run_experiment",
+    "run_fig4_fig5",
+    "run_fig7",
+    "run_ninja_curves",
+    "run_rhc",
+    "run_table2",
+    "run_table3",
+    "run_unified_ablation",
+]

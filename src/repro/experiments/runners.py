@@ -1,0 +1,401 @@
+"""Experiment implementations shared by the CLI and the benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.figures import ascii_cdf
+from repro.analysis.tables import format_table
+from repro.attacks.exploits import ExploitPlan
+from repro.attacks.rootkits import ROOTKIT_ZOO, build_rootkit
+from repro.attacks.sidechannel import ProcSideChannel
+from repro.attacks.strategies import RootkitCombinedAttack, SpammingAttack
+from repro.auditors.goshd import GuestOSHangDetector
+from repro.auditors.h_ninja import HNinja
+from repro.auditors.hrkd import HiddenRootkitDetector
+from repro.auditors.ht_ninja import HTNinja
+from repro.auditors.o_ninja import ONinja
+from repro.faults.campaign import Outcome, TrialConfig, run_campaign
+from repro.faults.injector import InjectionMode
+from repro.faults.sites import build_site_catalog
+from repro.harness import Testbed, TestbedConfig
+from repro.sim.clock import MILLISECOND, SECOND
+from repro.sim.rng import RandomStreams
+from repro.vmi.introspection import KernelSymbolMap, OsInvariantView
+from repro.workloads.common import start_workload
+from repro.workloads.unixbench import run_microbench
+
+
+def _scaled(n: int, scale: float, minimum: int = 1) -> int:
+    return max(minimum, int(round(n * scale)))
+
+
+# ======================================================================
+# Fig 4 + Fig 5 — fault-injection campaign
+# ======================================================================
+def run_fig4_fig5(scale: float = 1.0, full: bool = False) -> str:
+    catalog = build_site_catalog()
+    if full:
+        sites, seeds = catalog, (0, 1, 2)
+    else:
+        first_pass = [s for s in catalog if s.activation_pass == 1]
+        count = _scaled(8, scale)
+        sites = first_pass[:: max(1, len(first_pass) // count)][:count]
+        seeds = (0,)
+    summary = run_campaign(
+        sites,
+        seeds=seeds,
+        base_config=TrialConfig(
+            warmup_ns=1 * SECOND,
+            detect_window_ns=12 * SECOND,
+            classify_window_ns=20 * SECOND,
+        ),
+    )
+    rows = []
+    for workload in ("hanoi", "make-j1", "make-j2", "http"):
+        for mode in (InjectionMode.TRANSIENT, InjectionMode.PERSISTENT):
+            for preemptible in (False, True):
+                counts = summary.outcome_counts(
+                    workload=workload, mode=mode, preemptible=preemptible
+                )
+                if sum(counts.values()) == 0:
+                    continue
+                rows.append(
+                    [
+                        workload,
+                        mode.value,
+                        "preempt" if preemptible else "no-preempt",
+                        counts[Outcome.NOT_ACTIVATED],
+                        counts[Outcome.NOT_MANIFESTED],
+                        counts[Outcome.PARTIAL_HANG],
+                        counts[Outcome.FULL_HANG],
+                        counts[Outcome.NOT_DETECTED],
+                    ]
+                )
+    fig4 = format_table(
+        ["workload", "fault", "kernel", "not-act", "not-manif", "PARTIAL",
+         "FULL", "not-det"],
+        rows,
+        title=f"Fig 4 — GOSHD coverage ({len(summary.results)} injections)",
+    )
+    fig4 += (
+        f"\ncoverage={summary.coverage() * 100:.2f}% (paper 99.8%)  "
+        f"manifestation={summary.manifestation_rate() * 100:.1f}% (paper ~82%)"
+        f"\npartial: no-preempt {summary.partial_hang_fraction(False) * 100:.1f}%"
+        f" / preempt {summary.partial_hang_fraction(True) * 100:.1f}%"
+        " (paper 18% / 26%)"
+    )
+    first = summary.detection_latencies_s()
+    full_lat = summary.full_hang_latencies_s()
+    fig5 = ascii_cdf(
+        [("first hang detected", first or [float("inf")]),
+         ("full hang reached", full_lat or [float("inf")])],
+        points=[4, 6, 8, 12, 16, 24, 32],
+        unit="s",
+        title="\nFig 5 — detection latency CDF",
+    )
+    return fig4 + "\n" + fig5
+
+
+# ======================================================================
+# Table II — HRKD vs the rootkit zoo
+# ======================================================================
+def run_table2(scale: float = 1.0, full: bool = False) -> str:
+    testbed = Testbed(TestbedConfig(num_vcpus=2, seed=17))
+    testbed.boot()
+    hrkd = HiddenRootkitDetector()
+    testbed.monitor([hrkd])
+    hrkd.set_vmi_view(
+        OsInvariantView(
+            testbed.machine, KernelSymbolMap.from_kernel(testbed.kernel)
+        )
+    )
+
+    def malware(ctx):
+        while True:
+            yield ctx.compute(300_000)
+            yield ctx.sys_write(1, 16)
+
+    victim = testbed.kernel.spawn_process(
+        malware, "malware", uid=0, exe="/tmp/.hidden"
+    )
+    testbed.run_s(1.5)
+    rows = []
+    for spec in ROOTKIT_ZOO:
+        rootkit = build_rootkit(spec.name, testbed.kernel)
+        rootkit.hide_process(victim.pid)
+        testbed.run_s(0.8)
+        guest_view = testbed.kernel.guest_view_pids()
+        report = hrkd.scan_against(guest_view, "guest-ps")
+        rows.append(
+            [
+                spec.name,
+                spec.target_os,
+                " + ".join(t.value for t in spec.techniques),
+                "yes" if victim.pid not in guest_view else "NO",
+                "DETECTED" if report.rootkit_detected else "MISSED",
+            ]
+        )
+        rootkit.unhide_all()
+        testbed.run_s(0.3)
+    return format_table(
+        ["rootkit", "target OS", "technique(s)", "hidden", "HRKD"],
+        rows,
+        title="Table II — real-world rootkits evaluated with HRKD",
+    )
+
+
+# ======================================================================
+# Table III — /proc side channel
+# ======================================================================
+def run_table3(scale: float = 1.0, full: bool = False) -> str:
+    samples = 30 if full else _scaled(8, scale)
+    rows = []
+    for interval_s in (1, 2, 4, 8):
+        testbed = Testbed(TestbedConfig(num_vcpus=2, seed=interval_s))
+        testbed.boot()
+        oninja = ONinja(testbed.kernel, interval_ns=interval_s * SECOND)
+        oninja.install()
+
+        def idle(ctx):
+            while True:
+                yield ctx.sys_nanosleep(400 * MILLISECOND)
+
+        for i in range(25):
+            testbed.kernel.spawn_process(idle, f"svc{i}", uid=1000)
+        testbed.run_s(0.5)
+        channel = ProcSideChannel(
+            testbed.kernel, oninja.pid, poll_period_ns=300_000
+        )
+        channel.launch()
+        testbed.run_s((samples + 2) * (interval_s + 0.2))
+        estimate = channel.estimate(max_samples=samples)
+        rows.append(
+            [
+                interval_s,
+                f"{estimate.mean:.5f}",
+                f"{estimate.minimum:.5f}",
+                f"{estimate.maximum:.5f}",
+                f"{estimate.stdev:.5f}",
+            ]
+        )
+    return format_table(
+        ["Ninja interval (s)", "predicted mean", "min", "max", "SD"],
+        rows,
+        title="Table III — predicting Ninja's monitoring interval",
+    )
+
+
+# ======================================================================
+# §VIII-C2 — the three Ninjas
+# ======================================================================
+def _ninja_trial(seed, spam, o_interval_ns, h_interval_ns, jitter_ns):
+    testbed = Testbed(TestbedConfig(num_vcpus=2, seed=seed))
+    testbed.boot()
+
+    def idle(ctx):
+        while True:
+            yield ctx.sys_nanosleep(500_000_000)
+
+    for i in range(23):
+        testbed.kernel.spawn_process(idle, f"svc{i}", uid=100 + i)
+    ht_ninja = HTNinja()
+    testbed.monitor([ht_ninja])
+    o_ninja = ONinja(testbed.kernel, interval_ns=o_interval_ns)
+    o_ninja.install()
+    h_ninja = HNinja(
+        testbed.machine,
+        KernelSymbolMap.from_kernel(testbed.kernel),
+        interval_ns=h_interval_ns,
+    )
+    h_ninja.start()
+    attack = SpammingAttack(
+        testbed.kernel,
+        idle_processes=spam,
+        inner=RootkitCombinedAttack(
+            testbed.kernel,
+            plan=ExploitPlan(
+                pre_escalation_ns=200_000,
+                post_escalation_ns=3_000_000,
+                io_actions=2,
+                exit_after=True,
+            ),
+            install_delay_ns=3_200_000,
+        ),
+    )
+    attack.spam()
+    testbed.run_s(0.15)
+    testbed.engine.run_for(jitter_ns)
+    attack.launch()
+    testbed.run_s(0.12)
+    return o_ninja.detected, h_ninja.detected, ht_ninja.detected
+
+
+def run_ninja_curves(scale: float = 1.0, full: bool = False) -> str:
+    trials = 300 if full else _scaled(12, scale)
+    rng = RandomStreams(1234)
+
+    def rates(spam, h_interval_ns):
+        jitter_stream = rng.stream(f"j-{spam}-{h_interval_ns}")
+        hits = [0, 0, 0]
+        for trial in range(trials):
+            jitter = int(
+                jitter_stream.uniform(0, max(h_interval_ns, 20 * MILLISECOND))
+            )
+            result = _ninja_trial(trial, spam, 0, h_interval_ns, jitter)
+            for i, detected in enumerate(result):
+                hits[i] += bool(detected)
+        return [h / trials for h in hits]
+
+    spam_rows = []
+    for spam in (0, 100, 200):
+        o, _h, ht = rates(spam, 50 * MILLISECOND)
+        spam_rows.append(
+            [f"+{spam} idle procs", f"{o * 100:.1f}%", f"{ht * 100:.1f}%"]
+        )
+    interval_rows = []
+    for interval_ms in (4, 8, 20, 40):
+        _o, h, ht = rates(50, interval_ms * MILLISECOND)
+        interval_rows.append(
+            [f"{interval_ms} ms", f"{h * 100:.1f}%", f"{ht * 100:.1f}%"]
+        )
+    out = format_table(
+        ["spamming level", "O-Ninja (0s)", "HT-Ninja"],
+        spam_rows,
+        title=f"§VIII-C2 — O-Ninja under spamming ({trials} trials/point)",
+    )
+    out += "\n\n" + format_table(
+        ["H-Ninja interval", "H-Ninja", "HT-Ninja"],
+        interval_rows,
+        title=f"§VIII-C2 — H-Ninja interval race ({trials} trials/point)",
+    )
+    return out
+
+
+# ======================================================================
+# Fig 7 — overhead grid
+# ======================================================================
+def run_fig7(scale: float = 1.0, full: bool = False) -> str:
+    workloads = [
+        "file-copy-1024", "disk-io", "dhrystone", "context-switch",
+        "pipe-throughput", "syscall",
+    ]
+    if full:
+        workloads = list(
+            __import__(
+                "repro.workloads.unixbench", fromlist=["MICROBENCHES"]
+            ).MICROBENCHES
+        )
+    configs = [
+        ("baseline", []),
+        ("GOSHD", [GuestOSHangDetector]),
+        ("HRKD", [HiddenRootkitDetector]),
+        ("HT-Ninja", [HTNinja]),
+        ("all", [GuestOSHangDetector, HiddenRootkitDetector, HTNinja]),
+    ]
+    grid = {}
+    for config_name, classes in configs:
+        for workload in workloads:
+            testbed = Testbed(TestbedConfig(num_vcpus=2, seed=42))
+            testbed.boot()
+            if classes:
+                testbed.monitor([cls() for cls in classes])
+            grid[(config_name, workload)] = run_microbench(testbed, workload)
+    rows = []
+    for workload in workloads:
+        base = grid[("baseline", workload)]
+        row = [workload, f"{base / 1e6:9.2f}"]
+        for config_name, _classes in configs[1:]:
+            pct = (grid[(config_name, workload)] - base) / base * 100
+            row.append(f"{pct:6.1f}%")
+        rows.append(row)
+    return format_table(
+        ["workload", "baseline(ms)", "GOSHD", "HRKD", "HT-Ninja", "ALL"],
+        rows,
+        title="Fig 7 — monitoring overhead",
+    )
+
+
+# ======================================================================
+# Ablation + RHC
+# ======================================================================
+def run_unified_ablation(scale: float = 1.0, full: bool = False) -> str:
+    rows = []
+    for workload in ("context-switch", "syscall"):
+        timings = {}
+        for mode in (None, "unified", "separate"):
+            testbed = Testbed(
+                TestbedConfig(
+                    num_vcpus=2, seed=42,
+                    monitoring_mode=mode or "unified",
+                )
+            )
+            testbed.boot()
+            if mode is not None:
+                testbed.monitor(
+                    [GuestOSHangDetector(), HiddenRootkitDetector(), HTNinja()]
+                )
+            timings[mode] = run_microbench(testbed, workload)
+        base = timings[None]
+        rows.append(
+            [
+                workload,
+                f"{(timings['unified'] - base) / base * 100:6.1f}%",
+                f"{(timings['separate'] - base) / base * 100:6.1f}%",
+            ]
+        )
+    return format_table(
+        ["workload", "unified overhead", "separate overhead"],
+        rows,
+        title="Ablation — unified logging vs per-monitor pipelines",
+    )
+
+
+def run_rhc(scale: float = 1.0, full: bool = False) -> str:
+    rows = []
+    for sample_every in (16, 64, 256):
+        testbed = Testbed(
+            TestbedConfig(num_vcpus=2, seed=5, with_rhc=True, rhc_timeout_s=3)
+        )
+        testbed.boot()
+        testbed.multiplexer.rhc_sample_every = sample_every
+        testbed.monitor([GuestOSHangDetector()])
+        start_workload(testbed.kernel, "make-j2")
+        testbed.run_s(5.0)
+        false_alarm = testbed.rhc.alarmed
+        kill_time = testbed.engine.clock.now
+        testbed.kvm.detach_forwarder()
+        while not testbed.rhc.alarmed and testbed.now_s < 60:
+            testbed.run_ms(100)
+        latency = (testbed.rhc.alerts[-1] - kill_time) / SECOND
+        rows.append(
+            [f"1/{sample_every}", "no" if not false_alarm else "YES",
+             f"{latency:.1f}s"]
+        )
+    return format_table(
+        ["EM sampling", "false alarm", "alarm latency"],
+        rows,
+        title="RHC liveness detection",
+    )
+
+
+#: name -> (runner, description)
+EXPERIMENTS: Dict[str, tuple] = {
+    "fig4": (run_fig4_fig5, "GOSHD coverage + latency (Figs 4 and 5)"),
+    "fig5": (run_fig4_fig5, "alias of fig4 (same campaign)"),
+    "table2": (run_table2, "HRKD vs the Table II rootkit zoo"),
+    "table3": (run_table3, "/proc side channel on Ninja's interval"),
+    "ninjas": (run_ninja_curves, "O/H/HT-Ninja detection probabilities"),
+    "fig7": (run_fig7, "monitoring overhead grid"),
+    "ablation": (run_unified_ablation, "unified vs separate logging"),
+    "rhc": (run_rhc, "Remote Health Checker liveness"),
+}
+
+
+def run_experiment(name: str, scale: float = 1.0, full: bool = False) -> str:
+    if name not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        )
+    runner, _description = EXPERIMENTS[name]
+    return runner(scale=scale, full=full)

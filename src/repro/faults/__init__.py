@@ -1,0 +1,34 @@
+"""Hang fault injection (the SWIFI campaign of §VIII-A).
+
+Follows the fault model of Cotroneo et al. [34] as the paper does:
+lock-protocol faults — missing spinlock release, wrong lock ordering,
+missing unlock/lock pair, missing interrupt-state restoration —
+injected at locations in core kernel functions and in the ext3, char,
+block, and net module code paths, in both *transient* (fires once) and
+*persistent* (fires on every pass) variants.
+"""
+
+from repro.faults.sites import FaultClass, FaultSite, build_site_catalog
+from repro.faults.injector import FaultInjector, InjectionMode
+from repro.faults.campaign import (
+    CampaignSummary,
+    Outcome,
+    TrialConfig,
+    TrialResult,
+    run_campaign,
+    run_trial,
+)
+
+__all__ = [
+    "FaultClass",
+    "FaultSite",
+    "build_site_catalog",
+    "FaultInjector",
+    "InjectionMode",
+    "Outcome",
+    "TrialConfig",
+    "TrialResult",
+    "CampaignSummary",
+    "run_trial",
+    "run_campaign",
+]

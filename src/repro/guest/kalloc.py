@@ -1,0 +1,57 @@
+"""Kernel heap allocator (bump allocator over the direct map).
+
+Every allocation is real guest memory: the allocator reserves
+guest-physical bytes, maps them into the shared kernel page table at
+the direct-map GVA, and returns that GVA.  Structures placed here are
+therefore reachable both by the guest (through CR3) and by host-side
+introspection (through the page-table registry).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.hw.machine import Machine
+from repro.hw.memory import PAGE_SIZE, page_base
+from repro.guest.layouts import KERNEL_HEAP_GPA_START, direct_map_gva
+
+
+class KernelAllocator:
+    """Bump allocator; the guest kernel never frees (fine for our runs,
+    and it keeps stale-pointer bugs out of the substrate)."""
+
+    def __init__(self, machine: Machine, start_gpa: int = KERNEL_HEAP_GPA_START):
+        self.machine = machine
+        self._next_gpa = start_gpa
+        self._mapped_until = start_gpa  # first unmapped byte
+        self.allocated_bytes = 0
+        self.allocations = 0
+
+    def _ensure_mapped(self, end_gpa: int) -> None:
+        kernel_pt = self.machine.page_registry.kernel
+        cursor = page_base(self._mapped_until)
+        while cursor < end_gpa:
+            kernel_pt.map_page(direct_map_gva(cursor), cursor)
+            cursor += PAGE_SIZE
+        self._mapped_until = max(self._mapped_until, end_gpa)
+
+    def alloc(self, size: int, align: int = 16) -> int:
+        """Allocate ``size`` bytes; returns the direct-map GVA."""
+        if size <= 0:
+            raise SimulationError("allocation size must be positive")
+        gpa = (self._next_gpa + align - 1) & ~(align - 1)
+        end = gpa + size
+        if end > self.machine.memory.size_bytes:
+            raise SimulationError("guest kernel heap exhausted")
+        self._ensure_mapped(end)
+        self._next_gpa = end
+        self.allocated_bytes += size
+        self.allocations += 1
+        return direct_map_gva(gpa)
+
+    def alloc_page(self) -> int:
+        """Allocate one page-aligned page; returns the direct-map GVA."""
+        return self.alloc(PAGE_SIZE, align=PAGE_SIZE)
+
+    def alloc_stack(self, size: int) -> int:
+        """Allocate a kernel stack (page aligned)."""
+        return self.alloc(size, align=PAGE_SIZE)

@@ -1,0 +1,196 @@
+"""Guest kernel memory map and structure layouts.
+
+These play the role of the Linux kernel's data-structure layout: the
+offsets below are what VMI tools (and HyperTap's OS-state derivation)
+compile in.  The paper's Section IV-B argument — that *changing* a
+layout is far harder for an attacker than changing *values* — maps to
+this module being import-time constant while the bytes in guest memory
+are fully attacker-writable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import SimulationError
+
+# ----------------------------------------------------------------------
+# Guest virtual memory map (64-bit, Linux-like)
+# ----------------------------------------------------------------------
+#: Base of the kernel image mapping.
+KERNEL_TEXT_BASE = 0xFFFF_FFFF_8100_0000
+#: Size of the kernel image mapping.
+KERNEL_TEXT_SIZE = 16 * 1024 * 1024
+#: Guest-physical address the kernel image is loaded at.
+KERNEL_TEXT_GPA = 0x0100_0000
+#: Base of the direct map: GVA = DIRECT_MAP_BASE + GPA.
+DIRECT_MAP_BASE = 0xFFFF_8880_0000_0000
+#: First guest-physical byte handed to the kernel heap allocator.
+KERNEL_HEAP_GPA_START = 0x0200_0000
+#: SYSENTER target (the fast-syscall entry point) inside kernel text.
+SYSENTER_ENTRY_GVA = KERNEL_TEXT_BASE + 0x8000
+#: Legacy INT 0x80 entry point inside kernel text.
+INT80_ENTRY_GVA = KERNEL_TEXT_BASE + 0x9000
+#: A GVA known to be mapped in every live address space (used by the
+#: process counting algorithm's validity probe, Fig 3A).
+KNOWN_KERNEL_GVA = KERNEL_TEXT_BASE
+
+#: Userspace layout for spawned processes.
+USER_TEXT_BASE = 0x0000_0000_0040_0000
+USER_STACK_TOP = 0x0000_7FFF_FF00_0000
+
+#: Kernel stack size; thread_info sits at the stack bottom, RSP0 is the
+#: stack top — so RSP0 - THREAD_SIZE recovers the thread_info address.
+THREAD_SIZE = 16 * 1024
+
+#: task_struct.flags bits.
+PF_KTHREAD = 0x0020_0000
+
+
+def direct_map_gva(gpa: int) -> int:
+    """Kernel direct-map translation (GPA -> GVA)."""
+    return DIRECT_MAP_BASE + gpa
+
+
+def direct_map_gpa(gva: int) -> int:
+    """Inverse direct-map translation (GVA -> GPA)."""
+    if gva < DIRECT_MAP_BASE:
+        raise SimulationError(f"GVA {gva:#x} is not in the direct map")
+    return gva - DIRECT_MAP_BASE
+
+
+# ----------------------------------------------------------------------
+# Structure layout machinery
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FieldSpec:
+    """One field of a guest structure."""
+
+    offset: int
+    size: int
+    kind: str  # "u64" or "str"
+
+
+class StructLayout:
+    """Field offsets of one kernel structure."""
+
+    def __init__(self, name: str, fields: Dict[str, Tuple[int, str]]) -> None:
+        self.name = name
+        self.fields: Dict[str, FieldSpec] = {}
+        cursor = 0
+        for fname, (size, kind) in fields.items():
+            self.fields[fname] = FieldSpec(offset=cursor, size=size, kind=kind)
+            cursor += size
+        self.size = cursor
+
+    def offset(self, field: str) -> int:
+        return self.fields[field].offset
+
+    def spec(self, field: str) -> FieldSpec:
+        return self.fields[field]
+
+
+#: The guest's ``task_struct``.  A circular doubly-linked list threads
+#: every task through ``tasks_next``/``tasks_prev`` (Linux's
+#: ``init_task.tasks`` list); rootkit DKOM unlinks entries from exactly
+#: this list.
+TASK_STRUCT = StructLayout(
+    "task_struct",
+    {
+        "state": (8, "u64"),
+        "pid": (8, "u64"),
+        "tgid": (8, "u64"),
+        "uid": (8, "u64"),
+        "euid": (8, "u64"),
+        "gid": (8, "u64"),
+        "flags": (8, "u64"),
+        "tasks_next": (8, "u64"),
+        "tasks_prev": (8, "u64"),
+        "mm": (8, "u64"),
+        "stack": (8, "u64"),  # -> thread_info
+        "parent": (8, "u64"),
+        "start_time": (8, "u64"),
+        "utime": (8, "u64"),
+        "comm": (16, "str"),
+        "exe": (32, "str"),
+    },
+)
+
+#: ``thread_info`` lives at the bottom of the kernel stack.
+THREAD_INFO = StructLayout(
+    "thread_info",
+    {
+        "task": (8, "u64"),
+        "cpu": (8, "u64"),
+        "preempt_count": (8, "u64"),
+    },
+)
+
+#: ``mm_struct`` — only the PGD pointer (the PDBA) matters here.
+MM_STRUCT = StructLayout(
+    "mm_struct",
+    {
+        "pgd": (8, "u64"),
+        "owner": (8, "u64"),
+        "vm_pages": (8, "u64"),
+    },
+)
+
+
+class StructRef:
+    """Typed accessor for one structure instance in guest memory.
+
+    Reads and writes go through the machine's host-side GVA access
+    helpers using the kernel page tables — the same path VMI uses —
+    so every consumer sees the genuine bytes.
+    """
+
+    def __init__(self, machine, kernel_pdba: int, layout: StructLayout, gva: int):
+        if gva == 0:
+            raise SimulationError(f"NULL {layout.name} reference")
+        self.machine = machine
+        self.kernel_pdba = kernel_pdba
+        self.layout = layout
+        self.gva = gva
+
+    def read(self, field: str) -> int:
+        spec = self.layout.spec(field)
+        if spec.kind != "u64":
+            raise SimulationError(f"{field} is not an integer field")
+        return self.machine.host_read_u64_gva(
+            self.kernel_pdba, self.gva + spec.offset
+        )
+
+    def write(self, field: str, value: int) -> None:
+        spec = self.layout.spec(field)
+        if spec.kind != "u64":
+            raise SimulationError(f"{field} is not an integer field")
+        self.machine.host_write_u64_gva(
+            self.kernel_pdba, self.gva + spec.offset, value
+        )
+
+    def read_str(self, field: str) -> str:
+        spec = self.layout.spec(field)
+        raw = self.machine.host_read_gva(
+            self.kernel_pdba, self.gva + spec.offset, spec.size
+        )
+        end = raw.find(b"\x00")
+        return raw[: end if end >= 0 else spec.size].decode(
+            "ascii", errors="replace"
+        )
+
+    def write_str(self, field: str, text: str) -> None:
+        spec = self.layout.spec(field)
+        if spec.kind != "str":
+            raise SimulationError(f"{field} is not a string field")
+        encoded = text.encode("ascii", errors="replace")[: spec.size - 1]
+        padded = encoded + b"\x00" * (spec.size - len(encoded))
+        gpa = self.machine.page_registry.gva_to_gpa(
+            self.kernel_pdba, self.gva + spec.offset
+        )
+        if gpa < 0:
+            raise SimulationError("struct field in unmapped memory")
+        self.machine.memory.write_bytes(
+            self.machine.ept.translate_nofault(gpa), padded
+        )

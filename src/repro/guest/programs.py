@@ -1,0 +1,269 @@
+"""Guest program model.
+
+A guest program is a Python generator that yields *operations* — the
+primitive things a user process can do: burn CPU, invoke a system call,
+or exit.  The kernel's executor drives the generator; the value sent
+back into the generator after a ``Syscall`` op is that syscall's return
+value, so programs read naturally::
+
+    def my_program(ctx):
+        pid = yield ctx.sys_getpid()
+        yield ctx.compute(ns=200_000)
+        yield ctx.sys_write(1, 64)
+
+System-call bodies run *in the kernel* (see ``repro.guest.syscalls``),
+where fault-injection sites and spinlocks live; the program only sees
+the architectural boundary (the trap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Tuple
+
+
+# ----------------------------------------------------------------------
+# User-level operations
+# ----------------------------------------------------------------------
+class Op:
+    """Base class of everything a program can yield."""
+
+
+@dataclass
+class Compute(Op):
+    """Burn CPU in user mode for ``ns`` nanoseconds."""
+
+    ns: int
+
+
+@dataclass
+class Syscall(Op):
+    """Invoke a system call by name with positional arguments."""
+
+    name: str
+    args: Tuple[Any, ...] = ()
+
+
+@dataclass
+class ExitProgram(Op):
+    """Terminate the process with an exit code."""
+
+    code: int = 0
+
+
+@dataclass
+class KMemWrite(Op):
+    """Write a u64 into kernel memory (/dev/kmem-style, root only).
+
+    The write is performed by the guest CPU, so EPT protections apply
+    — this is the op fine-grained integrity watching can trap."""
+
+    gva: int
+    value: int
+
+
+@dataclass
+class KMemRead(Op):
+    """Read a u64 from kernel memory; the result is sent back into the
+    program generator."""
+
+    gva: int
+
+
+#: Type alias for program generator functions.
+ProgramFn = Callable[["GuestContext"], Generator[Op, Any, None]]
+
+
+class GuestContext:
+    """Helper handed to every guest program.
+
+    It only *constructs* operations; all effects happen when the kernel
+    executor receives the yielded op.  A handful of convenience wrappers
+    cover the syscalls the workloads and attacks use.
+    """
+
+    def __init__(self, argv: Tuple[Any, ...] = ()) -> None:
+        self.argv = argv
+
+    # -- CPU ------------------------------------------------------------
+    def compute(self, ns: int) -> Compute:
+        return Compute(ns=int(ns))
+
+    # -- generic syscall -------------------------------------------------
+    def syscall(self, name: str, *args: Any) -> Syscall:
+        return Syscall(name=name, args=args)
+
+    # -- specific syscalls -----------------------------------------------
+    def sys_getpid(self) -> Syscall:
+        return Syscall("getpid")
+
+    def sys_write(self, fd: int, nbytes: int) -> Syscall:
+        return Syscall("write", (fd, nbytes))
+
+    def sys_read(self, fd: int, nbytes: int) -> Syscall:
+        return Syscall("read", (fd, nbytes))
+
+    def sys_open(self, path: str) -> Syscall:
+        return Syscall("open", (path,))
+
+    def sys_close(self, fd: int) -> Syscall:
+        return Syscall("close", (fd,))
+
+    def sys_lseek(self, fd: int, offset: int) -> Syscall:
+        return Syscall("lseek", (fd, offset))
+
+    def sys_disk_read(self, blocks: int = 1) -> Syscall:
+        return Syscall("disk_read", (blocks,))
+
+    def sys_disk_write(self, blocks: int = 1) -> Syscall:
+        return Syscall("disk_write", (blocks,))
+
+    def sys_nanosleep(self, ns: int) -> Syscall:
+        return Syscall("nanosleep", (int(ns),))
+
+    def sys_yield(self) -> Syscall:
+        return Syscall("sched_yield")
+
+    def sys_spawn(self, program: ProgramFn, name: str, **kwargs: Any) -> Syscall:
+        """fork+exec of a new process running ``program``."""
+        return Syscall("spawn", (program, name, kwargs))
+
+    def sys_waitpid(self, pid: int) -> Syscall:
+        return Syscall("waitpid", (pid,))
+
+    def sys_kill(self, pid: int) -> Syscall:
+        return Syscall("kill", (pid,))
+
+    def sys_setuid(self, uid: int) -> Syscall:
+        return Syscall("setuid", (uid,))
+
+    def sys_geteuid(self) -> Syscall:
+        return Syscall("geteuid")
+
+    def sys_getuid(self) -> Syscall:
+        return Syscall("getuid")
+
+    def sys_proc_list(self) -> Syscall:
+        """Read the pid list from /proc (task-list walk in the guest)."""
+        return Syscall("proc_list")
+
+    def sys_proc_status(self, pid: int) -> Syscall:
+        """Read /proc/<pid>/status -> dict or None."""
+        return Syscall("proc_status", (pid,))
+
+    def sys_proc_stat(self, pid: int) -> Syscall:
+        """Read /proc/<pid>/stat -> dict or None (side-channel input)."""
+        return Syscall("proc_stat", (pid,))
+
+    def sys_socket_send(self, nbytes: int) -> Syscall:
+        return Syscall("socket_send", (nbytes,))
+
+    def sys_socket_recv(self) -> Syscall:
+        """Block until a packet arrives; returns its size."""
+        return Syscall("socket_recv")
+
+    def sys_uname(self) -> Syscall:
+        return Syscall("uname")
+
+    def sys_gettimeofday(self) -> Syscall:
+        return Syscall("gettimeofday")
+
+    def exit(self, code: int = 0) -> ExitProgram:
+        return ExitProgram(code=code)
+
+    def kmem_write(self, gva: int, value: int) -> KMemWrite:
+        return KMemWrite(gva=gva, value=value)
+
+    def kmem_read(self, gva: int) -> KMemRead:
+        return KMemRead(gva=gva)
+
+
+# ----------------------------------------------------------------------
+# Kernel-level operations (yielded by syscall handler generators)
+# ----------------------------------------------------------------------
+class KernelOp:
+    """Base class of operations kernel code can yield."""
+
+
+@dataclass
+class KCompute(KernelOp):
+    """Kernel-mode CPU work."""
+
+    ns: int
+
+
+@dataclass
+class LockAcquire(KernelOp):
+    """spin_lock(); disables preemption while held."""
+
+    lock_name: str
+    #: spin_lock_irqsave variant: also disables local interrupts.
+    irqsave: bool = False
+
+
+@dataclass
+class LockRelease(KernelOp):
+    """spin_unlock(); re-enables preemption (and IRQs for irqrestore)."""
+
+    lock_name: str
+    irqrestore: bool = False
+
+
+@dataclass
+class DiskRequest(KernelOp):
+    """Submit a block-IO request and sleep until its completion IRQ."""
+
+    kind: str  # "read" | "write"
+    blocks: int = 1
+
+
+@dataclass
+class BlockOn(KernelOp):
+    """Sleep on a wait channel until woken (optionally with timeout)."""
+
+    channel: str
+    timeout_ns: int = 0  # 0 = no timeout
+
+
+@dataclass
+class PortIo(KernelOp):
+    """Perform a port IO access (driver code)."""
+
+    port: int
+    direction: str
+    value: int = 0
+
+
+@dataclass
+class FaultPoint(KernelOp):
+    """A named location in kernel code where faults can be injected.
+
+    With no injector armed this is free (zero cost, no effect): it is
+    the analogue of an instruction address the SWIFI tool may patch.
+    """
+
+    function: str
+    module: str
+
+
+@dataclass
+class FaultEffect:
+    """What an armed fault does when its site is reached.
+
+    Returned by the kernel's fault hook (see ``repro.faults``); the
+    executor applies it at the fault point:
+
+    * ``leak_lock`` — the named lock becomes permanently held, as if a
+      buggy exit path returned without unlocking (missing release).
+    * ``splice_ops`` — kernel ops executed at the site (used for the
+      wrong-ordering and missing-pair classes).
+    * ``disable_irqs`` — local interrupts stay off (missing
+      ``spin_unlock_irqrestore``).
+    * ``drop_work`` — interrupt-context work is silently dropped
+      (corrupted softirq state); used by sites inside IRQ handlers.
+    """
+
+    leak_lock: str = ""
+    splice_ops: Tuple[KernelOp, ...] = ()
+    disable_irqs: bool = False
+    drop_work: bool = False

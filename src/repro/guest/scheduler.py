@@ -1,0 +1,67 @@
+"""Per-vCPU run queues and CPU-local kernel state.
+
+Each vCPU has its own run queue (tasks are pinned at spawn to the
+least-loaded CPU, as the paper's 2-vCPU experiments effectively do).
+The scheduler itself — pick-next, context switch — is driven by the
+kernel executor; this module owns the bookkeeping.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.guest.task import Task, TaskState
+
+
+class CpuState:
+    """Kernel-side state for one vCPU."""
+
+    def __init__(self, index: int, idle_task: Task) -> None:
+        self.index = index
+        self.idle_task = idle_task
+        self.current: Task = idle_task
+        self.runqueue: Deque[Task] = deque()
+        #: Local interrupt flag (CLI/STI); faults can wedge this off.
+        self.irqs_enabled = True
+        self.need_resched = False
+        #: Oracle counters (used by experiments as ground truth, never
+        #: by the monitors themselves).
+        self.context_switches = 0
+        self.last_switch_ns = 0
+        self.ticks_seen = 0
+        self.last_housekeep_ns = 0
+
+    def enqueue(self, task: Task) -> None:
+        if task.state is TaskState.ZOMBIE:
+            return
+        task.state = TaskState.RUNNABLE
+        task.cpu = self.index
+        self.runqueue.append(task)
+
+    def remove(self, task: Task) -> None:
+        try:
+            self.runqueue.remove(task)
+        except ValueError:
+            pass
+
+    def pick_next(self) -> Task:
+        """Round-robin pick; falls back to the idle task."""
+        while self.runqueue:
+            task = self.runqueue.popleft()
+            if task.runnable():
+                return task
+        return self.idle_task
+
+    @property
+    def load(self) -> int:
+        """Runnable tasks on this CPU (queue + current, minus idle)."""
+        n = len(self.runqueue)
+        if self.current is not self.idle_task and self.current.runnable():
+            n += 1
+        return n
+
+
+def least_loaded(cpus: List[CpuState]) -> CpuState:
+    """Placement policy for new tasks."""
+    return min(cpus, key=lambda c: (c.load, c.index))

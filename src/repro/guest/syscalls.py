@@ -1,0 +1,391 @@
+"""System-call handlers of the guest kernel.
+
+Each handler is a generator of :class:`~repro.guest.programs.KernelOp`
+values (kernel work, lock protocol, device IO, blocking) and returns
+the syscall's result.  Handlers contain named :class:`FaultPoint` sites
+— the analogue of instruction addresses in core kernel functions and
+in the ext3/char/block/net modules — where the SWIFI campaign of
+Section VIII-A injects lock-protocol faults.
+
+The kernel dispatches through ``syscall_table`` by *name*; rootkits in
+``repro.attacks.rootkits`` hijack entries of this table exactly like
+real rootkits patch ``sys_call_table``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Tuple, TYPE_CHECKING
+
+from repro.guest.layouts import TASK_STRUCT
+from repro.guest.programs import (
+    BlockOn,
+    DiskRequest,
+    FaultPoint,
+    KCompute,
+    LockAcquire,
+    LockRelease,
+    PortIo,
+)
+from repro.hw.io import PORT_CONSOLE, PORT_NET_CMD
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.guest.kernel import GuestKernel
+    from repro.guest.task import Task
+
+#: Stable syscall numbers (written into RAX at the trap, Fig 3D/E).
+SYSCALL_NUMBERS: Dict[str, int] = {
+    "read": 0,
+    "write": 1,
+    "open": 2,
+    "close": 3,
+    "lseek": 8,
+    "getpid": 39,
+    "geteuid": 107,
+    "getuid": 102,
+    "setuid": 105,
+    "kill": 62,
+    "spawn": 57,  # fork+exec rolled into one
+    "waitpid": 61,
+    "nanosleep": 35,
+    "sched_yield": 24,
+    "uname": 63,
+    "gettimeofday": 96,
+    "disk_read": 17,  # pread-like block path
+    "disk_write": 18,
+    "proc_list": 300,
+    "proc_status": 301,
+    "proc_stat": 302,
+    "socket_send": 44,
+    "socket_recv": 45,
+    "vuln_sock_diag": 310,  # CVE-2013-1763 analogue
+    "vuln_ld_origin": 311,  # CVE-2010-3847 analogue
+}
+
+#: Syscalls HT-Ninja considers "I/O-related" (Section VII-C).
+IO_SYSCALLS = frozenset(
+    {"open", "read", "write", "lseek", "disk_read", "disk_write",
+     "socket_send", "socket_recv"}
+)
+
+Handler = Generator[Any, Any, Any]
+
+
+# ----------------------------------------------------------------------
+# Trivial syscalls
+# ----------------------------------------------------------------------
+def sys_getpid(kernel: "GuestKernel", task: "Task", args: Tuple) -> Handler:
+    yield KCompute(kernel.costs.syscall_trivial_body_ns)
+    return kernel.task_ref(task).read("pid")
+
+
+def sys_geteuid(kernel: "GuestKernel", task: "Task", args: Tuple) -> Handler:
+    yield KCompute(kernel.costs.syscall_trivial_body_ns)
+    return kernel.task_ref(task).read("euid")
+
+
+def sys_getuid(kernel: "GuestKernel", task: "Task", args: Tuple) -> Handler:
+    yield KCompute(kernel.costs.syscall_trivial_body_ns)
+    return kernel.task_ref(task).read("uid")
+
+
+def sys_uname(kernel: "GuestKernel", task: "Task", args: Tuple) -> Handler:
+    yield KCompute(kernel.costs.syscall_trivial_body_ns)
+    return "repro-linux 2.6.32-sim"
+
+
+def sys_gettimeofday(kernel: "GuestKernel", task: "Task", args: Tuple) -> Handler:
+    yield KCompute(kernel.costs.syscall_trivial_body_ns)
+    return kernel.machine.clock.now
+
+
+# ----------------------------------------------------------------------
+# Character device path (tty/console) — "char" module
+# ----------------------------------------------------------------------
+def sys_write(kernel: "GuestKernel", task: "Task", args: Tuple) -> Handler:
+    fd, nbytes = args
+    yield FaultPoint("tty_write", "char")
+    yield LockAcquire("tty_lock")
+    yield KCompute(500 + 4 * int(nbytes))
+    yield FaultPoint("con_flush", "char")
+    yield PortIo(PORT_CONSOLE, "out", value=int(nbytes) & 0xFF)
+    yield LockRelease("tty_lock")
+    return int(nbytes)
+
+
+def sys_read(kernel: "GuestKernel", task: "Task", args: Tuple) -> Handler:
+    fd, nbytes = args
+    yield FaultPoint("tty_read", "char")
+    yield LockAcquire("tty_lock")
+    yield KCompute(500 + 2 * int(nbytes))
+    yield LockRelease("tty_lock")
+    return int(nbytes)
+
+
+# ----------------------------------------------------------------------
+# Filesystem core
+# ----------------------------------------------------------------------
+def sys_open(kernel: "GuestKernel", task: "Task", args: Tuple) -> Handler:
+    (path,) = args
+    yield FaultPoint("path_lookup", "core")
+    yield LockAcquire("dcache_lock")
+    yield KCompute(2_500)
+    yield LockRelease("dcache_lock")
+    fd = kernel.next_fd(task)
+    return fd
+
+
+def sys_close(kernel: "GuestKernel", task: "Task", args: Tuple) -> Handler:
+    yield KCompute(900)
+    return 0
+
+
+def sys_lseek(kernel: "GuestKernel", task: "Task", args: Tuple) -> Handler:
+    fd, offset = args
+    yield KCompute(700)
+    return int(offset)
+
+
+# ----------------------------------------------------------------------
+# Block path (ext3 + block) — nested lock order: inode -> queue
+# ----------------------------------------------------------------------
+def sys_disk_read(kernel: "GuestKernel", task: "Task", args: Tuple) -> Handler:
+    (blocks,) = args
+    yield FaultPoint("ext3_get_block", "ext3")
+    yield LockAcquire("inode_lock")
+    yield KCompute(3_000)
+    yield FaultPoint("submit_bio", "block")
+    yield LockAcquire("queue_lock")
+    yield KCompute(1_500)
+    yield LockRelease("queue_lock")
+    yield LockRelease("inode_lock")
+    for _ in range(int(blocks)):
+        yield DiskRequest("read")
+    return int(blocks)
+
+
+def sys_disk_write(kernel: "GuestKernel", task: "Task", args: Tuple) -> Handler:
+    (blocks,) = args
+    yield FaultPoint("ext3_journal_start", "ext3")
+    yield LockAcquire("journal_lock")
+    yield KCompute(2_000)
+    yield LockRelease("journal_lock")
+    yield FaultPoint("ext3_get_block", "ext3")
+    yield LockAcquire("inode_lock")
+    yield KCompute(3_000)
+    yield FaultPoint("submit_bio", "block")
+    yield LockAcquire("queue_lock")
+    yield KCompute(1_500)
+    yield LockRelease("queue_lock")
+    yield LockRelease("inode_lock")
+    for _ in range(int(blocks)):
+        yield DiskRequest("write")
+    return int(blocks)
+
+
+# ----------------------------------------------------------------------
+# Scheduling and timers
+# ----------------------------------------------------------------------
+def sys_nanosleep(kernel: "GuestKernel", task: "Task", args: Tuple) -> Handler:
+    (ns,) = args
+    yield FaultPoint("hrtimer_start", "core")
+    yield LockAcquire("timer_lock")
+    yield KCompute(1_200)
+    yield LockRelease("timer_lock")
+    yield BlockOn(f"sleep:{task.pid}", timeout_ns=int(ns))
+    return 0
+
+
+def sys_sched_yield(kernel: "GuestKernel", task: "Task", args: Tuple) -> Handler:
+    yield KCompute(600)
+    kernel.request_resched(task)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Process lifecycle — core kernel
+# ----------------------------------------------------------------------
+def sys_spawn(kernel: "GuestKernel", task: "Task", args: Tuple) -> Handler:
+    program, name, kwargs = args
+    yield FaultPoint("copy_process", "core")
+    yield LockAcquire("tasklist_lock", irqsave=True)
+    yield KCompute(kernel.costs.fork_ns)
+    yield LockRelease("tasklist_lock", irqrestore=True)
+    yield KCompute(kernel.costs.mm_setup_ns)
+    child = kernel.spawn_process(
+        program,
+        name,
+        parent=task,
+        uid=kwargs.get("uid"),
+        euid=kwargs.get("euid"),
+        exe=kwargs.get("exe", name),
+        argv=kwargs.get("argv", ()),
+    )
+    return child.pid
+
+
+def sys_waitpid(kernel: "GuestKernel", task: "Task", args: Tuple) -> Handler:
+    (pid,) = args
+    yield KCompute(1_000)
+    child = kernel.find_task(pid)
+    from repro.guest.task import TaskState
+
+    if child is None or child.state is TaskState.ZOMBIE:
+        return child.exit_code if child is not None else -1
+    yield BlockOn(f"exit:{pid}")
+    child = kernel.find_task(pid)
+    return child.exit_code if child is not None else 0
+
+
+def sys_kill(kernel: "GuestKernel", task: "Task", args: Tuple) -> Handler:
+    (pid,) = args
+    yield FaultPoint("signal_deliver", "core")
+    yield LockAcquire("tasklist_lock", irqsave=True)
+    yield KCompute(2_000)
+    yield LockRelease("tasklist_lock", irqrestore=True)
+    target = kernel.find_task(pid)
+    if target is None:
+        return -1
+    me = kernel.task_ref(task)
+    if me.read("euid") != 0 and me.read("uid") != kernel.task_ref(target).read("uid"):
+        return -1  # EPERM
+    kernel.force_exit(target, code=-9)
+    return 0
+
+
+def sys_setuid(kernel: "GuestKernel", task: "Task", args: Tuple) -> Handler:
+    (uid,) = args
+    yield KCompute(1_000)
+    me = kernel.task_ref(task)
+    if me.read("euid") != 0:
+        return -1  # EPERM
+    me.write("uid", int(uid))
+    me.write("euid", int(uid))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# /proc — reads walk the in-memory task list with *guest* accesses
+# ----------------------------------------------------------------------
+def sys_proc_list(kernel: "GuestKernel", task: "Task", args: Tuple) -> Handler:
+    yield FaultPoint("proc_readdir", "core")
+    yield LockAcquire("tasklist_lock")
+    pids = []
+    for entry in kernel.walk_task_list_guest():
+        pids.append(entry["pid"])
+        # seq_file formatting cost per visible task: this is what the
+        # spamming attack inflates (Section VIII-C1).
+        yield KCompute(kernel.costs.procfs_read_ns)
+    yield LockRelease("tasklist_lock")
+    return pids
+
+
+def sys_proc_status(kernel: "GuestKernel", task: "Task", args: Tuple) -> Handler:
+    """/proc/<pid>/status: direct lookup through the pid hash (like
+    Linux's ``find_task_by_vpid`` — O(1), not a task-list walk)."""
+    (pid,) = args
+    yield KCompute(kernel.costs.procfs_read_ns)
+    target = kernel.find_task(pid)
+    from repro.guest.task import TaskState
+
+    if target is None or target.state is TaskState.ZOMBIE:
+        return None
+    ref = kernel.task_ref(target)
+    return {
+        "pid": ref.read("pid"),
+        "uid": ref.read("uid"),
+        "euid": ref.read("euid"),
+        "comm": ref.read_str("comm"),
+        "exe": ref.read_str("exe"),
+        "flags": ref.read("flags"),
+        "parent_gva": ref.read("parent"),
+        "task_struct_gva": target.task_struct_gva,
+    }
+
+
+def sys_proc_stat(kernel: "GuestKernel", task: "Task", args: Tuple) -> Handler:
+    (pid,) = args
+    yield KCompute(kernel.costs.procfs_read_ns)
+    return kernel.proc_stat(pid)
+
+
+# ----------------------------------------------------------------------
+# Network — "net" module
+# ----------------------------------------------------------------------
+def sys_socket_send(kernel: "GuestKernel", task: "Task", args: Tuple) -> Handler:
+    (nbytes,) = args
+    yield FaultPoint("dev_queue_xmit", "net")
+    yield LockAcquire("sock_lock")
+    yield KCompute(kernel.costs.net_packet_ns)
+    yield PortIo(PORT_NET_CMD, "out", value=1)
+    yield LockRelease("sock_lock")
+    return int(nbytes)
+
+
+def sys_socket_recv(kernel: "GuestKernel", task: "Task", args: Tuple) -> Handler:
+    yield FaultPoint("netif_receive_skb", "net")
+    yield LockAcquire("rx_lock")
+    yield KCompute(2_000)
+    yield LockRelease("rx_lock")
+    while not kernel.pending_rx:
+        yield BlockOn("net_rx")
+    size = kernel.pending_rx.popleft()
+    yield KCompute(kernel.costs.net_packet_ns)
+    return size
+
+
+# ----------------------------------------------------------------------
+# Vulnerable code paths (exploit targets)
+# ----------------------------------------------------------------------
+def sys_vuln_sock_diag(kernel: "GuestKernel", task: "Task", args: Tuple) -> Handler:
+    """CVE-2013-1763 analogue: an out-of-bounds array index in the
+    sock_diag netlink handler lets an unprivileged caller redirect
+    control flow; the payload commits root credentials."""
+    yield FaultPoint("__sock_diag_rcv_msg", "net")
+    yield KCompute(6_000)
+    me = kernel.task_ref(task)
+    me.write("euid", 0)
+    me.write("uid", 0)
+    kernel.note_exploit(task, "CVE-2013-1763")
+    return 0
+
+
+def sys_vuln_ld_origin(kernel: "GuestKernel", task: "Task", args: Tuple) -> Handler:
+    """CVE-2010-3847 analogue: $ORIGIN expansion in the dynamic linker
+    lets a setuid binary load attacker code, yielding euid 0."""
+    yield FaultPoint("load_elf_binary", "core")
+    yield KCompute(40_000)
+    me = kernel.task_ref(task)
+    me.write("euid", 0)
+    kernel.note_exploit(task, "CVE-2010-3847")
+    return 0
+
+
+#: The pristine syscall table (rootkits patch copies installed in the
+#: kernel instance, never this module-level original).
+DEFAULT_SYSCALL_TABLE = {
+    "getpid": sys_getpid,
+    "geteuid": sys_geteuid,
+    "getuid": sys_getuid,
+    "uname": sys_uname,
+    "gettimeofday": sys_gettimeofday,
+    "write": sys_write,
+    "read": sys_read,
+    "open": sys_open,
+    "close": sys_close,
+    "lseek": sys_lseek,
+    "disk_read": sys_disk_read,
+    "disk_write": sys_disk_write,
+    "nanosleep": sys_nanosleep,
+    "sched_yield": sys_sched_yield,
+    "spawn": sys_spawn,
+    "waitpid": sys_waitpid,
+    "kill": sys_kill,
+    "setuid": sys_setuid,
+    "proc_list": sys_proc_list,
+    "proc_status": sys_proc_status,
+    "proc_stat": sys_proc_stat,
+    "socket_send": sys_socket_send,
+    "socket_recv": sys_socket_recv,
+    "vuln_sock_diag": sys_vuln_sock_diag,
+    "vuln_ld_origin": sys_vuln_ld_origin,
+}

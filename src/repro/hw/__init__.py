@@ -1,0 +1,41 @@
+"""Simulated x86 machine with Hardware-Assisted Virtualization (HAV).
+
+This package is the substitute for the Intel VT-x hardware the paper
+runs on.  It models, with real mechanism rather than stubs:
+
+* a per-vCPU register file (control registers, task register, GPRs),
+* model-specific registers (MSRs) writable only through a trapping
+  ``WRMSR`` operation,
+* guest-physical memory backed by byte-addressable page frames,
+* guest page tables (GVA -> GPA) with a page-table registry so any
+  PDBA (CR3 value) can be walked from the host side,
+* extended page tables (GPA -> HPA) with R/W/X permissions whose
+  violations produce ``EPT_VIOLATION`` VM Exits,
+* per-vCPU Task-State Segments stored *in guest memory* so that thread
+  switches are observable as memory writes,
+* a VMCS per vCPU holding exit controls and saved guest state,
+* a local APIC timer generating external interrupts,
+* a port-IO / MMIO bus with disk, console, and NIC devices.
+
+The architectural invariants the paper relies on hold by construction:
+CR3 is only changed through :meth:`VCPU.guest_write_cr3`, the TSS is
+only reachable through guest memory writes, and MSRs only through
+``WRMSR`` — each of which traps to the hypervisor exactly as VT-x
+specifies.
+"""
+
+from repro.hw.costs import CostModel
+from repro.hw.exits import ExitReason, VMExit, ExitAction
+from repro.hw.machine import Machine, MachineConfig
+from repro.hw.cpu import VCPU, CpuMode
+
+__all__ = [
+    "CostModel",
+    "ExitReason",
+    "VMExit",
+    "ExitAction",
+    "Machine",
+    "MachineConfig",
+    "VCPU",
+    "CpuMode",
+]

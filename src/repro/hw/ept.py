@@ -1,0 +1,113 @@
+"""Extended Page Tables: GPA -> HPA with R/W/X permissions.
+
+The hypervisor identity-maps guest frames at VM creation.  HyperTap's
+interception algorithms then *narrow* permissions on selected guest
+frames (write-protecting TSS pages, execute-protecting the SYSENTER
+entry page); any guest access violating the narrowed permissions raises
+an EPT violation that the vCPU turns into an ``EPT_VIOLATION`` VM Exit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.hw.exits import MemAccess
+from repro.hw.memory import PAGE_SHIFT, page_number, page_offset
+
+
+@dataclass
+class EptEntry:
+    """Mapping and permissions for one guest frame."""
+
+    hfn: int
+    read: bool = True
+    write: bool = True
+    execute: bool = True
+
+    def allows(self, access: MemAccess) -> bool:
+        if access is MemAccess.READ:
+            return self.read
+        if access is MemAccess.WRITE:
+            return self.write
+        return self.execute
+
+
+class EptViolationSignal(Exception):
+    """Internal control-flow signal raised by the EPT walker.
+
+    The vCPU catches this and synthesizes an ``EPT_VIOLATION`` VM Exit;
+    it never escapes the hardware layer.
+    """
+
+    def __init__(self, gpa: int, access: MemAccess) -> None:
+        super().__init__(f"EPT violation at GPA {gpa:#x} ({access.value})")
+        self.gpa = gpa
+        self.access = access
+
+
+class ExtendedPageTable:
+    """Per-VM second-level address translation."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, EptEntry] = {}
+        self.violations = 0
+
+    def _entry(self, gfn: int) -> EptEntry:
+        entry = self._entries.get(gfn)
+        if entry is None:
+            # Lazily identity-map with full permissions, like a simple
+            # KVM memslot configuration.
+            entry = EptEntry(hfn=gfn)
+            self._entries[gfn] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    # Hypervisor-facing configuration
+    # ------------------------------------------------------------------
+    def set_permissions(
+        self,
+        gpa: int,
+        read: Optional[bool] = None,
+        write: Optional[bool] = None,
+        execute: Optional[bool] = None,
+    ) -> None:
+        """Adjust permissions on the frame containing ``gpa``."""
+        entry = self._entry(page_number(gpa))
+        if read is not None:
+            entry.read = read
+        if write is not None:
+            entry.write = write
+        if execute is not None:
+            entry.execute = execute
+
+    def permissions(self, gpa: int) -> Tuple[bool, bool, bool]:
+        entry = self._entry(page_number(gpa))
+        return (entry.read, entry.write, entry.execute)
+
+    def remap(self, gpa: int, hfn: int) -> None:
+        """Point a guest frame at a different host frame (not used by
+        HyperTap itself, but part of a complete EPT model)."""
+        if hfn < 0:
+            raise SimulationError("negative host frame")
+        self._entry(page_number(gpa)).hfn = hfn
+
+    # ------------------------------------------------------------------
+    # Hardware-facing translation
+    # ------------------------------------------------------------------
+    def translate(self, gpa: int, access: MemAccess) -> int:
+        """GPA -> HPA, enforcing permissions.
+
+        Raises :class:`EptViolationSignal` on a disallowed access.
+        """
+        entry = self._entry(page_number(gpa))
+        if not entry.allows(access):
+            self.violations += 1
+            raise EptViolationSignal(gpa, access)
+        return (entry.hfn << PAGE_SHIFT) | page_offset(gpa)
+
+    def translate_nofault(self, gpa: int) -> int:
+        """Permission-free translation for hypervisor emulation paths."""
+        entry = self._entry(page_number(gpa))
+        return (entry.hfn << PAGE_SHIFT) | page_offset(gpa)

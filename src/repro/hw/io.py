@@ -1,0 +1,152 @@
+"""Port-IO bus and platform devices.
+
+Guest IO goes through ``VCPU.guest_io`` which traps to the hypervisor;
+the hypervisor routes the access here.  Devices complete asynchronous
+work through the event engine and signal completion with external
+interrupts, so IO-heavy guests produce the ``IO_INSTRUCTION`` and
+``EXTERNAL_INTERRUPT`` exit mix Fig 7 measures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.hw.vmcs import VECTOR_DISK, VECTOR_NET
+from repro.sim.engine import Engine
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.cpu import VCPU
+    from repro.hw.machine import Machine
+
+# Port assignments for the simulated platform.
+PORT_CONSOLE = 0x3F8
+PORT_DISK_CMD = 0x1F0
+PORT_DISK_DATA = 0x1F4
+PORT_NET_CMD = 0xC000
+
+
+class Device:
+    """Base class: a device owns a set of ports."""
+
+    name = "device"
+
+    def ports(self) -> Dict[int, None]:
+        raise NotImplementedError
+
+    def io(self, vcpu: "VCPU", port: int, direction: str, value: int) -> int:
+        raise NotImplementedError
+
+
+class ConsoleDevice(Device):
+    """Write-only serial console; collects guest output for tests."""
+
+    name = "console"
+
+    def __init__(self) -> None:
+        self.output: list = []
+        self.bytes_written = 0
+
+    def ports(self) -> Dict[int, None]:
+        return {PORT_CONSOLE: None}
+
+    def io(self, vcpu: "VCPU", port: int, direction: str, value: int) -> int:
+        if direction == "out":
+            self.output.append(value & 0xFF)
+            self.bytes_written += 1
+            return 0
+        return 0
+
+    def text(self) -> str:
+        return bytes(b for b in self.output).decode("ascii", errors="replace")
+
+
+class DiskDevice(Device):
+    """Block device with asynchronous completion interrupts."""
+
+    name = "disk"
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+        self.blocks_read = 0
+        self.blocks_written = 0
+        self._inflight = 0
+
+    def ports(self) -> Dict[int, None]:
+        return {PORT_DISK_CMD: None, PORT_DISK_DATA: None}
+
+    def io(self, vcpu: "VCPU", port: int, direction: str, value: int) -> int:
+        if port == PORT_DISK_CMD and direction == "out":
+            # value encodes op: 1 = read block, 2 = write block.
+            if value == 1:
+                self.blocks_read += 1
+            else:
+                self.blocks_written += 1
+            self._submit(vcpu)
+            return 0
+        if port == PORT_DISK_DATA and direction == "in":
+            return 0xD15C
+        return 0
+
+    def _submit(self, vcpu: "VCPU") -> None:
+        """Schedule the completion interrupt after the media latency."""
+        self._inflight += 1
+        latency = self.machine.rng.jitter_ns(
+            "disk-latency", self.machine.costs.disk_block_ns, 0.15
+        )
+        self.machine.engine.schedule(
+            latency, self._complete, vcpu, label="disk-completion"
+        )
+
+    def _complete(self, vcpu: "VCPU") -> None:
+        self._inflight -= 1
+        vcpu.pending_interrupts.append(VECTOR_DISK)
+
+
+class NetworkDevice(Device):
+    """NIC used by the HTTP-server workload and the RHC channel."""
+
+    name = "net"
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+        self.packets_sent = 0
+        self.packets_received = 0
+        self._rx_handler: Optional[Callable[[], None]] = None
+
+    def ports(self) -> Dict[int, None]:
+        return {PORT_NET_CMD: None}
+
+    def io(self, vcpu: "VCPU", port: int, direction: str, value: int) -> int:
+        if direction == "out":
+            self.packets_sent += 1
+        return 0
+
+    def inject_packet(self, vcpu: "VCPU") -> None:
+        """External traffic arrival: raise the NIC interrupt."""
+        self.packets_received += 1
+        vcpu.pending_interrupts.append(VECTOR_NET)
+
+
+class IoBus:
+    """Routes port accesses to devices (hypervisor emulation path)."""
+
+    def __init__(self) -> None:
+        self._port_map: Dict[int, Device] = {}
+        self.devices: Dict[str, Device] = {}
+
+    def attach(self, device: Device) -> None:
+        if device.name in self.devices:
+            raise SimulationError(f"duplicate device {device.name!r}")
+        self.devices[device.name] = device
+        for port in device.ports():
+            if port in self._port_map:
+                raise SimulationError(f"port {port:#x} already claimed")
+            self._port_map[port] = device
+
+    def access(self, vcpu: "VCPU", port: int, direction: str, value: int) -> int:
+        device = self._port_map.get(port)
+        if device is None:
+            # Unclaimed port: reads float high, writes are dropped.
+            return 0xFFFFFFFF if direction == "in" else 0
+        return device.io(vcpu, port, direction, value)

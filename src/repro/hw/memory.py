@@ -1,0 +1,123 @@
+"""Byte-addressable physical memory backed by sparse 4 KiB frames.
+
+This single store plays the role of host physical memory; guest
+physical frames are mapped onto it by the EPT (identity-mapped by the
+hypervisor at VM creation, like KVM does for a simple memslot layout).
+All guest kernel data structures — task structs, the TSS, page
+directories — live here as real bytes, so both traditional VMI and the
+rootkits that defeat it operate on genuine memory contents.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict
+
+from repro.errors import SimulationError
+
+PAGE_SIZE = 4096
+PAGE_SHIFT = 12
+
+
+def page_number(addr: int) -> int:
+    """Frame number containing ``addr``."""
+    return addr >> PAGE_SHIFT
+
+
+def page_offset(addr: int) -> int:
+    """Offset of ``addr`` within its frame."""
+    return addr & (PAGE_SIZE - 1)
+
+
+def page_base(addr: int) -> int:
+    """Base address of the frame containing ``addr``."""
+    return addr & ~(PAGE_SIZE - 1)
+
+
+class PhysicalMemory:
+    """Sparse physical memory; frames materialize on first touch."""
+
+    def __init__(self, size_bytes: int) -> None:
+        if size_bytes <= 0 or size_bytes % PAGE_SIZE:
+            raise SimulationError("memory size must be a positive page multiple")
+        self.size_bytes = size_bytes
+        self.num_frames = size_bytes // PAGE_SIZE
+        self._frames: Dict[int, bytearray] = {}
+
+    # ------------------------------------------------------------------
+    # Frame management
+    # ------------------------------------------------------------------
+    def frame(self, pfn: int) -> bytearray:
+        """Return (allocating if needed) the backing store for ``pfn``."""
+        if pfn < 0 or pfn >= self.num_frames:
+            raise SimulationError(
+                f"physical frame {pfn:#x} outside RAM "
+                f"({self.num_frames:#x} frames)"
+            )
+        fr = self._frames.get(pfn)
+        if fr is None:
+            fr = bytearray(PAGE_SIZE)
+            self._frames[pfn] = fr
+        return fr
+
+    @property
+    def resident_frames(self) -> int:
+        """Number of frames actually materialized."""
+        return len(self._frames)
+
+    # ------------------------------------------------------------------
+    # Raw byte access (physical addresses)
+    # ------------------------------------------------------------------
+    def read_bytes(self, addr: int, length: int) -> bytes:
+        out = bytearray()
+        remaining = length
+        cursor = addr
+        while remaining > 0:
+            fr = self.frame(page_number(cursor))
+            off = page_offset(cursor)
+            chunk = min(remaining, PAGE_SIZE - off)
+            out += fr[off : off + chunk]
+            cursor += chunk
+            remaining -= chunk
+        return bytes(out)
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        remaining = len(data)
+        cursor = addr
+        src = 0
+        while remaining > 0:
+            fr = self.frame(page_number(cursor))
+            off = page_offset(cursor)
+            chunk = min(remaining, PAGE_SIZE - off)
+            fr[off : off + chunk] = data[src : src + chunk]
+            cursor += chunk
+            src += chunk
+            remaining -= chunk
+
+    # ------------------------------------------------------------------
+    # Word helpers (little-endian, like x86)
+    # ------------------------------------------------------------------
+    def read_u64(self, addr: int) -> int:
+        return struct.unpack("<Q", self.read_bytes(addr, 8))[0]
+
+    def write_u64(self, addr: int, value: int) -> None:
+        self.write_bytes(addr, struct.pack("<Q", value & 0xFFFFFFFFFFFFFFFF))
+
+    def read_u32(self, addr: int) -> int:
+        return struct.unpack("<I", self.read_bytes(addr, 4))[0]
+
+    def write_u32(self, addr: int, value: int) -> None:
+        self.write_bytes(addr, struct.pack("<I", value & 0xFFFFFFFF))
+
+    def read_cstring(self, addr: int, max_len: int = 256) -> str:
+        """Read a NUL-terminated ASCII string."""
+        raw = self.read_bytes(addr, max_len)
+        end = raw.find(b"\x00")
+        if end < 0:
+            end = max_len
+        return raw[:end].decode("ascii", errors="replace")
+
+    def write_cstring(self, addr: int, text: str, field_len: int) -> None:
+        """Write ``text`` NUL-padded into a fixed-size field."""
+        encoded = text.encode("ascii", errors="replace")[: field_len - 1]
+        self.write_bytes(addr, encoded + b"\x00" * (field_len - len(encoded)))

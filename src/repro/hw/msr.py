@@ -1,0 +1,49 @@
+"""Model-Specific Registers.
+
+Only the SYSENTER family matters to HyperTap's fast-system-call
+interception (Fig 3E): the guest kernel programs the syscall entry
+point into ``IA32_SYSENTER_EIP`` with a ``WRMSR`` instruction, which is
+privileged and — in guest mode — traps to the hypervisor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import SimulationError
+
+#: MSR indices (values match the real architecture).
+IA32_SYSENTER_CS = 0x174
+IA32_SYSENTER_ESP = 0x175
+IA32_SYSENTER_EIP = 0x176
+IA32_LSTAR = 0xC0000082  # SYSCALL target on AMD64
+IA32_TSC = 0x10
+
+KNOWN_MSRS = frozenset(
+    {IA32_SYSENTER_CS, IA32_SYSENTER_ESP, IA32_SYSENTER_EIP, IA32_LSTAR, IA32_TSC}
+)
+
+
+class MsrFile:
+    """MSR storage for one vCPU.
+
+    Writes must come through :meth:`VCPU.guest_wrmsr` so the WRMSR trap
+    fires; direct host-side mutation is available to the hypervisor via
+    :meth:`host_write` (e.g. during VM reset).
+    """
+
+    def __init__(self) -> None:
+        self._values: Dict[int, int] = {msr: 0 for msr in KNOWN_MSRS}
+
+    def read(self, index: int) -> int:
+        if index not in self._values:
+            raise SimulationError(f"RDMSR of unknown MSR {index:#x}")
+        return self._values[index]
+
+    def host_write(self, index: int, value: int) -> None:
+        if index not in self._values:
+            raise SimulationError(f"WRMSR of unknown MSR {index:#x}")
+        self._values[index] = int(value) & 0xFFFFFFFFFFFFFFFF
+
+    def known(self, index: int) -> bool:
+        return index in self._values

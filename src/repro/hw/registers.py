@@ -1,0 +1,78 @@
+"""Per-vCPU architectural register file.
+
+The fields the paper's invariants rest on are here: ``CR3`` (Page
+Directory Base Register), ``TR`` (Task Register, pointing at the TSS),
+and ``RSP``.  General-purpose registers carry system-call numbers and
+parameters, exactly as the interception algorithms of Fig 3 read them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.hw.exits import GuestStateSnapshot
+
+GPR_NAMES = (
+    "rax",
+    "rbx",
+    "rcx",
+    "rdx",
+    "rsi",
+    "rdi",
+    "rbp",
+    "r8",
+    "r9",
+    "r10",
+    "r11",
+    "r12",
+    "r13",
+    "r14",
+    "r15",
+)
+
+
+@dataclass
+class RegisterFile:
+    """Architectural registers of one virtual CPU."""
+
+    cr0: int = 0x8005003B  # PE|PG etc.; value is cosmetic
+    cr3: int = 0
+    cr4: int = 0x000006F8
+    #: Task register: base linear address of the current TSS.
+    tr_base: int = 0
+    tr_selector: int = 0
+    rsp: int = 0
+    rip: int = 0
+    #: Current privilege level (ring); 0 = kernel, 3 = user.
+    cpl: int = 0
+    gprs: Dict[str, int] = field(
+        default_factory=lambda: {name: 0 for name in GPR_NAMES}
+    )
+
+    def write_gpr(self, name: str, value: int) -> None:
+        if name not in self.gprs:
+            raise KeyError(f"unknown register {name!r}")
+        self.gprs[name] = int(value) & 0xFFFFFFFFFFFFFFFF
+
+    def read_gpr(self, name: str) -> int:
+        if name not in self.gprs:
+            raise KeyError(f"unknown register {name!r}")
+        return self.gprs[name]
+
+    def snapshot(self) -> GuestStateSnapshot:
+        """Immutable copy of the monitor-relevant state (exit-time save)."""
+        g = self.gprs
+        return GuestStateSnapshot(
+            cr3=self.cr3,
+            tr_base=self.tr_base,
+            rsp=self.rsp,
+            rip=self.rip,
+            rax=g["rax"],
+            rbx=g["rbx"],
+            rcx=g["rcx"],
+            rdx=g["rdx"],
+            rsi=g["rsi"],
+            rdi=g["rdi"],
+            cpl=self.cpl,
+        )

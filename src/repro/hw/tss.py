@@ -1,0 +1,46 @@
+"""Task-State Segment.
+
+The x86 architecture requires TR to point at the running task's TSS and
+loads the ring-0 stack pointer from ``TSS.RSP0`` on each user-to-kernel
+transition.  The paper's thread-switch interception (Fig 3B) rests on
+two facts modelled here:
+
+* the TSS lives in ordinary guest memory, so writes to it can be
+  trapped by write-protecting its frame in the EPT, and
+* ``TSS.RSP0`` is unique per thread (it is the top of that thread's
+  kernel stack), so its value identifies the scheduled-in thread.
+"""
+
+from __future__ import annotations
+
+from repro.hw.memory import PhysicalMemory
+
+#: Offset of the RSP0 field inside the 64-bit TSS (matches hardware).
+RSP0_OFFSET = 4
+#: Size of the 64-bit TSS in bytes (without IO bitmap).
+TSS_SIZE = 104
+
+
+class TssView:
+    """Typed accessor over a TSS stored at a guest-physical address.
+
+    Host-side components (the hypervisor and HyperTap) use this to read
+    the structure; the *guest* writes it through normal memory writes so
+    that EPT protection applies.
+    """
+
+    def __init__(self, memory: PhysicalMemory, base_gpa: int) -> None:
+        self.memory = memory
+        self.base_gpa = base_gpa
+
+    @property
+    def rsp0_gpa(self) -> int:
+        """Guest-physical address of the RSP0 field."""
+        return self.base_gpa + RSP0_OFFSET
+
+    def read_rsp0(self) -> int:
+        return self.memory.read_u64(self.rsp0_gpa)
+
+    def host_write_rsp0(self, value: int) -> None:
+        """Hypervisor-side write (EPT is not consulted)."""
+        self.memory.write_u64(self.rsp0_gpa, value)

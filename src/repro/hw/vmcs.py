@@ -1,0 +1,54 @@
+"""Virtual Machine Control Structure (per vCPU).
+
+The VMCS holds the *execution controls* that decide which guest
+operations trap (HyperTap's logging phase turns these on) and records
+the most recent exit.  Field names follow Intel's VT-x nomenclature
+loosely: ``cr3_load_exiting``, ``exception_bitmap`` and so on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+from repro.hw.exits import VMExit
+
+#: Interrupt/exception vectors used by the simulated platform.
+VECTOR_SOFTWARE_INT_LINUX = 0x80
+VECTOR_SOFTWARE_INT_WINDOWS = 0x2E
+VECTOR_TIMER = 0xEF
+VECTOR_DISK = 0x2C
+VECTOR_NET = 0x2D
+VECTOR_IPI_RESCHED = 0xFD
+
+
+@dataclass
+class ExecutionControls:
+    """Which guest operations cause VM Exits.
+
+    Defaults mirror a stock KVM configuration with EPT: CR3 loads do
+    *not* exit (EPT makes shadow paging unnecessary), external
+    interrupts and IO do, and no software interrupts are in the
+    exception bitmap.  HyperTap selectively enables the rest.
+    """
+
+    cr3_load_exiting: bool = False
+    exception_bitmap: Set[int] = field(default_factory=set)
+    msr_write_exiting: bool = True
+    io_exiting: bool = True
+    external_interrupt_exiting: bool = True
+    hlt_exiting: bool = True
+    apic_access_exiting: bool = True
+
+
+@dataclass
+class Vmcs:
+    """Control structure for one vCPU."""
+
+    controls: ExecutionControls = field(default_factory=ExecutionControls)
+    last_exit: Optional[VMExit] = None
+    exit_count: int = 0
+
+    def record_exit(self, exit_event: VMExit) -> None:
+        self.last_exit = exit_event
+        self.exit_count += 1

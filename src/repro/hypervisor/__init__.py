@@ -1,0 +1,27 @@
+"""Hypervisor layer: KVM-like exit handling plus HyperTap's plumbing.
+
+Mirrors Fig 2 of the paper:
+
+* :class:`KvmHypervisor` — the exit dispatch loop (trap-and-emulate),
+* :class:`EventForwarder` — the <100-line in-KVM patch that forwards VM
+  Exit events and guest hardware state,
+* :class:`EventMultiplexer` — a host kernel module that buffers events
+  and fans them out to per-VM auditors and the Remote Health Checker,
+* :class:`AuditingContainer` — LXC-like isolation for auditors,
+* :class:`RemoteHealthChecker` — an external machine watching the
+  liveness of the monitoring pipeline itself.
+"""
+
+from repro.hypervisor.kvm import KvmHypervisor
+from repro.hypervisor.event_forwarder import EventForwarder
+from repro.hypervisor.event_multiplexer import EventMultiplexer
+from repro.hypervisor.containers import AuditingContainer
+from repro.hypervisor.rhc import RemoteHealthChecker
+
+__all__ = [
+    "KvmHypervisor",
+    "EventForwarder",
+    "EventMultiplexer",
+    "AuditingContainer",
+    "RemoteHealthChecker",
+]

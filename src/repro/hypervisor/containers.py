@@ -1,0 +1,53 @@
+"""Auditing containers: LXC-like isolation for auditors.
+
+The paper runs each VM's auditors as user processes inside containers
+on the host, arguing three benefits: failure isolation between VMs'
+auditors (and from the host), cheap event delivery, and easy
+deployment.  Here the container boundary is a fault-containment
+wrapper: an auditor that throws is quarantined and its events dropped,
+while the EM and every other container keep running.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.errors import AuditorCrash
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.auditor import Auditor
+    from repro.core.events import GuestEvent
+
+
+class AuditingContainer:
+    """One container hosting the auditors of one VM."""
+
+    def __init__(self, vm_id: str) -> None:
+        self.vm_id = vm_id
+        self.auditors: List["Auditor"] = []
+        self.failed = False
+        self.failure_reason: Optional[str] = None
+        self.delivered = 0
+        self.dropped = 0
+
+    def add_auditor(self, auditor: "Auditor") -> None:
+        self.auditors.append(auditor)
+
+    def deliver(self, auditor: "Auditor", event: "GuestEvent") -> None:
+        """Deliver one event; a crash quarantines the whole container
+        (its process group dies) without touching the EM."""
+        if self.failed:
+            self.dropped += 1
+            return
+        try:
+            auditor.on_event(event)
+            self.delivered += 1
+        except Exception as exc:  # noqa: BLE001 - the container boundary
+            self.failed = True
+            self.failure_reason = f"{type(exc).__name__}: {exc}"
+            self.dropped += 1
+
+    def raise_if_failed(self) -> None:
+        """Test helper: surface a container crash as an exception."""
+        if self.failed:
+            raise AuditorCrash(self.failure_reason or "container failed")

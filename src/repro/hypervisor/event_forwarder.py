@@ -1,0 +1,56 @@
+"""Event Forwarder (EF): the in-KVM half of the unified logging channel.
+
+The EF forwards VM Exit events plus the saved guest hardware state to
+the Event Multiplexer.  Forwarding is non-blocking by default — the
+vCPU pays a small enqueue cost and resumes — but subscribed *blocking*
+auditors make the logging phase synchronous for the events they watch
+(the paper's "an auditor may pause its target VM during analysis").
+
+Cost accounting implements the ablation of DESIGN.md §5: in
+``unified`` mode a shared event is paid for once regardless of how many
+monitors consume it; in ``separate`` mode (modelling one trap pipeline
+per monitor) every interested monitor charges its own exit-sized cost.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.hw.cpu import VCPU
+from repro.hw.exits import VMExit
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hypervisor.event_multiplexer import EventMultiplexer
+
+
+class EventForwarder:
+    """Forwards relevant exits from the hypervisor to the EM."""
+
+    def __init__(self, multiplexer: "EventMultiplexer", mode: str = "unified"):
+        if mode not in ("unified", "separate"):
+            raise ConfigurationError(f"unknown forwarding mode {mode!r}")
+        self.multiplexer = multiplexer
+        self.mode = mode
+        self.forwarded = 0
+        self.suppressed = 0
+
+    def on_vm_exit(self, vm_id: str, vcpu: VCPU, exit_event: VMExit) -> None:
+        costs = vcpu.machine.costs
+        interested = self.multiplexer.interest_count(vm_id, exit_event.reason)
+        if interested == 0:
+            self.suppressed += 1
+            return
+        if self.mode == "unified":
+            vcpu.charge(costs.ef_forward_ns + costs.em_enqueue_ns)
+        else:
+            # Separate pipelines: each monitor traps the event itself,
+            # paying a full exit roundtrip + forward per monitor beyond
+            # the first (whose exit already happened).
+            extra = interested - 1
+            vcpu.charge(
+                interested * (costs.ef_forward_ns + costs.em_enqueue_ns)
+                + extra * costs.vm_exit_roundtrip_ns
+            )
+        self.forwarded += 1
+        self.multiplexer.submit(vm_id, vcpu, exit_event)

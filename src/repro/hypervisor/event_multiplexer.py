@@ -1,0 +1,85 @@
+"""Event Multiplexer (EM): buffering and fan-out of logged events.
+
+The EM is a host-side module independent of the hypervisor.  It:
+
+* keeps a bounded ring buffer of recent events per VM (diagnostics and
+  the paper's "buffers input events from the EF"),
+* hands each event to the VM's registered consumers (HyperTap unified
+  channels, which drive interception algorithms and auditors),
+* samples every Nth event to the Remote Health Checker so an external
+  machine can detect death of the monitoring pipeline itself.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.hw.cpu import VCPU
+from repro.hw.exits import ExitReason, VMExit
+from repro.hypervisor.rhc import RemoteHealthChecker
+
+#: A consumer declares which exit reasons it wants, then receives
+#: (vcpu, exit) pairs for those reasons.
+Consumer = Callable[[VCPU, VMExit], None]
+
+
+class EventMultiplexer:
+    """Host-wide event fan-out (one instance per physical host)."""
+
+    def __init__(
+        self,
+        ring_capacity: int = 4096,
+        rhc: Optional[RemoteHealthChecker] = None,
+        rhc_sample_every: int = 64,
+    ) -> None:
+        self.ring_capacity = ring_capacity
+        self.rhc = rhc
+        self.rhc_sample_every = max(1, rhc_sample_every)
+        self._rings: Dict[str, Deque[VMExit]] = {}
+        self._consumers: Dict[str, List[Tuple[frozenset, Consumer]]] = {}
+        self.delivered = 0
+        self.submitted = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_consumer(
+        self, vm_id: str, reasons: frozenset, consumer: Consumer
+    ) -> None:
+        """Attach a consumer for ``reasons`` on ``vm_id``'s events."""
+        self._consumers.setdefault(vm_id, []).append((reasons, consumer))
+
+    def unregister_vm(self, vm_id: str) -> None:
+        self._consumers.pop(vm_id, None)
+        self._rings.pop(vm_id, None)
+
+    def interest_count(self, vm_id: str, reason: ExitReason) -> int:
+        """How many consumers want this exit reason (EF filter)."""
+        return sum(
+            1
+            for reasons, _ in self._consumers.get(vm_id, [])
+            if reason in reasons
+        )
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def submit(self, vm_id: str, vcpu: VCPU, exit_event: VMExit) -> None:
+        self.submitted += 1
+        ring = self._rings.get(vm_id)
+        if ring is None:
+            ring = deque(maxlen=self.ring_capacity)
+            self._rings[vm_id] = ring
+        ring.append(exit_event)
+
+        if self.rhc is not None and self.submitted % self.rhc_sample_every == 0:
+            self.rhc.heartbeat(exit_event.time_ns)
+
+        for reasons, consumer in self._consumers.get(vm_id, []):
+            if exit_event.reason in reasons:
+                consumer(vcpu, exit_event)
+                self.delivered += 1
+
+    def recent_events(self, vm_id: str) -> List[VMExit]:
+        return list(self._rings.get(vm_id, ()))

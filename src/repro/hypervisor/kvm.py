@@ -1,0 +1,68 @@
+"""KVM-like hypervisor: the VM Exit dispatch loop.
+
+Each trapped guest operation lands in :meth:`KvmHypervisor.handle_exit`,
+which (i) lets the Event Forwarder see the exit — that is HyperTap's
+entire intrusion into the hypervisor — and (ii) emulates the operation:
+IO goes to the device bus, monitor-induced EPT violations are completed
+transparently, everything else is applied as the guest intended.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional
+
+from repro.hw.cpu import VCPU
+from repro.hw.exits import ExitAction, ExitReason, VMExit
+from repro.hw.machine import Machine
+from repro.hypervisor.event_forwarder import EventForwarder
+
+
+class KvmHypervisor:
+    """Hypervisor instance bound to one machine/VM."""
+
+    def __init__(self, machine: Machine, vm_id: str = "vm0") -> None:
+        self.machine = machine
+        self.vm_id = vm_id
+        self.event_forwarder: Optional[EventForwarder] = None
+        self.exit_counts: Counter = Counter()
+        self.handled_exits = 0
+        machine.set_exit_dispatcher(self.handle_exit)
+
+    def attach_forwarder(self, forwarder: EventForwarder) -> None:
+        """Install the HyperTap Event Forwarder patch."""
+        self.event_forwarder = forwarder
+
+    def detach_forwarder(self) -> None:
+        self.event_forwarder = None
+
+    # ------------------------------------------------------------------
+    def handle_exit(self, vcpu: VCPU, exit_event: VMExit) -> ExitAction:
+        self.handled_exits += 1
+        self.exit_counts[exit_event.reason] += 1
+        vcpu.charge(self.machine.costs.exit_emulation_ns)
+
+        # HyperTap hook: forward before the operation is emulated, so
+        # auditors see events *before* their effects (active monitoring
+        # can veto by pausing the VM).
+        if self.event_forwarder is not None:
+            self.event_forwarder.on_vm_exit(self.vm_id, vcpu, exit_event)
+
+        reason = exit_event.reason
+        if reason is ExitReason.IO_INSTRUCTION:
+            result = self.machine.io_bus.access(
+                vcpu,
+                exit_event.qual("port"),
+                exit_event.qual("direction"),
+                exit_event.qual("value", 0),
+            )
+            exit_event.qualification["result"] = result
+            return ExitAction.EMULATE
+        if reason is ExitReason.EPT_VIOLATION:
+            # Monitor-narrowed permissions: complete the access on the
+            # guest's behalf (write-and-continue emulation).
+            return ExitAction.EMULATE
+        if reason is ExitReason.EXTERNAL_INTERRUPT:
+            return ExitAction.REFLECT
+        # CR_ACCESS, WRMSR, EXCEPTION, HLT, APIC_ACCESS: apply as-is.
+        return ExitAction.EMULATE

@@ -1,0 +1,62 @@
+"""Remote Health Checker (RHC).
+
+Runs on a *separate machine* (Fig 2) and measures intervals between
+sampled events arriving from the EM.  Silence beyond the timeout means
+the monitoring pipeline itself — EF, EM, or the whole host — has died,
+closing the "who monitors the monitor" loop.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sim.clock import SECOND
+from repro.sim.engine import Engine
+
+
+class RemoteHealthChecker:
+    """Heartbeat watcher for the monitoring pipeline."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        timeout_ns: int = 5 * SECOND,
+        check_period_ns: int = 1 * SECOND,
+    ) -> None:
+        self.engine = engine
+        self.timeout_ns = timeout_ns
+        self.check_period_ns = check_period_ns
+        self.last_heartbeat_ns: Optional[int] = None
+        self.heartbeats = 0
+        self.alerts: List[int] = []
+        self._started = False
+        self._alert_raised = False
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.last_heartbeat_ns = self.engine.clock.now
+        self.engine.schedule(self.check_period_ns, self._check, label="rhc-check")
+
+    def heartbeat(self, t_ns: int) -> None:
+        self.heartbeats += 1
+        self.last_heartbeat_ns = t_ns
+        self._alert_raised = False
+
+    def _check(self) -> None:
+        if not self._started:
+            return
+        now = self.engine.clock.now
+        last = self.last_heartbeat_ns if self.last_heartbeat_ns is not None else 0
+        if now - last > self.timeout_ns and not self._alert_raised:
+            self.alerts.append(now)
+            self._alert_raised = True
+        self.engine.schedule(self.check_period_ns, self._check, label="rhc-check")
+
+    def stop(self) -> None:
+        self._started = False
+
+    @property
+    def alarmed(self) -> bool:
+        return bool(self.alerts)

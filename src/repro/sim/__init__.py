@@ -1,0 +1,22 @@
+"""Deterministic discrete-event simulation kernel.
+
+Every other subsystem (hardware model, guest kernel, hypervisor,
+HyperTap, fault injector) is driven by this engine.  Time is integer
+nanoseconds; event ordering is fully deterministic (events at the same
+timestamp fire in scheduling order), and all randomness flows through
+named, seeded streams so a campaign can be replayed bit-for-bit.
+"""
+
+from repro.sim.clock import VirtualClock, MICROSECOND, MILLISECOND, SECOND
+from repro.sim.engine import Engine, ScheduledEvent
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "VirtualClock",
+    "Engine",
+    "ScheduledEvent",
+    "RandomStreams",
+    "MICROSECOND",
+    "MILLISECOND",
+    "SECOND",
+]

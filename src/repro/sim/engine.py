@@ -1,0 +1,163 @@
+"""Heap-based discrete-event engine with stable ordering.
+
+The engine owns the :class:`~repro.sim.clock.VirtualClock` and a priority
+queue of callbacks.  Two events scheduled for the same instant fire in
+the order they were scheduled (a monotonically increasing sequence number
+breaks ties), which makes multi-vCPU interleavings reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.clock import VirtualClock
+
+
+class ScheduledEvent:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    __slots__ = ("when", "seq", "callback", "args", "cancelled", "label")
+
+    def __init__(
+        self,
+        when: int,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+        label: str,
+    ) -> None:
+        self.when = when
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.when, self.seq) < (other.when, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"ScheduledEvent({self.label!r} @ {self.when}ns, {state})"
+
+
+class Engine:
+    """Deterministic discrete-event loop."""
+
+    def __init__(self, clock: Optional[VirtualClock] = None) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        self._queue: List[ScheduledEvent] = []
+        self._seq = 0
+        self._events_fired = 0
+        self._running = False
+        self._stop_requested = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(
+        self,
+        t_ns: int,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` at absolute time ``t_ns``."""
+        if t_ns < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule event in the past "
+                f"({t_ns} < now {self.clock.now})"
+            )
+        event = ScheduledEvent(int(t_ns), self._seq, callback, args, label)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule(
+        self,
+        delay_ns: int,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` after a relative delay."""
+        if delay_ns < 0:
+            raise SimulationError(f"negative delay: {delay_ns}")
+        return self.schedule_at(
+            self.clock.now + int(delay_ns), callback, *args, label=label
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    @property
+    def events_fired(self) -> int:
+        """Total number of callbacks executed so far."""
+        return self._events_fired
+
+    @property
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def stop(self) -> None:
+        """Ask a running loop to stop after the current event."""
+        self._stop_requested = True
+
+    def step(self) -> bool:
+        """Fire the single next event.
+
+        Returns ``False`` when the queue is exhausted.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.when)
+            self._events_fired += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run_until(self, t_ns: int, max_events: Optional[int] = None) -> int:
+        """Run events up to and including time ``t_ns``.
+
+        Returns the number of events fired.  ``max_events`` is a safety
+        valve against runaway loops in experiment harnesses.
+        """
+        fired = 0
+        self._stop_requested = False
+        while self._queue and not self._stop_requested:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.when > t_ns:
+                break
+            self.step()
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                break
+        # Always land exactly on the requested horizon so that repeated
+        # run_until calls tile time without gaps.
+        if self.clock.now < t_ns and not self._stop_requested:
+            self.clock.advance_to(t_ns)
+        self._stop_requested = False
+        return fired
+
+    def run_for(self, duration_ns: int, max_events: Optional[int] = None) -> int:
+        """Run for a relative duration from the current time."""
+        return self.run_until(self.clock.now + duration_ns, max_events)
+
+    def drain(self, max_events: int = 1_000_000) -> int:
+        """Run until the queue is empty (bounded by ``max_events``)."""
+        fired = 0
+        while fired < max_events and self.step():
+            fired += 1
+        return fired

@@ -1,0 +1,45 @@
+"""Named, seeded random streams.
+
+Each consumer (scheduler jitter, fault activation, attack timing, device
+latency) draws from its own stream derived from a campaign seed.  Using
+independent streams means adding a new consumer never perturbs the
+random sequence seen by existing ones — campaigns stay comparable across
+code versions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+class RandomStreams:
+    """Factory of independent :class:`random.Random` streams."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use."""
+        if name not in self._streams:
+            digest = hashlib.sha256(
+                f"{self.seed}:{name}".encode("utf-8")
+            ).digest()
+            self._streams[name] = random.Random(
+                int.from_bytes(digest[:8], "big")
+            )
+        return self._streams[name]
+
+    def jitter_ns(self, name: str, base_ns: int, fraction: float) -> int:
+        """Return ``base_ns`` perturbed by up to ``+/- fraction``.
+
+        Useful for modelling scheduling and device-latency noise without
+        letting any duration go negative.
+        """
+        if base_ns <= 0 or fraction <= 0:
+            return max(0, int(base_ns))
+        rng = self.stream(name)
+        factor = 1.0 + rng.uniform(-fraction, fraction)
+        return max(1, int(base_ns * factor))

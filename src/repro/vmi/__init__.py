@@ -1,0 +1,13 @@
+"""Traditional Virtual Machine Introspection (the baseline HyperTap
+improves on).
+
+This is the XenAccess/VMWatcher-style approach: decode guest memory
+using *OS invariants* (kernel symbols + structure layouts) and walk the
+kernel's own bookkeeping.  It is out-of-VM — the guest cannot touch the
+introspection code — but its *input* is guest-writable state, so DKOM
+rootkits that rewire the task list fool it (Section IV-B, [2]).
+"""
+
+from repro.vmi.introspection import KernelSymbolMap, OsInvariantView
+
+__all__ = ["KernelSymbolMap", "OsInvariantView"]

@@ -1,0 +1,47 @@
+"""Guest workloads used by the paper's experiments.
+
+§VIII-A runs fault injection under four workloads — Tower of Hanoi,
+``make -j1``, ``make -j2`` (libxml compilation), and an HTTP server
+driven by ApacheBench — and §IX measures overhead with UnixBench-style
+micro-benchmarks.  All are implemented as guest programs against the
+public program API.
+"""
+
+from repro.workloads.hanoi import make_hanoi
+from repro.workloads.make import make_build
+from repro.workloads.httpserver import ApacheBenchDriver, make_http_server
+from repro.workloads.common import make_sshd_probe, SshProbe, start_workload
+from repro.workloads.unixbench import (
+    MICROBENCHES,
+    make_cpu_bench,
+    make_ctx_switch_bench,
+    make_disk_bench,
+    make_execl_bench,
+    make_file_copy_bench,
+    make_pipe_bench,
+    make_process_creation_bench,
+    make_shell_bench,
+    make_syscall_bench,
+    run_microbench,
+)
+
+__all__ = [
+    "make_hanoi",
+    "make_build",
+    "make_http_server",
+    "ApacheBenchDriver",
+    "make_sshd_probe",
+    "SshProbe",
+    "start_workload",
+    "MICROBENCHES",
+    "make_syscall_bench",
+    "make_ctx_switch_bench",
+    "make_cpu_bench",
+    "make_disk_bench",
+    "make_file_copy_bench",
+    "make_pipe_bench",
+    "make_process_creation_bench",
+    "make_shell_bench",
+    "make_execl_bench",
+    "run_microbench",
+]

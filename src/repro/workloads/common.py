@@ -1,0 +1,136 @@
+"""Shared workload plumbing: the SSH probe and workload starters.
+
+The SSH probe reproduces the paper's external liveness check: an sshd
+process inside the guest answers probe packets from an external
+machine.  §VIII-A3 found that this very probe can both (a) stay alive
+through a partial hang — making heartbeat detection report a hung VM
+as healthy — and (b) die while the kernel is healthy, producing
+GOSHD's handful of "Not Detected" classifications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.guest.kernel import GuestKernel
+from repro.guest.programs import GuestContext
+from repro.guest.task import Task
+from repro.sim.clock import MILLISECOND, SECOND
+from repro.workloads.hanoi import make_hanoi
+from repro.workloads.httpserver import ApacheBenchDriver
+from repro.workloads.make import make_build
+
+
+def make_sshd_probe(stats: Dict[str, int]):
+    """The in-guest responder half of the probe."""
+    stats.setdefault("responses", 0)
+
+    def _program(ctx: GuestContext):
+        while True:
+            yield ctx.sys_socket_recv()
+            yield ctx.compute(150_000)  # crypto + command dispatch
+            yield ctx.sys_socket_send(128)
+            stats["responses"] += 1
+            yield ctx.sys_write(2, 80)  # auth.log line per connection
+
+    return _program
+
+
+class SshProbe:
+    """External machine: ping the guest's sshd, track responsiveness."""
+
+    def __init__(
+        self,
+        kernel: GuestKernel,
+        period_ns: int = 1 * SECOND,
+        dead_after_misses: int = 3,
+        pin_cpu: Optional[int] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.period_ns = period_ns
+        self.dead_after_misses = dead_after_misses
+        self.pin_cpu = pin_cpu
+        self.stats: Dict[str, int] = {"responses": 0}
+        self.probes_sent = 0
+        self._responses_at_last_check = 0
+        self.consecutive_misses = 0
+        self.task: Optional[Task] = None
+        self._running = False
+
+    def start(self) -> None:
+        self.task = self.kernel.spawn_process(
+            make_sshd_probe(self.stats),
+            "sshd",
+            uid=0,
+            exe="/usr/sbin/sshd",
+            pin_cpu=self.pin_cpu,
+        )
+        self._running = True
+        self.kernel.engine.schedule(self.period_ns, self._tick, label="ssh-probe")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        # Evaluate the previous probe before sending the next.
+        if self.probes_sent > 0:
+            if self.stats["responses"] > self._responses_at_last_check:
+                self.consecutive_misses = 0
+            else:
+                self.consecutive_misses += 1
+            self._responses_at_last_check = self.stats["responses"]
+        self.probes_sent += 1
+        self.kernel.deliver_packet(128, vcpu_index=0)
+        self.kernel.engine.schedule(self.period_ns, self._tick, label="ssh-probe")
+
+    @property
+    def reports_dead(self) -> bool:
+        return self.consecutive_misses >= self.dead_after_misses
+
+
+@dataclass
+class WorkloadHandle:
+    """What a started workload exposes to the harness."""
+
+    name: str
+    tasks: List[Task] = field(default_factory=list)
+    driver: Optional[ApacheBenchDriver] = None
+
+
+#: The paper's four fault-injection workloads.
+WORKLOAD_NAMES = ("hanoi", "make-j1", "make-j2", "http")
+
+
+def start_workload(kernel: GuestKernel, name: str) -> WorkloadHandle:
+    """Launch one of the §VIII-A workloads inside the guest."""
+    handle = WorkloadHandle(name=name)
+    if name == "hanoi":
+        handle.tasks.append(
+            kernel.spawn_process(
+                make_hanoi(), "hanoi", uid=1000, exe="/home/user/hanoi"
+            )
+        )
+    elif name == "make-j1":
+        handle.tasks.append(
+            kernel.spawn_process(
+                make_build(jobs=1), "make", uid=1000, exe="/usr/bin/make"
+            )
+        )
+    elif name == "make-j2":
+        handle.tasks.append(
+            kernel.spawn_process(
+                make_build(jobs=2), "make", uid=1000, exe="/usr/bin/make"
+            )
+        )
+    elif name == "http":
+        driver = ApacheBenchDriver(kernel, request_period_ns=20 * MILLISECOND)
+        driver.start(server_processes=2)
+        handle.driver = driver
+        if driver.server_task is not None:
+            handle.tasks.append(driver.server_task)
+    else:
+        raise ValueError(f"unknown workload {name!r}")
+    return handle

@@ -1,0 +1,59 @@
+"""Tower of Hanoi: the CPU-bound single-task workload.
+
+The solver is genuine (it computes the actual move sequence); each move
+costs simulated CPU time, and every 32 moves the program prints a
+progress line — the syscall mix a terminal Hanoi program has.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.guest.programs import GuestContext
+
+#: Simulated CPU cost per move.
+MOVE_COST_NS = 40_000
+
+
+def hanoi_moves(n: int, src: int = 0, dst: int = 2, via: int = 1
+                ) -> Iterator[Tuple[int, int]]:
+    """The classic recursion, yielded iteratively (explicit stack)."""
+    stack = [(n, src, dst, via, False)]
+    while stack:
+        disks, s, d, v, expanded = stack.pop()
+        if disks == 0:
+            continue
+        if disks == 1:
+            yield (s, d)
+            continue
+        if expanded:
+            yield (s, d)
+            continue
+        # post-order: solve n-1 to via, move largest, solve n-1 to dst
+        stack.append((disks - 1, v, d, s, False))
+        stack.append((disks, s, d, v, True))
+        stack.append((disks - 1, s, v, d, False))
+
+
+def make_hanoi(disks: int = 14, forever: bool = True):
+    """Program factory; 14 disks = 16383 moves per round (~0.7 s)."""
+
+    def _program(ctx: GuestContext):
+        while True:
+            moves = 0
+            batch = 0
+            for _src, _dst in hanoi_moves(disks):
+                moves += 1
+                batch += 1
+                if batch == 8:  # charge CPU in 8-move batches
+                    yield ctx.compute(MOVE_COST_NS * batch)
+                    batch = 0
+                if moves % 32 == 0:
+                    yield ctx.sys_write(1, 24)
+            if batch:
+                yield ctx.compute(MOVE_COST_NS * batch)
+            yield ctx.sys_write(1, 64)  # "solved in N moves"
+            if not forever:
+                yield ctx.exit(0)
+
+    return _program

@@ -1,0 +1,84 @@
+"""HTTP server workload + ApacheBench-style external load driver.
+
+The server is a guest process: it blocks in ``socket_recv``, then
+serves the request (CPU for parsing/templating, a disk read for the
+document, ``socket_send`` for the response).  The driver lives outside
+the VM (like ApacheBench on a separate machine): it injects request
+packets through the NIC at a configured rate and counts responses by
+watching the NIC's transmit counter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.guest.kernel import GuestKernel
+from repro.guest.programs import GuestContext
+from repro.guest.task import Task
+from repro.sim.clock import MILLISECOND
+
+
+def make_http_server(stats: Optional[dict] = None):
+    """Program factory; ``stats['served']`` counts completed requests."""
+    if stats is None:
+        stats = {}
+    stats.setdefault("served", 0)
+
+    def _program(ctx: GuestContext):
+        while True:
+            yield ctx.sys_socket_recv()
+            yield ctx.compute(400_000)  # parse request, build response
+            yield ctx.sys_disk_read(1)  # fetch the document
+            yield ctx.sys_socket_send(1460)
+            stats["served"] += 1
+
+    return _program
+
+
+class ApacheBenchDriver:
+    """Open-loop request generator on the 'external machine'."""
+
+    def __init__(
+        self,
+        kernel: GuestKernel,
+        request_period_ns: int = 20 * MILLISECOND,
+        target_vcpu: int = 0,
+    ) -> None:
+        self.kernel = kernel
+        self.request_period_ns = request_period_ns
+        self.target_vcpu = target_vcpu
+        self.requests_sent = 0
+        self.stats: dict = {"served": 0}
+        self.server_task: Optional[Task] = None
+        self._running = False
+
+    def start(self, server_processes: int = 2) -> None:
+        for i in range(server_processes):
+            task = self.kernel.spawn_process(
+                make_http_server(self.stats),
+                f"httpd/{i}",
+                uid=30,  # wwwrun
+                exe="/usr/sbin/httpd",
+            )
+            if self.server_task is None:
+                self.server_task = task
+        self._running = True
+        self.kernel.engine.schedule(
+            self.request_period_ns, self._tick, label="ab-request"
+        )
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.requests_sent += 1
+        self.kernel.deliver_packet(512, vcpu_index=self.target_vcpu)
+        self.kernel.engine.schedule(
+            self.request_period_ns, self._tick, label="ab-request"
+        )
+
+    @property
+    def responses(self) -> int:
+        return self.stats["served"]

@@ -1,0 +1,52 @@
+"""``make -jN``: parallel compilation of libxml.
+
+The parent process plays make: it keeps N compile jobs in flight, each
+job being a child process that opens a source file, reads it from
+disk, burns compiler CPU time, writes the object file, and exits.
+This produces the fork/exec + mixed disk/CPU profile of a real build.
+"""
+
+from __future__ import annotations
+
+from repro.guest.programs import GuestContext
+from repro.sim.clock import MILLISECOND
+
+#: libxml2 has on the order of a couple hundred translation units; a
+#: smaller default keeps campaign trials brisk while preserving shape.
+DEFAULT_UNITS = 40
+
+
+def _compile_unit(ctx: GuestContext):
+    """One translation unit: cc1 + as + collect2, abridged."""
+    fd = yield ctx.sys_open("/src/unit.c")
+    yield ctx.sys_disk_read(2)
+    yield ctx.sys_read(fd, 4096)
+    yield ctx.compute(3 * MILLISECOND)  # parse + optimize + codegen
+    yield ctx.sys_write(fd, 2048)
+    yield ctx.sys_disk_write(1)
+    yield ctx.sys_close(fd)
+    yield ctx.exit(0)
+
+
+def make_build(jobs: int = 1, units: int = DEFAULT_UNITS, forever: bool = True):
+    """Program factory for the make parent process."""
+
+    def _program(ctx: GuestContext):
+        while True:
+            remaining = units
+            in_flight = []
+            while remaining > 0 or in_flight:
+                while remaining > 0 and len(in_flight) < jobs:
+                    pid = yield ctx.sys_spawn(
+                        _compile_unit, "cc1", exe="/usr/bin/cc1"
+                    )
+                    in_flight.append(pid)
+                    remaining -= 1
+                if in_flight:
+                    pid = in_flight.pop(0)
+                    yield ctx.sys_waitpid(pid)
+            yield ctx.sys_write(1, 32)  # "make: done"
+            if not forever:
+                yield ctx.exit(0)
+
+    return _program

@@ -1,0 +1,219 @@
+"""UnixBench-style micro-benchmarks (the Fig 7 workload set).
+
+Each factory returns a guest program performing a fixed amount of work
+and exiting; :func:`run_microbench` measures the simulated wall time of
+that program under whatever monitoring configuration the testbed has.
+The set mirrors the categories on Fig 7's y-axis: system-call overhead,
+context switching (pipe-based ping-pong), CPU (Dhrystone/Whetstone
+stand-ins), file copy at several buffer sizes, pipe throughput, process
+creation, shell scripts, and execl.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.guest.kernel import GuestKernel
+from repro.guest.programs import GuestContext
+from repro.guest.task import TaskState
+from repro.sim.clock import MILLISECOND, SECOND
+
+
+# ----------------------------------------------------------------------
+# Program factories
+# ----------------------------------------------------------------------
+def make_syscall_bench(iterations: int = 2000):
+    """getpid in a tight loop (UnixBench "System Call Overhead")."""
+
+    def _program(ctx: GuestContext):
+        for _ in range(iterations):
+            yield ctx.sys_getpid()
+        yield ctx.exit(0)
+
+    return _program
+
+
+def make_ctx_switch_bench(iterations: int = 1000):
+    """Voluntary-yield ping-pong; pair two of these on one vCPU."""
+
+    def _program(ctx: GuestContext):
+        for _ in range(iterations):
+            yield ctx.sys_yield()
+        yield ctx.exit(0)
+
+    return _program
+
+
+def make_cpu_bench(chunks: int = 400, chunk_ns: int = 1 * MILLISECOND):
+    """Dhrystone-like: pure computation, almost no kernel entry."""
+
+    def _program(ctx: GuestContext):
+        for i in range(chunks):
+            yield ctx.compute(chunk_ns)
+            if i % 100 == 99:
+                yield ctx.sys_write(1, 16)  # progress line
+        yield ctx.exit(0)
+
+    return _program
+
+
+def make_disk_bench(iterations: int = 60):
+    """Raw block IO back-to-back (the Disk IO intensive bucket)."""
+
+    def _program(ctx: GuestContext):
+        for i in range(iterations):
+            if i % 2 == 0:
+                yield ctx.sys_disk_read(1)
+            else:
+                yield ctx.sys_disk_write(1)
+        yield ctx.exit(0)
+
+    return _program
+
+
+def make_file_copy_bench(buffer_bytes: int = 1024, iterations: int = 300):
+    """UnixBench File Copy (bufsize X): read+write per buffer, with a
+    block transfer every 4 buffers."""
+
+    def _program(ctx: GuestContext):
+        fd = yield ctx.sys_open("/tmp/src")
+        for i in range(iterations):
+            yield ctx.sys_read(fd, buffer_bytes)
+            yield ctx.sys_write(fd, buffer_bytes)
+            if i % 4 == 3:
+                yield ctx.sys_disk_write(1)
+        yield ctx.sys_close(fd)
+        yield ctx.exit(0)
+
+    return _program
+
+
+def make_pipe_bench(iterations: int = 1500):
+    """Pipe throughput: small write+read pairs, no blocking."""
+
+    def _program(ctx: GuestContext):
+        fd = yield ctx.sys_open("/tmp/pipe")
+        for _ in range(iterations):
+            yield ctx.sys_write(fd, 512)
+            yield ctx.sys_read(fd, 512)
+        yield ctx.sys_close(fd)
+        yield ctx.exit(0)
+
+    return _program
+
+
+def _trivial_child(ctx: GuestContext):
+    yield ctx.compute(50_000)
+    yield ctx.exit(0)
+
+
+def make_process_creation_bench(iterations: int = 120):
+    """spawn + waitpid in a loop (UnixBench Process Creation)."""
+
+    def _program(ctx: GuestContext):
+        for _ in range(iterations):
+            pid = yield ctx.sys_spawn(_trivial_child, "child", exe="/bin/true")
+            yield ctx.sys_waitpid(pid)
+        yield ctx.exit(0)
+
+    return _program
+
+
+def _shell_script(ctx: GuestContext):
+    fd = yield ctx.sys_open("/tmp/out")
+    for _ in range(6):
+        yield ctx.compute(120_000)
+        yield ctx.sys_write(fd, 128)
+    yield ctx.sys_close(fd)
+    yield ctx.exit(0)
+
+
+def make_shell_bench(concurrent: int = 8, rounds: int = 12):
+    """Shell Scripts (N concurrent): spawn N script children, wait."""
+
+    def _program(ctx: GuestContext):
+        for _ in range(rounds):
+            pids = []
+            for _i in range(concurrent):
+                pid = yield ctx.sys_spawn(_shell_script, "sh", exe="/bin/sh")
+                pids.append(pid)
+            for pid in pids:
+                yield ctx.sys_waitpid(pid)
+        yield ctx.exit(0)
+
+    return _program
+
+
+def make_execl_bench(iterations: int = 100):
+    """Execl throughput: replace-the-image loops == spawn+exit here."""
+
+    def _program(ctx: GuestContext):
+        for _ in range(iterations):
+            pid = yield ctx.sys_spawn(_trivial_child, "execl", exe="/bin/execl")
+            yield ctx.sys_waitpid(pid)
+            yield ctx.compute(30_000)
+        yield ctx.exit(0)
+
+    return _program
+
+
+#: name -> (factory, factory kwargs, Fig 7 category)
+MICROBENCHES: Dict[str, Tuple[Callable, dict, str]] = {
+    "syscall": (make_syscall_bench, {}, "System call"),
+    "context-switch": (make_ctx_switch_bench, {}, "Context switching"),
+    "pipe-throughput": (make_pipe_bench, {}, "Context switching"),
+    "dhrystone": (make_cpu_bench, {}, "CPU intensive"),
+    "whetstone": (make_cpu_bench, {"chunks": 300, "chunk_ns": 1_200_000},
+                  "CPU intensive"),
+    "file-copy-256": (make_file_copy_bench, {"buffer_bytes": 256}, "Disk IO"),
+    "file-copy-1024": (make_file_copy_bench, {"buffer_bytes": 1024}, "Disk IO"),
+    "file-copy-4096": (make_file_copy_bench, {"buffer_bytes": 4096}, "Disk IO"),
+    "disk-io": (make_disk_bench, {}, "Disk IO"),
+    "process-creation": (make_process_creation_bench, {}, "Process"),
+    "shell-scripts-8": (make_shell_bench, {}, "Process"),
+    "execl": (make_execl_bench, {}, "Process"),
+}
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+def run_microbench(
+    testbed,
+    name: str,
+    timeout_s: float = 120.0,
+    overrides: Optional[dict] = None,
+) -> int:
+    """Run one micro-benchmark to completion; returns elapsed sim ns.
+
+    For the context-switch bench a partner process is pinned to the
+    same vCPU so every ``sched_yield`` is a real switch.
+    """
+    factory, kwargs, _category = MICROBENCHES[name]
+    if overrides:
+        kwargs = {**kwargs, **overrides}
+    kernel: GuestKernel = testbed.kernel
+    start_ns = testbed.engine.clock.now
+    main_task = kernel.spawn_process(
+        factory(**kwargs), f"ub-{name}"[:15], uid=1000,
+        exe=f"/opt/unixbench/{name}", pin_cpu=0,
+    )
+    partner = None
+    if name == "context-switch":
+        partner = kernel.spawn_process(
+            make_ctx_switch_bench(10**7), "ub-partner", uid=1000,
+            exe="/opt/unixbench/partner", pin_cpu=0,
+        )
+    deadline = start_ns + int(timeout_s * SECOND)
+    # Single-step the engine so the elapsed time is the exact exit
+    # event timestamp, not a polling-granularity round-up.
+    while (
+        main_task.state is not TaskState.ZOMBIE
+        and testbed.engine.clock.now < deadline
+    ):
+        if not testbed.engine.step():
+            break
+    elapsed = testbed.engine.clock.now - start_ns
+    if partner is not None and partner.state is not TaskState.ZOMBIE:
+        kernel.force_exit(partner)
+    return elapsed

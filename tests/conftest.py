@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import Testbed, TestbedConfig
+
+
+@pytest.fixture
+def testbed() -> Testbed:
+    """A booted 2-vCPU VM (the paper's default guest shape)."""
+    tb = Testbed(TestbedConfig(num_vcpus=2, seed=42))
+    tb.boot()
+    return tb
+
+
+@pytest.fixture
+def testbed_1cpu() -> Testbed:
+    tb = Testbed(TestbedConfig(num_vcpus=1, seed=42))
+    tb.boot()
+    return tb
+
+
+def spin_forever(ctx):
+    """A guest program that burns CPU forever (test helper)."""
+    while True:
+        yield ctx.compute(500_000)
+
+
+def chatty_worker(ctx):
+    """Computes and writes in a loop (drives syscall + tty paths)."""
+    while True:
+        yield ctx.compute(300_000)
+        yield ctx.sys_write(1, 64)
+
+
+@pytest.fixture
+def spawn_spinner(testbed):
+    def _spawn(name: str = "spinner", uid: int = 1000, **kwargs):
+        return testbed.kernel.spawn_process(
+            spin_forever, name, uid=uid, exe=f"/bin/{name}", **kwargs
+        )
+
+    return _spawn

@@ -1,0 +1,173 @@
+"""Tests for the fault-injection campaign runner (slower; integration)."""
+
+import pytest
+
+from repro.faults.campaign import (
+    CampaignSummary,
+    Outcome,
+    TrialConfig,
+    TrialResult,
+    run_campaign,
+    run_trial,
+)
+from repro.faults.injector import InjectionMode
+from repro.faults.sites import FaultClass, build_site_catalog
+from repro.sim.clock import SECOND
+
+
+def site_for(function, fault_class, activation_pass=1):
+    return next(
+        s
+        for s in build_site_catalog()
+        if s.function == function
+        and s.fault_class is fault_class
+        and s.activation_pass == activation_pass
+    )
+
+
+FAST = TrialConfig(
+    warmup_ns=1 * SECOND,
+    detect_window_ns=10 * SECOND,
+    classify_window_ns=8 * SECOND,
+)
+
+
+def fast_config(**overrides):
+    base = dict(
+        warmup_ns=FAST.warmup_ns,
+        detect_window_ns=FAST.detect_window_ns,
+        classify_window_ns=FAST.classify_window_ns,
+    )
+    base.update(overrides)
+    return TrialConfig(**base)
+
+
+class TestSingleTrials:
+    def test_hot_lock_leak_detected(self):
+        site = site_for("tty_write", FaultClass.MISSING_RELEASE)
+        result = run_trial(site, fast_config(workload="hanoi"))
+        assert result.activated
+        assert result.outcome in (Outcome.PARTIAL_HANG, Outcome.FULL_HANG)
+        assert result.detection_latency_ns >= 4 * SECOND
+
+    def test_unreachable_site_not_activated(self):
+        # hanoi (and the background kthreads) never start a journal
+        # transaction: only the disk_write syscall path does.
+        site = site_for("ext3_journal_start", FaultClass.MISSING_RELEASE)
+        result = run_trial(site, fast_config(workload="hanoi"))
+        assert result.outcome is Outcome.NOT_ACTIVATED
+
+    def test_net_drop_is_not_detected_category(self):
+        """The probe dies, the scheduler doesn't: GOSHD's only honest
+        answer is silence, which the campaign books as NOT_DETECTED."""
+        site = site_for("net_rx_action", FaultClass.MISSING_PAIR)
+        result = run_trial(
+            site,
+            fast_config(
+                workload="hanoi", mode=InjectionMode.PERSISTENT
+            ),
+        )
+        assert result.outcome is Outcome.NOT_DETECTED
+        assert result.probe_dead
+
+    def test_http_workload_activates_net_sites(self):
+        site = site_for("dev_queue_xmit", FaultClass.MISSING_RELEASE)
+        result = run_trial(
+            site, fast_config(workload="http", mode=InjectionMode.PERSISTENT)
+        )
+        assert result.activated
+
+    def test_latency_properties(self):
+        site = site_for("ext3_get_block", FaultClass.MISSING_RELEASE)
+        result = run_trial(
+            site,
+            fast_config(workload="make-j2", mode=InjectionMode.PERSISTENT),
+        )
+        if result.outcome in (Outcome.PARTIAL_HANG, Outcome.FULL_HANG):
+            assert result.first_alert_ns > result.activation_ns
+        if result.outcome is Outcome.FULL_HANG:
+            assert result.full_hang_latency_ns >= result.detection_latency_ns
+
+
+class TestSummary:
+    def _summary(self):
+        summary = CampaignSummary()
+        sites = build_site_catalog(limit=4)
+        for i, (site, outcome) in enumerate(
+            zip(
+                sites,
+                [
+                    Outcome.PARTIAL_HANG,
+                    Outcome.FULL_HANG,
+                    Outcome.NOT_MANIFESTED,
+                    Outcome.NOT_DETECTED,
+                ],
+            )
+        ):
+            summary.add(
+                TrialResult(
+                    site=site,
+                    config=TrialConfig(workload="hanoi"),
+                    outcome=outcome,
+                    activated=True,
+                    activation_ns=1 * SECOND,
+                    first_alert_ns=(6 + i) * SECOND
+                    if outcome
+                    in (Outcome.PARTIAL_HANG, Outcome.FULL_HANG)
+                    else None,
+                    hung_vcpus=(0,),
+                    full_hang_ns=(10 + i) * SECOND
+                    if outcome is Outcome.FULL_HANG
+                    else None,
+                    probe_dead=outcome is Outcome.NOT_DETECTED,
+                )
+            )
+        return summary
+
+    def test_coverage(self):
+        summary = self._summary()
+        # 2 detected, 1 missed -> 2/3
+        assert summary.coverage() == pytest.approx(2 / 3)
+
+    def test_manifestation_rate(self):
+        summary = self._summary()
+        # 3 of 4 activated faults manifested
+        assert summary.manifestation_rate() == pytest.approx(3 / 4)
+
+    def test_partial_fraction(self):
+        summary = self._summary()
+        assert summary.partial_hang_fraction() == pytest.approx(1 / 2)
+
+    def test_outcome_counts_filtering(self):
+        summary = self._summary()
+        counts = summary.outcome_counts(workload="hanoi")
+        assert counts[Outcome.PARTIAL_HANG] == 1
+        assert sum(counts.values()) == 4
+        assert sum(summary.outcome_counts(workload="http").values()) == 0
+
+    def test_latency_lists(self):
+        summary = self._summary()
+        latencies = summary.detection_latencies_s()
+        assert len(latencies) == 2
+        assert latencies == sorted(latencies)
+        assert len(summary.full_hang_latencies_s()) == 1
+
+    def test_empty_summary_coverage_is_one(self):
+        assert CampaignSummary().coverage() == 1.0
+
+
+class TestRunCampaign:
+    def test_grid_size_and_progress(self):
+        sites = [site_for("tty_write", FaultClass.MISSING_RELEASE)]
+        ticks = []
+        summary = run_campaign(
+            sites,
+            workloads=("hanoi",),
+            modes=(InjectionMode.TRANSIENT,),
+            preempt_options=(False, True),
+            seeds=(0,),
+            base_config=FAST,
+            progress=ticks.append,
+        )
+        assert len(summary.results) == 2
+        assert ticks == [1, 2]

@@ -1,0 +1,73 @@
+"""Tests for architectural OS-state derivation (Section IV-B)."""
+
+from repro.core.derive import ArchDeriver
+
+
+def spawn_worker(testbed, name="w", uid=1000, exe="/bin/w"):
+    def worker(ctx):
+        while True:
+            yield ctx.compute(300_000)
+            yield ctx.sys_write(1, 8)
+
+    return testbed.kernel.spawn_process(worker, name, uid=uid, exe=exe)
+
+
+class TestDerivationChain:
+    def test_task_from_rsp0(self, testbed):
+        deriver = ArchDeriver(testbed.machine)
+        task = spawn_worker(testbed, name="target", uid=555, exe="/bin/target")
+        testbed.run_s(0.2)
+        info = deriver.task_info_from_rsp0(task.rsp0)
+        assert info is not None
+        assert info.pid == task.pid
+        assert info.uid == 555
+        assert info.comm == "target"
+        assert info.exe == "/bin/target"
+
+    def test_current_task_via_tr(self, testbed):
+        deriver = ArchDeriver(testbed.machine)
+        testbed.run_s(0.5)
+        for vcpu in testbed.machine.vcpus:
+            info = deriver.current_task_info(vcpu.index)
+            assert info is not None
+            # Must match the kernel's idea of who is running there.
+            current = testbed.kernel.cpus[vcpu.index].current
+            assert info.pid == current.pid
+
+    def test_parent_chain(self, testbed):
+        deriver = ArchDeriver(testbed.machine)
+        task = spawn_worker(testbed, uid=123)
+        testbed.run_s(0.1)
+        info = deriver.task_info_from_rsp0(task.rsp0)
+        parent = deriver.task_info_at(info.parent_gva)
+        assert parent is not None
+        assert parent.pid == 0  # spawned by the harness -> init_task
+
+    def test_bogus_rsp0_returns_none(self, testbed):
+        deriver = ArchDeriver(testbed.machine)
+        assert deriver.task_info_from_rsp0(0x1234) is None
+
+    def test_derivation_survives_dkom(self, testbed):
+        """Unlinking from the task list does not affect the chain —
+        the root is hardware state, not the list."""
+        from repro.attacks.rootkits import build_rootkit
+
+        deriver = ArchDeriver(testbed.machine)
+        task = spawn_worker(testbed, name="hidden", uid=0)
+        testbed.run_s(0.2)
+        rootkit = build_rootkit("FU", testbed.kernel)
+        rootkit.hide_process(task.pid)
+        info = deriver.task_info_from_rsp0(task.rsp0)
+        assert info is not None
+        assert info.pid == task.pid
+
+    def test_values_read_from_guest_memory_not_python(self, testbed):
+        """The deriver reads bytes, so in-guest tampering IS visible:
+        an attacker changing euid in memory changes the derived view
+        (values are attacker-writable; the *anchor* is not)."""
+        deriver = ArchDeriver(testbed.machine)
+        task = spawn_worker(testbed, uid=1000)
+        testbed.run_s(0.1)
+        testbed.kernel.task_ref(task).write("euid", 0)
+        info = deriver.task_info_from_rsp0(task.rsp0)
+        assert info.euid == 0

@@ -1,0 +1,51 @@
+"""Tests for the experiments CLI (quick experiments only)."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.__main__ import main
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_present(self):
+        assert set(EXPERIMENTS) >= {
+            "fig4", "fig5", "table2", "table3", "ninjas", "fig7",
+            "ablation", "rhc",
+        }
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+
+class TestRunners:
+    def test_table2_report(self):
+        report = run_experiment("table2")
+        assert "SucKIT" in report
+        assert "DETECTED" in report
+        assert "MISSED" not in report
+
+    def test_rhc_report(self):
+        report = run_experiment("rhc")
+        assert "alarm latency" in report
+        assert "YES" not in report  # no false alarms
+
+    def test_ablation_report(self):
+        report = run_experiment("ablation")
+        assert "unified" in report
+        assert "separate" in report
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out
+
+    def test_unknown_name_exit_code(self, capsys):
+        assert main(["not-an-experiment"]) == 2
+
+    def test_run_single(self, capsys):
+        assert main(["rhc"]) == 0
+        out = capsys.readouterr().out
+        assert "RHC liveness" in out

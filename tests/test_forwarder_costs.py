@@ -1,0 +1,79 @@
+"""Unit tests for Event Forwarder cost accounting (the §IV-A model)."""
+
+from repro.core.auditor import Auditor
+from repro.core.events import EventType
+from repro.harness import Testbed, TestbedConfig
+from repro.hw.exits import ExitReason
+from repro.hypervisor.event_forwarder import EventForwarder
+from repro.hypervisor.event_multiplexer import EventMultiplexer
+
+
+class SwitchWatcher(Auditor):
+    name = "w"
+    subscriptions = {EventType.THREAD_SWITCH}
+
+    def audit(self, event):
+        pass
+
+
+def _exit_on(testbed):
+    """Produce one CR_ACCESS exit and return the vCPU charge it cost."""
+    vcpu = testbed.machine.vcpus[0]
+    vcpu.vmcs.controls.cr3_load_exiting = True
+    vcpu.collect_charges()
+    vcpu.guest_write_cr3(testbed.kernel.swapper_pdba)
+    return vcpu.collect_charges()
+
+
+class TestForwarderCharges:
+    def test_unified_charges_once_for_shared_event(self):
+        tb1 = Testbed(TestbedConfig(seed=5, monitoring_mode="unified"))
+        tb1.boot()
+        tb1.monitor([SwitchWatcher()])
+        one = _exit_on(tb1)
+
+        tb3 = Testbed(TestbedConfig(seed=5, monitoring_mode="unified"))
+        tb3.boot()
+        tb3.monitor([SwitchWatcher(), SwitchWatcher(), SwitchWatcher()])
+        three = _exit_on(tb3)
+        # Same trap cost no matter how many auditors share the channel.
+        assert three == one
+
+    def test_separate_charges_per_monitor(self):
+        tb1 = Testbed(TestbedConfig(seed=5, monitoring_mode="separate"))
+        tb1.boot()
+        tb1.monitor([SwitchWatcher()])
+        one = _exit_on(tb1)
+
+        tb3 = Testbed(TestbedConfig(seed=5, monitoring_mode="separate"))
+        tb3.boot()
+        tb3.monitor([SwitchWatcher(), SwitchWatcher(), SwitchWatcher()])
+        three = _exit_on(tb3)
+        assert three > one
+        costs = tb3.machine.costs
+        # Two extra monitors pay two extra exit roundtrips + forwards.
+        expected_extra = 2 * (
+            costs.vm_exit_roundtrip_ns
+            + costs.ef_forward_ns
+            + costs.em_enqueue_ns
+        )
+        assert three - one == expected_extra
+
+    def test_uninterested_exits_cost_nothing_extra(self):
+        """Exits no consumer subscribed to are suppressed at the EF."""
+        testbed = Testbed(TestbedConfig(seed=5))
+        testbed.boot()
+        em = EventMultiplexer()
+        forwarder = EventForwarder(em)
+        testbed.kvm.attach_forwarder(forwarder)
+        vcpu = testbed.machine.vcpus[0]
+        vcpu.vmcs.controls.cr3_load_exiting = True
+        vcpu.collect_charges()
+        vcpu.guest_write_cr3(testbed.kernel.swapper_pdba)
+        charge = vcpu.collect_charges()
+        costs = testbed.machine.costs
+        assert charge == (
+            costs.vm_exit_roundtrip_ns + costs.exit_emulation_ns
+        )
+        assert forwarder.suppressed == 1
+        assert forwarder.forwarded == 0

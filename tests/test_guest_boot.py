@@ -1,0 +1,156 @@
+"""Tests for guest kernel boot and basic structure layout."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.guest.kernel import GuestKernel, KernelConfig
+from repro.guest.layouts import (
+    KERNEL_TEXT_BASE,
+    SYSENTER_ENTRY_GVA,
+    TASK_STRUCT,
+    THREAD_SIZE,
+)
+from repro.hw.msr import IA32_SYSENTER_EIP
+from repro.hw.tss import RSP0_OFFSET
+
+
+class TestBoot:
+    def test_boot_sets_cr3_everywhere(self, testbed):
+        for vcpu in testbed.machine.vcpus:
+            assert vcpu.regs.cr3 == testbed.kernel.swapper_pdba
+
+    def test_boot_sets_tr(self, testbed):
+        bases = {v.regs.tr_base for v in testbed.machine.vcpus}
+        assert 0 not in bases
+        assert len(bases) == len(testbed.machine.vcpus)  # one TSS each
+
+    def test_boot_programs_sysenter_msr(self, testbed):
+        for vcpu in testbed.machine.vcpus:
+            assert vcpu.guest_rdmsr(IA32_SYSENTER_EIP) == SYSENTER_ENTRY_GVA
+
+    def test_tss_holds_swapper_rsp0(self, testbed):
+        vcpu = testbed.machine.vcpus[0]
+        swapper = testbed.kernel.cpus[0].idle_task
+        rsp0 = testbed.machine.host_read_u64_gva(
+            testbed.kernel.kernel_pdba, vcpu.regs.tr_base + RSP0_OFFSET
+        )
+        assert rsp0 == swapper.rsp0
+
+    def test_double_boot_rejected(self, testbed):
+        with pytest.raises(SimulationError):
+            testbed.kernel.boot()
+
+    def test_kernel_text_mapped_in_every_space(self, testbed):
+        registry = testbed.machine.page_registry
+        for space in registry.live_spaces():
+            assert space.translate(KERNEL_TEXT_BASE) is not None
+
+    def test_initial_task_population(self, testbed):
+        # init + 2x khousekeepd + 2x kflushd + knetd
+        pids = testbed.kernel.guest_view_pids()
+        assert len(pids) == 6
+        comms = {
+            e["comm"] for e in testbed.kernel.walk_task_list_guest()
+        }
+        assert "init" in comms
+        assert any(c.startswith("kflushd") for c in comms)
+        assert any(c.startswith("khousekeepd") for c in comms)
+
+    def test_bad_syscall_mechanism_rejected(self, testbed):
+        with pytest.raises(SimulationError):
+            KernelConfig(syscall_mechanism="hypercall").validate()
+
+
+class TestTaskStructLayout:
+    def test_fields_written_to_guest_memory(self, testbed):
+        init = testbed.kernel.find_task(1)
+        ref = testbed.kernel.task_ref(init)
+        assert ref.read("pid") == 1
+        assert ref.read_str("comm") == "init"
+        assert ref.read_str("exe") == "/sbin/init"
+        assert ref.read("uid") == 0
+
+    def test_rsp0_is_stack_top(self, testbed):
+        init = testbed.kernel.find_task(1)
+        assert init.rsp0 == init.kernel_stack_gva + THREAD_SIZE
+
+    def test_thread_info_points_back_to_task(self, testbed):
+        from repro.guest.layouts import THREAD_INFO
+
+        init = testbed.kernel.find_task(1)
+        task_ptr = testbed.machine.host_read_u64_gva(
+            testbed.kernel.kernel_pdba,
+            init.thread_info_gva + THREAD_INFO.offset("task"),
+        )
+        assert task_ptr == init.task_struct_gva
+
+    def test_task_list_is_circular(self, testbed):
+        kernel = testbed.kernel
+        head = kernel.init_task_gva
+        cur = head
+        seen = 0
+        while True:
+            cur = testbed.machine.host_read_u64_gva(
+                kernel.kernel_pdba, cur + TASK_STRUCT.offset("tasks_next")
+            )
+            seen += 1
+            assert seen < 100, "task list is not circular"
+            if cur == head:
+                break
+        assert seen == 7  # head + 6 tasks
+
+    def test_struct_layout_offsets_distinct(self):
+        offsets = [spec.offset for spec in TASK_STRUCT.fields.values()]
+        assert len(offsets) == len(set(offsets))
+
+    def test_null_struct_ref_rejected(self, testbed):
+        with pytest.raises(SimulationError):
+            testbed.kernel.task_ref_at(0)
+
+
+class TestSchedulingBasics:
+    def test_context_switches_happen(self, testbed):
+        testbed.run_s(3.0)
+        total = sum(c.context_switches for c in testbed.kernel.cpus)
+        assert total > 0
+
+    def test_healthy_guest_switch_gap_bounded(self, testbed):
+        """Housekeeping guarantees switches at least every ~2s per CPU
+        (the profiled bound the GOSHD threshold is derived from)."""
+        testbed.run_s(6.0)
+        now = testbed.engine.clock.now
+        for cpu in testbed.kernel.cpus:
+            assert now - cpu.last_switch_ns < 4_000_000_000
+
+    def test_timer_ticks_counted(self, testbed):
+        testbed.run_s(1.0)
+        for cpu in testbed.kernel.cpus:
+            assert cpu.ticks_seen > 100  # 4ms period -> 250/s
+
+    def test_spawned_process_runs(self, testbed):
+        progress = {"n": 0}
+
+        def worker(ctx):
+            while True:
+                yield ctx.compute(500_000)
+                progress["n"] += 1
+
+        testbed.kernel.spawn_process(worker, "worker", uid=1000)
+        testbed.run_s(1.0)
+        assert progress["n"] > 100
+
+    def test_two_cpu_bound_tasks_share_both_cpus(self, testbed):
+        counts = [0, 0]
+
+        def make_worker(i):
+            def worker(ctx):
+                while True:
+                    yield ctx.compute(500_000)
+                    counts[i] += 1
+
+            return worker
+
+        testbed.kernel.spawn_process(make_worker(0), "w0", uid=1000)
+        testbed.kernel.spawn_process(make_worker(1), "w1", uid=1000)
+        testbed.run_s(1.0)
+        assert counts[0] > 100 and counts[1] > 100

@@ -1,0 +1,98 @@
+"""Tests for /proc views and task-list walks."""
+
+from repro.guest.task import TaskState
+from repro.sim.clock import MILLISECOND
+
+
+def spawn_sleeper(kernel, name="sleeper", uid=1000):
+    def prog(ctx):
+        while True:
+            yield ctx.sys_nanosleep(50 * MILLISECOND)
+
+    return kernel.spawn_process(prog, name, uid=uid, exe=f"/bin/{name}")
+
+
+class TestProcList:
+    def test_spawned_process_visible(self, testbed):
+        task = spawn_sleeper(testbed.kernel)
+        assert task.pid in testbed.kernel.guest_view_pids()
+
+    def test_proc_list_syscall_matches_helper(self, testbed):
+        spawn_sleeper(testbed.kernel)
+        results = {}
+
+        def prog(ctx):
+            results["pids"] = yield ctx.sys_proc_list()
+            yield ctx.exit(0)
+
+        task = testbed.kernel.spawn_process(prog, "ps", uid=1000)
+        while task.state is not TaskState.ZOMBIE:
+            testbed.run_ms(10)
+        helper_view = set(testbed.kernel.guest_view_pids())
+        # the ps process itself exited, so exclude it from comparison
+        assert set(results["pids"]) - {task.pid} == helper_view
+
+    def test_swapper_not_listed(self, testbed):
+        assert 0 not in testbed.kernel.guest_view_pids()
+
+
+class TestProcStatus:
+    def test_status_fields(self, testbed):
+        task = spawn_sleeper(testbed.kernel, uid=777)
+        results = {}
+
+        def prog(ctx):
+            results["status"] = yield ctx.sys_proc_status(task.pid)
+            yield ctx.exit(0)
+
+        reader = testbed.kernel.spawn_process(prog, "reader", uid=1000)
+        while reader.state is not TaskState.ZOMBIE:
+            testbed.run_ms(10)
+        status = results["status"]
+        assert status["pid"] == task.pid
+        assert status["uid"] == 777
+        assert status["comm"] == "sleeper"
+
+    def test_status_of_missing_pid_is_none(self, testbed):
+        results = {}
+
+        def prog(ctx):
+            results["status"] = yield ctx.sys_proc_status(99999)
+            yield ctx.exit(0)
+
+        reader = testbed.kernel.spawn_process(prog, "reader", uid=1000)
+        while reader.state is not TaskState.ZOMBIE:
+            testbed.run_ms(10)
+        assert results["status"] is None
+
+
+class TestProcStat:
+    def test_sleeping_state_reported(self, testbed):
+        task = spawn_sleeper(testbed.kernel)
+        testbed.run_s(0.2)
+        stat = testbed.kernel.proc_stat(task.pid)
+        assert stat["state"] in ("S", "R")
+
+    def test_utime_accumulates_for_cpu_hog(self, testbed):
+        def hog(ctx):
+            while True:
+                yield ctx.compute(1_000_000)
+
+        task = testbed.kernel.spawn_process(hog, "hog", uid=1000)
+        testbed.run_s(1.0)
+        stat = testbed.kernel.proc_stat(task.pid)
+        assert stat["utime"] > 0
+
+    def test_unknown_pid_none(self, testbed):
+        assert testbed.kernel.proc_stat(424242) is None
+
+
+class TestWalkBounded:
+    def test_corrupted_list_walk_terminates(self, testbed):
+        """A cycle introduced by an attacker must not wedge the walk."""
+        kernel = testbed.kernel
+        task = spawn_sleeper(kernel)
+        ref = kernel.task_ref(task)
+        ref.write("tasks_next", task.task_struct_gva)  # self-loop
+        pids = kernel.guest_view_pids()  # must return
+        assert isinstance(pids, list)

@@ -1,0 +1,280 @@
+"""Tests for the guest syscall layer (both entry mechanisms)."""
+
+import pytest
+
+from repro.guest.syscalls import IO_SYSCALLS, SYSCALL_NUMBERS
+from repro.guest.task import TaskState
+from repro.harness import Testbed, TestbedConfig
+from repro.sim.clock import MILLISECOND
+
+
+def run_one_shot(testbed, program, uid=1000, timeout_s=10.0, **kwargs):
+    """Spawn a program, run until it exits, return the task."""
+    task = testbed.kernel.spawn_process(program, "t", uid=uid, **kwargs)
+    deadline = testbed.engine.clock.now + int(timeout_s * 1e9)
+    while task.state is not TaskState.ZOMBIE and testbed.engine.clock.now < deadline:
+        testbed.engine.run_for(10 * MILLISECOND)
+    assert task.state is TaskState.ZOMBIE, "program did not finish"
+    return task
+
+
+class TestBasicSyscalls:
+    def test_getpid_returns_pid(self, testbed):
+        seen = {}
+
+        def prog(ctx):
+            seen["pid"] = yield ctx.sys_getpid()
+            yield ctx.exit(0)
+
+        task = run_one_shot(testbed, prog)
+        assert seen["pid"] == task.pid
+
+    def test_geteuid_getuid(self, testbed):
+        seen = {}
+
+        def prog(ctx):
+            seen["uid"] = yield ctx.sys_getuid()
+            seen["euid"] = yield ctx.sys_geteuid()
+            yield ctx.exit(0)
+
+        run_one_shot(testbed, prog, uid=1000)
+        assert seen == {"uid": 1000, "euid": 1000}
+
+    def test_write_reaches_console(self, testbed):
+        def prog(ctx):
+            yield ctx.sys_write(1, 10)
+            yield ctx.exit(0)
+
+        before = testbed.machine.console.bytes_written
+        run_one_shot(testbed, prog)
+        assert testbed.machine.console.bytes_written == before + 1
+
+    def test_open_returns_growing_fds(self, testbed):
+        fds = []
+
+        def prog(ctx):
+            fds.append((yield ctx.sys_open("/a")))
+            fds.append((yield ctx.sys_open("/b")))
+            yield ctx.exit(0)
+
+        run_one_shot(testbed, prog)
+        assert fds[1] == fds[0] + 1
+
+    def test_nanosleep_duration(self, testbed):
+        stamps = {}
+
+        def prog(ctx):
+            stamps["start"] = testbed.engine.clock.now
+            yield ctx.sys_nanosleep(100 * MILLISECOND)
+            stamps["end"] = testbed.engine.clock.now
+            yield ctx.exit(0)
+
+        run_one_shot(testbed, prog)
+        elapsed = stamps["end"] - stamps["start"]
+        assert elapsed >= 100 * MILLISECOND
+        assert elapsed < 200 * MILLISECOND
+
+    def test_disk_read_blocks_and_completes(self, testbed):
+        def prog(ctx):
+            got = yield ctx.sys_disk_read(2)
+            assert got == 2
+            yield ctx.exit(0)
+
+        run_one_shot(testbed, prog)
+        assert testbed.machine.disk.blocks_read == 2
+
+    def test_uname(self, testbed):
+        out = {}
+
+        def prog(ctx):
+            out["uname"] = yield ctx.sys_uname()
+            yield ctx.exit(0)
+
+        run_one_shot(testbed, prog)
+        assert "linux" in out["uname"]
+
+    def test_gettimeofday_advances(self, testbed):
+        out = []
+
+        def prog(ctx):
+            out.append((yield ctx.sys_gettimeofday()))
+            yield ctx.compute(1_000_000)
+            out.append((yield ctx.sys_gettimeofday()))
+            yield ctx.exit(0)
+
+        run_one_shot(testbed, prog)
+        assert out[1] > out[0]
+
+
+class TestProcessLifecycle:
+    def test_spawn_and_waitpid(self, testbed):
+        events = []
+
+        def child(ctx):
+            events.append("child-ran")
+            yield ctx.compute(100_000)
+            yield ctx.exit(7)
+
+        def parent(ctx):
+            pid = yield ctx.sys_spawn(child, "child")
+            code = yield ctx.sys_waitpid(pid)
+            events.append(("reaped", code))
+            yield ctx.exit(0)
+
+        run_one_shot(testbed, parent)
+        assert "child-ran" in events
+        assert ("reaped", 7) in events
+
+    def test_child_inherits_uid(self, testbed):
+        seen = {}
+
+        def child(ctx):
+            seen["uid"] = yield ctx.sys_getuid()
+            yield ctx.exit(0)
+
+        def parent(ctx):
+            pid = yield ctx.sys_spawn(child, "child")
+            yield ctx.sys_waitpid(pid)
+            yield ctx.exit(0)
+
+        run_one_shot(testbed, parent, uid=1234)
+        assert seen["uid"] == 1234
+
+    def test_exit_evicts_address_space(self, testbed):
+        def prog(ctx):
+            yield ctx.compute(1000)
+            yield ctx.exit(0)
+
+        task = run_one_shot(testbed, prog)
+        registry = testbed.machine.page_registry
+        from repro.hw.paging import UNMAPPED_GVA
+
+        assert (
+            registry.gva_to_gpa(task.mm.pgd, 0x400000) == UNMAPPED_GVA
+        )
+
+    def test_exit_unlinks_from_task_list(self, testbed):
+        def prog(ctx):
+            yield ctx.compute(1000)
+            yield ctx.exit(0)
+
+        task = run_one_shot(testbed, prog)
+        assert task.pid not in testbed.kernel.guest_view_pids()
+
+    def test_kill_permission_denied_for_other_user(self, testbed):
+        results = {}
+        def victim_prog(ctx):
+            while True:
+                yield ctx.compute(10**9)
+
+        victim = testbed.kernel.spawn_process(victim_prog, "victim", uid=0)
+
+        def killer(ctx):
+            results["rc"] = yield ctx.sys_kill(victim.pid)
+            yield ctx.exit(0)
+
+        run_one_shot(testbed, killer, uid=1000)
+        assert results["rc"] == -1
+        assert victim.state is not TaskState.ZOMBIE
+
+    def test_kill_as_root_succeeds(self, testbed):
+        def victim_prog(ctx):
+            while True:
+                yield ctx.compute(10**9)
+
+        victim = testbed.kernel.spawn_process(victim_prog, "victim", uid=1000)
+
+        def killer(ctx):
+            rc = yield ctx.sys_kill(victim.pid)
+            assert rc == 0
+            yield ctx.exit(0)
+
+        run_one_shot(testbed, killer, uid=0)
+        assert victim.state is TaskState.ZOMBIE
+
+    def test_setuid_requires_root(self, testbed):
+        results = {}
+
+        def prog(ctx):
+            results["rc"] = yield ctx.sys_setuid(0)
+            results["euid"] = yield ctx.sys_geteuid()
+            yield ctx.exit(0)
+
+        run_one_shot(testbed, prog, uid=1000)
+        assert results["rc"] == -1
+        assert results["euid"] == 1000
+
+    def test_setuid_as_root_drops_privileges(self, testbed):
+        results = {}
+
+        def prog(ctx):
+            rc = yield ctx.sys_setuid(500)
+            results["rc"] = rc
+            results["euid"] = yield ctx.sys_geteuid()
+            yield ctx.exit(0)
+
+        run_one_shot(testbed, prog, uid=0)
+        assert results["rc"] == 0
+        assert results["euid"] == 500
+
+
+class TestVulnerableSyscalls:
+    def test_sock_diag_escalates(self, testbed):
+        results = {}
+
+        def prog(ctx):
+            yield ctx.syscall("vuln_sock_diag")
+            results["euid"] = yield ctx.sys_geteuid()
+            yield ctx.exit(0)
+
+        run_one_shot(testbed, prog, uid=1000)
+        assert results["euid"] == 0
+        assert testbed.kernel.exploit_log
+        assert testbed.kernel.exploit_log[0][2] == "CVE-2013-1763"
+
+    def test_ld_origin_escalates_euid_only(self, testbed):
+        results = {}
+
+        def prog(ctx):
+            yield ctx.syscall("vuln_ld_origin")
+            results["euid"] = yield ctx.sys_geteuid()
+            results["uid"] = yield ctx.sys_getuid()
+            yield ctx.exit(0)
+
+        run_one_shot(testbed, prog, uid=1000)
+        assert results["euid"] == 0
+        assert results["uid"] == 1000
+
+
+class TestSyscallMechanisms:
+    @pytest.mark.parametrize("mechanism", ["sysenter", "int80"])
+    def test_both_mechanisms_work(self, mechanism):
+        tb = Testbed(TestbedConfig(syscall_mechanism=mechanism))
+        tb.boot()
+        seen = {}
+
+        def prog(ctx):
+            seen["pid"] = yield ctx.sys_getpid()
+            yield ctx.exit(0)
+
+        run_one_shot(tb, prog)
+        assert seen["pid"] > 0
+
+
+class TestSyscallTableMetadata:
+    def test_numbers_unique(self):
+        values = list(SYSCALL_NUMBERS.values())
+        assert len(values) == len(set(values))
+
+    def test_io_syscalls_are_known(self):
+        assert IO_SYSCALLS <= set(SYSCALL_NUMBERS)
+
+    def test_unknown_syscall_raises(self, testbed):
+        from repro.errors import SimulationError
+
+        def prog(ctx):
+            yield ctx.syscall("frobnicate")
+
+        testbed.kernel.spawn_process(prog, "bad", uid=0)
+        with pytest.raises(SimulationError):
+            testbed.run_s(1.0)

@@ -1,0 +1,96 @@
+"""Tests for the blocking H-Ninja variant (§VIII-C1).
+
+"Note that a blocking H-Ninja is protected against this [spamming]
+attack": pausing the VM for the scan's duration means no process can
+exit between the snapshot and its examination, so a long process list
+no longer buys the attacker time.
+"""
+
+from repro.attacks.exploits import ExploitPlan
+from repro.attacks.strategies import SpammingAttack, TransientAttack
+from repro.auditors.h_ninja import HNinja
+from repro.harness import Testbed, TestbedConfig
+from repro.sim.clock import MILLISECOND
+from repro.vmi.introspection import KernelSymbolMap
+
+
+def _setup(blocking, per_entry_ns=50_000, interval_ms=200, seed=61):
+    testbed = Testbed(TestbedConfig(num_vcpus=2, seed=seed))
+    testbed.boot()
+    ninja = HNinja(
+        testbed.machine,
+        KernelSymbolMap.from_kernel(testbed.kernel),
+        interval_ns=interval_ms * MILLISECOND,
+        per_entry_ns=per_entry_ns,
+        blocking=blocking,
+    )
+    ninja.start()
+    return testbed, ninja
+
+
+def _spammed_transient(testbed, idle=600):
+    """A transient attack timed to be alive at the 200ms scan tick but
+    gone before a slow non-blocking scan reads its (late) list entry."""
+    attack = SpammingAttack(
+        testbed.kernel,
+        idle_processes=idle,
+        inner=TransientAttack(
+            testbed.kernel,
+            ExploitPlan(
+                pre_escalation_ns=200_000,
+                post_escalation_ns=20_000_000,  # ~20ms of root visibility
+                io_actions=1,
+                exit_after=True,
+            ),
+        ),
+    )
+    attack.spam()
+    testbed.run_s(0.185)  # escalation lands just before the 200ms scan
+    attack.launch()
+    testbed.run_s(0.4)
+    return attack
+
+
+class TestBlockingHNinja:
+    def test_nonblocking_defeated_by_spam(self):
+        testbed, ninja = _setup(blocking=False)
+        attack = _spammed_transient(testbed)
+        assert attack.result.escalated
+        assert not ninja.detected
+
+    def test_blocking_resists_spam(self):
+        testbed, ninja = _setup(blocking=True)
+        attack = _spammed_transient(testbed)
+        assert attack.result.escalated
+        assert ninja.detected
+
+    def test_blocking_pauses_and_resumes_guest(self):
+        testbed, ninja = _setup(
+            blocking=True, per_entry_ns=200_000, interval_ms=100
+        )
+        testbed.run_s(1.0)
+        assert not testbed.machine.vm_paused  # resumed between scans
+        assert ninja.scans_completed >= 3
+        # The guest made progress despite the scan pauses.
+        assert testbed.kernel.syscall_count > 0
+
+    def test_blocking_costs_guest_time(self):
+        """The price of blocking: guest wall-clock stalls per scan."""
+
+        def progress(blocking):
+            testbed, _ninja = _setup(
+                blocking=blocking, per_entry_ns=500_000, interval_ms=50,
+                seed=62,
+            )
+            counter = {"n": 0}
+
+            def worker(ctx):
+                while True:
+                    yield ctx.compute(500_000)
+                    counter["n"] += 1
+
+            testbed.kernel.spawn_process(worker, "w", uid=1000)
+            testbed.run_s(2.0)
+            return counter["n"]
+
+        assert progress(blocking=True) < progress(blocking=False)

@@ -1,0 +1,148 @@
+"""Tests for Hidden RootKit Detection (§VII-B, Table II)."""
+
+import pytest
+
+from repro.attacks.rootkits import ROOTKIT_ZOO, build_rootkit
+from repro.auditors.hrkd import HiddenRootkitDetector
+from repro.vmi.introspection import KernelSymbolMap, OsInvariantView
+
+
+def spawn_malware(testbed, uid=0):
+    def malware(ctx):
+        while True:
+            yield ctx.compute(300_000)
+            yield ctx.sys_write(1, 8)
+
+    return testbed.kernel.spawn_process(
+        malware, "malware", uid=uid, exe="/tmp/.x"
+    )
+
+
+@pytest.fixture
+def hrkd_setup(testbed):
+    hrkd = HiddenRootkitDetector()
+    testbed.monitor([hrkd])
+    hrkd.set_vmi_view(
+        OsInvariantView(
+            testbed.machine, KernelSymbolMap.from_kernel(testbed.kernel)
+        )
+    )
+    return hrkd
+
+
+class TestTrustedView:
+    def test_running_tasks_sighted(self, testbed, hrkd_setup):
+        task = spawn_malware(testbed)
+        testbed.run_s(1.0)
+        assert task.pid in hrkd_setup.trusted_pids()
+
+    def test_exited_tasks_leave_view(self, testbed, hrkd_setup):
+        def brief(ctx):
+            yield ctx.compute(600_000_000)
+            yield ctx.exit(0)
+
+        task = testbed.kernel.spawn_process(brief, "brief", uid=1000)
+        testbed.run_s(0.3)
+        assert task.pid in hrkd_setup.trusted_pids()
+        testbed.run_s(1.0)  # exited; revalidation drops it
+        assert task.pid not in hrkd_setup.trusted_pids()
+
+    def test_no_false_positive_on_clean_system(self, testbed, hrkd_setup):
+        spawn_malware(testbed, uid=1000)
+        testbed.run_s(1.0)
+        report = hrkd_setup.scan_against(
+            testbed.kernel.guest_view_pids(), "guest-ps"
+        )
+        assert not report.rootkit_detected
+
+
+class TestRootkitDetection:
+    @pytest.mark.parametrize(
+        "rootkit_name", [spec.name for spec in ROOTKIT_ZOO]
+    )
+    def test_table2_zoo_all_detected(self, testbed, hrkd_setup, rootkit_name):
+        """Table II: every rootkit, every technique, detected."""
+        victim = spawn_malware(testbed)
+        testbed.run_s(1.0)
+        rootkit = build_rootkit(rootkit_name, testbed.kernel)
+        rootkit.hide_process(victim.pid)
+        testbed.run_s(1.0)
+        guest_view = testbed.kernel.guest_view_pids()
+        assert victim.pid not in guest_view  # hiding worked
+        report = hrkd_setup.scan_against(guest_view, "guest-ps")
+        assert report.rootkit_detected
+        assert victim.pid in report.hidden_pids
+
+    def test_dkom_also_fools_vmi(self, testbed, hrkd_setup):
+        """DKOM defeats the OS-invariant view; HRKD's cross-view scan
+        against VMI exposes the discrepancy."""
+        victim = spawn_malware(testbed)
+        testbed.run_s(1.0)
+        build_rootkit("SucKIT", testbed.kernel).hide_process(victim.pid)
+        testbed.run_s(1.0)
+        report = hrkd_setup.scan_vmi()
+        assert victim.pid in report.hidden_pids
+
+    def test_syscall_hijack_does_not_fool_vmi(self, testbed, hrkd_setup):
+        """Hijacking /proc leaves the task list intact: the VMI view
+        still sees the victim (only the guest view is censored)."""
+        victim = spawn_malware(testbed)
+        testbed.run_s(1.0)
+        build_rootkit("AFX", testbed.kernel).hide_process(victim.pid)
+        testbed.run_s(0.5)
+        vmi_report = hrkd_setup.scan_vmi()
+        assert victim.pid not in vmi_report.hidden_pids
+        guest_report = hrkd_setup.scan_against(
+            testbed.kernel.guest_view_pids(), "guest-ps"
+        )
+        assert victim.pid in guest_report.hidden_pids
+
+    def test_process_count_discrepancy(self, testbed, hrkd_setup):
+        """The Fig 3A count exceeds what the censored guest reports."""
+        victim = spawn_malware(testbed)
+        testbed.run_s(1.0)
+        build_rootkit("FU", testbed.kernel).hide_process(victim.pid)
+        testbed.run_s(0.5)
+        entries = list(testbed.kernel.walk_task_list_guest())
+        from repro.guest.layouts import PF_KTHREAD
+
+        visible_processes = sum(
+            1 for e in entries if not e["flags"] & PF_KTHREAD
+        )
+        assert hrkd_setup.trusted_process_count() > visible_processes
+
+    def test_alert_recorded(self, testbed, hrkd_setup):
+        victim = spawn_malware(testbed)
+        testbed.run_s(1.0)
+        build_rootkit("HideProc", testbed.kernel).hide_process(victim.pid)
+        testbed.run_s(0.5)
+        hrkd_setup.scan_against(testbed.kernel.guest_view_pids(), "guest-ps")
+        assert hrkd_setup.alarmed
+        assert hrkd_setup.alerts[0]["kind"] == "hidden_tasks"
+
+
+class TestUnhide:
+    def test_unhide_restores_views(self, testbed, hrkd_setup):
+        victim = spawn_malware(testbed)
+        testbed.run_s(1.0)
+        rootkit = build_rootkit("SucKIT", testbed.kernel)
+        rootkit.hide_process(victim.pid)
+        testbed.run_s(0.2)
+        rootkit.unhide_all()
+        testbed.run_s(0.5)
+        assert victim.pid in testbed.kernel.guest_view_pids()
+        report = hrkd_setup.scan_against(
+            testbed.kernel.guest_view_pids(), "guest-ps"
+        )
+        assert not report.rootkit_detected
+
+    def test_hidden_victim_exit_is_safe(self, testbed, hrkd_setup):
+        """A DKOM-hidden process exiting must not corrupt the list."""
+        victim = spawn_malware(testbed)
+        testbed.run_s(0.5)
+        build_rootkit("FU", testbed.kernel).hide_process(victim.pid)
+        testbed.kernel.force_exit(victim)
+        testbed.run_s(0.5)
+        pids = testbed.kernel.guest_view_pids()
+        assert victim.pid not in pids
+        assert len(pids) >= 4  # rest of the system intact

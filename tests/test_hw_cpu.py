@@ -1,0 +1,172 @@
+"""Tests for the vCPU trap-and-emulate semantics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hw.exits import ExitAction, ExitReason
+from repro.hw.machine import Machine, MachineConfig
+from repro.hw.msr import IA32_SYSENTER_EIP
+
+
+class RecordingDispatcher:
+    """Minimal hypervisor: records exits, emulates everything."""
+
+    def __init__(self):
+        self.exits = []
+
+    def __call__(self, vcpu, exit_event):
+        self.exits.append(exit_event)
+        return ExitAction.EMULATE
+
+
+@pytest.fixture
+def machine():
+    m = Machine(MachineConfig(num_vcpus=1, ram_bytes=64 * 1024 * 1024))
+    dispatcher = RecordingDispatcher()
+    m.set_exit_dispatcher(dispatcher)
+    m.dispatcher = dispatcher  # test-side handle
+    return m
+
+
+@pytest.fixture
+def vcpu(machine):
+    return machine.vcpus[0]
+
+
+class TestCrAccess:
+    def test_cr3_write_no_exit_by_default(self, machine, vcpu):
+        """With EPT, stock KVM does not trap CR3 loads."""
+        vcpu.guest_write_cr3(0x1000)
+        assert machine.dispatcher.exits == []
+        assert vcpu.regs.cr3 == 0x1000
+
+    def test_cr3_write_exits_when_enabled(self, machine, vcpu):
+        vcpu.vmcs.controls.cr3_load_exiting = True
+        vcpu.guest_write_cr3(0x2000)
+        (exit_event,) = machine.dispatcher.exits
+        assert exit_event.reason is ExitReason.CR_ACCESS
+        assert exit_event.qual("value") == 0x2000
+        assert vcpu.regs.cr3 == 0x2000
+
+    def test_exit_snapshot_has_old_cr3(self, machine, vcpu):
+        """The exit-time snapshot shows state *before* the write."""
+        vcpu.regs.cr3 = 0x1000
+        vcpu.vmcs.controls.cr3_load_exiting = True
+        vcpu.guest_write_cr3(0x2000)
+        (exit_event,) = machine.dispatcher.exits
+        assert exit_event.guest_state.cr3 == 0x1000
+
+
+class TestWrmsr:
+    def test_wrmsr_exits(self, machine, vcpu):
+        vcpu.guest_wrmsr(IA32_SYSENTER_EIP, 0xFFFF_FFFF_8100_8000)
+        (exit_event,) = machine.dispatcher.exits
+        assert exit_event.reason is ExitReason.WRMSR
+        assert exit_event.qual("msr") == IA32_SYSENTER_EIP
+        assert vcpu.guest_rdmsr(IA32_SYSENTER_EIP) == 0xFFFF_FFFF_8100_8000
+
+    def test_unknown_msr_rejected(self, vcpu):
+        with pytest.raises(SimulationError):
+            vcpu.guest_wrmsr(0x9999, 1)
+
+    def test_wrmsr_no_exit_when_disabled(self, machine, vcpu):
+        vcpu.vmcs.controls.msr_write_exiting = False
+        vcpu.guest_wrmsr(IA32_SYSENTER_EIP, 5)
+        assert machine.dispatcher.exits == []
+
+
+class TestSoftwareInterrupt:
+    def test_int80_exits_when_in_bitmap(self, machine, vcpu):
+        vcpu.vmcs.controls.exception_bitmap.add(0x80)
+        vcpu.guest_software_interrupt(0x80)
+        (exit_event,) = machine.dispatcher.exits
+        assert exit_event.reason is ExitReason.EXCEPTION
+        assert exit_event.qual("vector") == 0x80
+
+    def test_int80_silent_when_not_in_bitmap(self, machine, vcpu):
+        vcpu.guest_software_interrupt(0x80)
+        assert machine.dispatcher.exits == []
+
+
+class TestMemoryAccess:
+    def _map_page(self, machine, vcpu, gva=0x400000, gpa=0x30000):
+        space = machine.page_registry.create_address_space()
+        space.map_user_page(gva, gpa)
+        vcpu.regs.cr3 = space.pdba
+        return space
+
+    def test_write_and_read_through_ept(self, machine, vcpu):
+        self._map_page(machine, vcpu)
+        vcpu.guest_mem_write_u64(0x400010, 77)
+        assert vcpu.guest_mem_read_u64(0x400010) == 77
+        assert machine.dispatcher.exits == []
+
+    def test_ept_violation_exit_and_emulation(self, machine, vcpu):
+        self._map_page(machine, vcpu)
+        machine.ept.set_permissions(0x30000, write=False)
+        vcpu.guest_mem_write_u64(0x400010, 99)
+        (exit_event,) = machine.dispatcher.exits
+        assert exit_event.reason is ExitReason.EPT_VIOLATION
+        assert exit_event.qual("access") == "w"
+        assert exit_event.qual("value") == 99
+        assert exit_event.qual("gva") == 0x400010
+        # EMULATE action: the write completed despite the protection.
+        assert machine.host_read_u64_gpa(0x30010) == 99
+
+    def test_exec_protection_exit(self, machine, vcpu):
+        self._map_page(machine, vcpu)
+        machine.ept.set_permissions(0x30000, execute=False)
+        vcpu.guest_exec(0x400000)
+        (exit_event,) = machine.dispatcher.exits
+        assert exit_event.qual("access") == "x"
+
+    def test_skip_action_suppresses_write(self, machine, vcpu):
+        self._map_page(machine, vcpu)
+        machine.ept.set_permissions(0x30000, write=False)
+        machine.set_exit_dispatcher(
+            lambda v, e: e.qualification.setdefault("action", ExitAction.SKIP)
+            and ExitAction.SKIP
+            or ExitAction.SKIP
+        )
+        vcpu.guest_mem_write_u64(0x400010, 55)
+        assert machine.host_read_u64_gpa(0x30010) == 0
+
+
+class TestIo:
+    def test_io_exit_carries_result(self, machine, vcpu):
+        def dispatcher(v, e):
+            e.qualification["result"] = 0xBEEF
+            return ExitAction.EMULATE
+
+        machine.set_exit_dispatcher(dispatcher)
+        assert vcpu.guest_io(0x1F4, "in") == 0xBEEF
+
+    def test_bad_direction_rejected(self, vcpu):
+        with pytest.raises(SimulationError):
+            vcpu.guest_io(0x80, "sideways")
+
+
+class TestCharges:
+    def test_exit_charges_roundtrip(self, machine, vcpu):
+        vcpu.collect_charges()
+        vcpu.vmcs.controls.cr3_load_exiting = True
+        vcpu.guest_write_cr3(0x1000)
+        assert vcpu.collect_charges() >= machine.costs.vm_exit_roundtrip_ns
+
+    def test_collect_resets(self, vcpu):
+        vcpu.charge(100)
+        assert vcpu.collect_charges() == 100
+        assert vcpu.collect_charges() == 0
+
+    def test_negative_charge_rejected(self, vcpu):
+        with pytest.raises(SimulationError):
+            vcpu.charge(-5)
+
+
+class TestDispatcherRequired:
+    def test_exit_without_hypervisor_is_error(self):
+        machine = Machine(MachineConfig(num_vcpus=1, ram_bytes=64 * 1024 * 1024))
+        vcpu = machine.vcpus[0]
+        vcpu.vmcs.controls.cr3_load_exiting = True
+        with pytest.raises(SimulationError):
+            vcpu.guest_write_cr3(0x1000)

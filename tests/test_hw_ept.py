@@ -1,0 +1,66 @@
+"""Tests for the extended page tables."""
+
+import pytest
+
+from repro.hw.ept import EptViolationSignal, ExtendedPageTable
+from repro.hw.exits import MemAccess
+from repro.hw.memory import PAGE_SIZE
+
+
+@pytest.fixture
+def ept():
+    return ExtendedPageTable()
+
+
+class TestEpt:
+    def test_identity_default(self, ept):
+        assert ept.translate(0x5123, MemAccess.READ) == 0x5123
+
+    def test_write_protection(self, ept):
+        ept.set_permissions(0x5000, write=False)
+        with pytest.raises(EptViolationSignal) as exc:
+            ept.translate(0x5010, MemAccess.WRITE)
+        assert exc.value.gpa == 0x5010
+        assert exc.value.access is MemAccess.WRITE
+
+    def test_write_protection_still_readable(self, ept):
+        ept.set_permissions(0x5000, write=False)
+        assert ept.translate(0x5010, MemAccess.READ) == 0x5010
+
+    def test_execute_protection(self, ept):
+        ept.set_permissions(0x8000, execute=False)
+        with pytest.raises(EptViolationSignal):
+            ept.translate(0x8000, MemAccess.EXECUTE)
+        assert ept.translate(0x8000, MemAccess.WRITE) == 0x8000
+
+    def test_protection_is_page_granular(self, ept):
+        ept.set_permissions(0x5000, write=False)
+        with pytest.raises(EptViolationSignal):
+            ept.translate(0x5000 + PAGE_SIZE - 1, MemAccess.WRITE)
+        # next page untouched
+        assert ept.translate(0x5000 + PAGE_SIZE, MemAccess.WRITE)
+
+    def test_restore_permissions(self, ept):
+        ept.set_permissions(0x5000, write=False)
+        ept.set_permissions(0x5000, write=True)
+        assert ept.translate(0x5000, MemAccess.WRITE) == 0x5000
+
+    def test_nofault_bypasses_permissions(self, ept):
+        """The hypervisor's emulation path ignores narrowed perms."""
+        ept.set_permissions(0x5000, write=False, read=False, execute=False)
+        assert ept.translate_nofault(0x5042) == 0x5042
+
+    def test_violation_counter(self, ept):
+        ept.set_permissions(0, write=False)
+        for _ in range(3):
+            with pytest.raises(EptViolationSignal):
+                ept.translate(0, MemAccess.WRITE)
+        assert ept.violations == 3
+
+    def test_remap(self, ept):
+        ept.remap(0x1000, 0x99)
+        assert ept.translate(0x1008, MemAccess.READ) == (0x99 << 12) | 8
+
+    def test_permissions_query(self, ept):
+        ept.set_permissions(0x3000, write=False)
+        assert ept.permissions(0x3000) == (True, False, True)

@@ -1,0 +1,103 @@
+"""Tests for machine composition, devices, APIC, and IO bus."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.hw.exits import ExitAction
+from repro.hw.io import (
+    ConsoleDevice,
+    IoBus,
+    PORT_CONSOLE,
+    PORT_DISK_CMD,
+)
+from repro.hw.machine import Machine, MachineConfig
+from repro.hw.vmcs import VECTOR_DISK, VECTOR_TIMER
+from repro.sim.clock import MILLISECOND
+
+
+@pytest.fixture
+def machine():
+    m = Machine(MachineConfig(num_vcpus=2, ram_bytes=64 * 1024 * 1024))
+    m.set_exit_dispatcher(lambda v, e: ExitAction.EMULATE)
+    return m
+
+
+class TestMachineConfig:
+    def test_defaults_match_paper_vm(self):
+        config = MachineConfig()
+        assert config.num_vcpus == 2
+        assert config.ram_bytes == 1024 * 1024 * 1024
+
+    def test_zero_vcpus_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Machine(MachineConfig(num_vcpus=0))
+
+    def test_tiny_ram_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Machine(MachineConfig(ram_bytes=4096))
+
+
+class TestApicTimer:
+    def test_timer_queues_interrupts(self, machine):
+        machine.start_timers()
+        machine.engine.run_for(20 * MILLISECOND)
+        for vcpu in machine.vcpus:
+            assert VECTOR_TIMER in vcpu.pending_interrupts
+
+    def test_timer_period(self, machine):
+        machine.start_timers()
+        machine.engine.run_for(40 * MILLISECOND)
+        # 40ms / 4ms period = 10 ticks per vCPU
+        assert machine.apics[0].ticks_fired == 10
+
+    def test_stop_timers(self, machine):
+        machine.start_timers()
+        machine.engine.run_for(8 * MILLISECOND)
+        machine.stop_timers()
+        fired = machine.apics[0].ticks_fired
+        machine.engine.run_for(40 * MILLISECOND)
+        assert machine.apics[0].ticks_fired == fired
+
+
+class TestIoBus:
+    def test_console_collects_output(self, machine):
+        for byte in b"hi":
+            machine.io_bus.access(machine.vcpus[0], PORT_CONSOLE, "out", byte)
+        assert machine.console.text() == "hi"
+
+    def test_unclaimed_port_reads_high(self, machine):
+        assert machine.io_bus.access(machine.vcpus[0], 0x9999, "in", 0) == 0xFFFFFFFF
+
+    def test_duplicate_device_rejected(self):
+        bus = IoBus()
+        bus.attach(ConsoleDevice())
+        with pytest.raises(SimulationError):
+            bus.attach(ConsoleDevice())
+
+    def test_disk_completion_interrupt(self, machine):
+        vcpu = machine.vcpus[0]
+        machine.io_bus.access(vcpu, PORT_DISK_CMD, "out", 1)
+        assert machine.disk.blocks_read == 1
+        machine.engine.run_for(1 * MILLISECOND)
+        assert VECTOR_DISK in vcpu.pending_interrupts
+
+
+class TestHostMemoryHelpers:
+    def test_gpa_roundtrip(self, machine):
+        machine.host_write_u64_gpa(0x1000, 42)
+        assert machine.host_read_u64_gpa(0x1000) == 42
+
+    def test_gva_read_requires_mapping(self, machine):
+        with pytest.raises(SimulationError):
+            machine.host_read_gva(0xDEAD, 0x400000, 8)
+
+    def test_gva_roundtrip_through_registry(self, machine):
+        space = machine.page_registry.create_address_space()
+        space.map_user_page(0x400000, 0x5000)
+        machine.host_write_u64_gva(space.pdba, 0x400008, 1234)
+        assert machine.host_read_u64_gva(space.pdba, 0x400008) == 1234
+
+    def test_exit_sequence_monotonic(self, machine):
+        first = machine.next_exit_sequence()
+        second = machine.next_exit_sequence()
+        assert second == first + 1

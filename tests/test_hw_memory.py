@@ -1,0 +1,80 @@
+"""Tests for physical memory and page helpers."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hw.memory import (
+    PAGE_SIZE,
+    PhysicalMemory,
+    page_base,
+    page_number,
+    page_offset,
+)
+
+
+class TestPageHelpers:
+    def test_page_number(self):
+        assert page_number(0) == 0
+        assert page_number(PAGE_SIZE) == 1
+        assert page_number(PAGE_SIZE - 1) == 0
+
+    def test_page_offset(self):
+        assert page_offset(PAGE_SIZE + 7) == 7
+
+    def test_page_base(self):
+        assert page_base(PAGE_SIZE + 7) == PAGE_SIZE
+
+
+class TestPhysicalMemory:
+    def test_sparse_allocation(self):
+        mem = PhysicalMemory(1024 * 1024)
+        assert mem.resident_frames == 0
+        mem.write_u64(0, 5)
+        assert mem.resident_frames == 1
+
+    def test_u64_roundtrip(self):
+        mem = PhysicalMemory(1024 * 1024)
+        mem.write_u64(128, 0xDEADBEEFCAFEBABE)
+        assert mem.read_u64(128) == 0xDEADBEEFCAFEBABE
+
+    def test_u64_little_endian(self):
+        mem = PhysicalMemory(1024 * 1024)
+        mem.write_u64(0, 0x0102030405060708)
+        assert mem.read_bytes(0, 1) == b"\x08"
+
+    def test_u32_roundtrip(self):
+        mem = PhysicalMemory(1024 * 1024)
+        mem.write_u32(4, 0x12345678)
+        assert mem.read_u32(4) == 0x12345678
+
+    def test_cross_page_write(self):
+        mem = PhysicalMemory(1024 * 1024)
+        addr = PAGE_SIZE - 4
+        mem.write_u64(addr, 0xAABBCCDDEEFF0011)
+        assert mem.read_u64(addr) == 0xAABBCCDDEEFF0011
+        assert mem.resident_frames == 2
+
+    def test_cstring_roundtrip(self):
+        mem = PhysicalMemory(1024 * 1024)
+        mem.write_cstring(64, "hello", 16)
+        assert mem.read_cstring(64) == "hello"
+
+    def test_cstring_truncation(self):
+        mem = PhysicalMemory(1024 * 1024)
+        mem.write_cstring(0, "a" * 100, 8)
+        assert mem.read_cstring(0) == "a" * 7
+
+    def test_out_of_range_frame(self):
+        mem = PhysicalMemory(PAGE_SIZE * 4)
+        with pytest.raises(SimulationError):
+            mem.read_u64(PAGE_SIZE * 4)
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(SimulationError):
+            PhysicalMemory(100)
+        with pytest.raises(SimulationError):
+            PhysicalMemory(0)
+
+    def test_fresh_memory_is_zero(self):
+        mem = PhysicalMemory(1024 * 1024)
+        assert mem.read_u64(512) == 0

@@ -1,0 +1,114 @@
+"""Tests for fine-grained kernel-data integrity watching (§VI-D)."""
+
+import pytest
+
+from repro.auditors.kernel_integrity import KernelDataWatch
+from repro.guest.layouts import TASK_STRUCT
+
+
+def spawn_victim(testbed, uid=0):
+    def prog(ctx):
+        while True:
+            yield ctx.compute(400_000)
+
+    return testbed.kernel.spawn_process(prog, "victim", uid=uid, exe="/tmp/.v")
+
+
+def in_guest_dkom(victim_gva: int):
+    """An in-guest rootkit installer: unlinks a task_struct from the
+    task list through /dev/kmem writes (the CPU-visible path)."""
+    off_next = TASK_STRUCT.offset("tasks_next")
+    off_prev = TASK_STRUCT.offset("tasks_prev")
+
+    def _program(ctx):
+        nxt = yield ctx.kmem_read(victim_gva + off_next)
+        prv = yield ctx.kmem_read(victim_gva + off_prev)
+        yield ctx.kmem_write(prv + off_next, nxt)
+        yield ctx.kmem_write(nxt + off_prev, prv)
+        yield ctx.exit(0)
+
+    return _program
+
+
+@pytest.fixture
+def watch(testbed):
+    auditor = KernelDataWatch()
+    testbed.monitor([auditor])
+    return auditor
+
+
+class TestKernelDataWatch:
+    def test_in_guest_dkom_caught(self, testbed, watch):
+        victim = spawn_victim(testbed)
+        # DKOM rewrites the *neighbours'* pointers; protect the list.
+        watch.watch_all_tasks(testbed.kernel)
+        testbed.run_s(0.3)
+        installer = testbed.kernel.spawn_process(
+            in_guest_dkom(victim.task_struct_gva),
+            "insmod",
+            uid=0,
+            exe="/tmp/rk.ko",
+        )
+        testbed.run_s(0.5)
+        assert watch.tamper_alerts
+        alert = watch.tamper_alerts[0]
+        assert alert["writer_comm"] == "insmod"
+        # ...and the unlink still succeeded (alert, not prevention):
+        assert victim.pid not in testbed.kernel.guest_view_pids()
+
+    def test_requires_root_for_kmem(self, testbed, watch):
+        victim = spawn_victim(testbed)
+        watch.watch_all_tasks(testbed.kernel)
+        testbed.run_s(0.3)
+        testbed.kernel.spawn_process(
+            in_guest_dkom(victim.task_struct_gva),
+            "wannabe",
+            uid=1000,  # not root: /dev/kmem denies
+            exe="/tmp/rk.ko",
+        )
+        testbed.run_s(0.5)
+        assert not watch.tamper_alerts
+        assert victim.pid in testbed.kernel.guest_view_pids()
+
+    def test_no_alerts_without_tampering(self, testbed, watch):
+        spawn_victim(testbed)
+        watch.watch_all_tasks(testbed.kernel)
+        testbed.run_s(2.0)
+        assert not watch.tamper_alerts
+
+    def test_pause_on_tamper(self, testbed):
+        auditor = KernelDataWatch(pause_on_tamper=True)
+        testbed.monitor([auditor])
+        victim = spawn_victim(testbed)
+        auditor.watch_all_tasks(testbed.kernel)
+        testbed.run_s(0.2)
+        testbed.kernel.spawn_process(
+            in_guest_dkom(victim.task_struct_gva), "rk", uid=0, exe="/rk"
+        )
+        testbed.run_s(0.5)
+        assert auditor.tamper_alerts
+        assert testbed.machine.vm_paused
+
+    def test_watch_requires_tracer(self, testbed):
+        """Without MEM_ACCESS in subscriptions there is no tracer."""
+        from repro.auditors.goshd import GuestOSHangDetector
+
+        hypertap = testbed.monitor([GuestOSHangDetector()])
+        auditor = KernelDataWatch()
+        auditor.hypertap = hypertap
+        victim = spawn_victim(testbed)
+        with pytest.raises(RuntimeError):
+            auditor.watch_task(testbed.kernel, victim)
+
+    def test_writes_audited_counter(self, testbed, watch):
+        victim = spawn_victim(testbed)
+        # Another task after the victim, so both of the victim's
+        # neighbours exist (and are watched) before the attack.
+        spawn_victim(testbed, uid=1000)
+        watch.watch_all_tasks(testbed.kernel)
+        testbed.run_s(0.1)
+        testbed.kernel.spawn_process(
+            in_guest_dkom(victim.task_struct_gva), "rk", uid=0, exe="/rk"
+        )
+        testbed.run_s(0.5)
+        assert watch.writes_audited >= 2  # both neighbour pointers

@@ -1,0 +1,275 @@
+"""Tests for the three Ninjas (§VII-C, §VIII-C)."""
+
+import pytest
+
+from repro.attacks.exploits import CVE_2010_3847, ExploitPlan
+from repro.attacks.strategies import (
+    RootkitCombinedAttack,
+    SpammingAttack,
+    TransientAttack,
+)
+from repro.auditors.h_ninja import HNinja
+from repro.auditors.ht_ninja import HTNinja
+from repro.auditors.ninja_rules import NinjaPolicy, ProcessFacts
+from repro.auditors.o_ninja import ONinja
+from repro.sim.clock import MILLISECOND, SECOND
+from repro.vmi.introspection import KernelSymbolMap
+
+
+def make_facts(**overrides):
+    base = dict(
+        pid=50,
+        uid=1000,
+        euid=0,
+        exe="/home/user/exploit",
+        comm="exploit",
+        is_kthread=False,
+        parent_pid=40,
+        parent_uid=1000,
+        parent_euid=1000,
+    )
+    base.update(overrides)
+    return ProcessFacts(**base)
+
+
+class TestNinjaPolicy:
+    def test_flags_unauthorized_root(self):
+        assert NinjaPolicy().is_unauthorized_root(make_facts())
+
+    def test_magic_parent_authorized(self):
+        assert not NinjaPolicy().is_unauthorized_root(
+            make_facts(parent_uid=0)
+        )
+
+    def test_non_root_process_ignored(self):
+        assert not NinjaPolicy().is_unauthorized_root(make_facts(euid=1000))
+
+    def test_whitelisted_exe_exempt(self):
+        assert not NinjaPolicy().is_unauthorized_root(
+            make_facts(exe="/bin/su")
+        )
+
+    def test_kthreads_exempt(self):
+        assert not NinjaPolicy().is_unauthorized_root(
+            make_facts(is_kthread=True)
+        )
+
+    def test_custom_magic_group(self):
+        policy = NinjaPolicy(magic_uids=frozenset({0, 1000}))
+        assert not policy.is_unauthorized_root(make_facts(parent_uid=1000))
+
+
+class TestONinja:
+    def test_detects_persistent_escalation(self, testbed):
+        oninja = ONinja(testbed.kernel, interval_ns=200 * MILLISECOND)
+        oninja.install()
+        testbed.run_s(0.5)
+        attack = TransientAttack(
+            testbed.kernel, ExploitPlan(exit_after=False)
+        )
+        attack.launch()
+        testbed.run_s(2.0)
+        assert oninja.detected
+        assert oninja.detections[0]["pid"] == attack.result.attacker_pid
+
+    def test_misses_transient_attack(self, testbed):
+        """The escalated process lives ~1 ms; a 1 s poll misses it."""
+        oninja = ONinja(testbed.kernel, interval_ns=1 * SECOND)
+        oninja.install()
+        testbed.run_s(1.2)  # land between scans
+        attack = TransientAttack(testbed.kernel)
+        attack.launch()
+        testbed.run_s(3.0)
+        assert attack.result.escalated
+        assert not oninja.detected
+
+    def test_kill_on_detect(self, testbed):
+        from repro.guest.task import TaskState
+
+        oninja = ONinja(
+            testbed.kernel, interval_ns=100 * MILLISECOND, kill_on_detect=True
+        )
+        oninja.install()
+        testbed.run_s(0.3)
+        attack = TransientAttack(testbed.kernel, ExploitPlan(exit_after=False))
+        attack.launch()
+        testbed.run_s(2.0)
+        assert oninja.detected
+        victim = testbed.kernel.find_task(attack.result.attacker_pid)
+        assert victim is None or victim.state is TaskState.ZOMBIE
+
+    def test_defeated_by_rootkit(self, testbed):
+        oninja = ONinja(testbed.kernel, interval_ns=100 * MILLISECOND)
+        oninja.install()
+        testbed.run_s(0.3)
+        # A competent attacker's insmod is quick; 200us here so the
+        # visibility window cannot straddle a scan deterministically.
+        attack = RootkitCombinedAttack(
+            testbed.kernel, install_delay_ns=200_000
+        )
+        attack.launch()
+        testbed.run_s(2.0)
+        assert attack.result.rootkit_installed_ns is not None
+        assert not oninja.detected
+
+    def test_scan_time_grows_with_spam(self, testbed):
+        """The mechanism behind the spamming attack: more processes ->
+        longer scans."""
+        oninja = ONinja(testbed.kernel, interval_ns=50 * MILLISECOND)
+        oninja.install()
+        testbed.run_s(1.0)
+        lean_scans = oninja.scans_completed
+        spam = SpammingAttack(testbed.kernel, idle_processes=150)
+        spam.spam()
+        testbed.run_s(1.0)
+        fat_scans = oninja.scans_completed - lean_scans
+        assert fat_scans < lean_scans  # same wall time, fewer scans
+
+
+class TestHNinja:
+    def _start(self, testbed, interval_ns, blocking=False):
+        ninja = HNinja(
+            testbed.machine,
+            KernelSymbolMap.from_kernel(testbed.kernel),
+            interval_ns=interval_ns,
+            blocking=blocking,
+        )
+        ninja.start()
+        return ninja
+
+    def test_detects_persistent_escalation(self, testbed):
+        ninja = self._start(testbed, 100 * MILLISECOND)
+        testbed.run_s(0.3)
+        TransientAttack(testbed.kernel, ExploitPlan(exit_after=False)).launch()
+        testbed.run_s(1.0)
+        assert ninja.detected
+
+    def test_fast_interval_catches_short_attack(self, testbed):
+        ninja = self._start(testbed, 4 * MILLISECOND)
+        testbed.run_s(0.2)
+        TransientAttack(
+            testbed.kernel,
+            ExploitPlan(post_escalation_ns=5_000_000, io_actions=3),
+        ).launch()
+        testbed.run_s(0.5)
+        assert ninja.detected
+
+    def test_slow_interval_misses_short_attack(self, testbed):
+        ninja = self._start(testbed, 500 * MILLISECOND)
+        testbed.run_s(0.6)
+        TransientAttack(testbed.kernel).launch()
+        testbed.run_s(2.0)
+        assert not ninja.detected
+
+    def test_defeated_by_dkom_rootkit(self, testbed):
+        """H-Ninja walks the task list: DKOM removes the attacker."""
+        ninja = self._start(testbed, 50 * MILLISECOND)
+        testbed.run_s(0.2)
+        attack = RootkitCombinedAttack(
+            testbed.kernel, rootkit_name="SucKIT"
+        )
+        attack.launch()
+        testbed.run_s(2.0)
+        assert not ninja.detected
+
+    def test_no_proc_side_channel(self, testbed):
+        """H-Ninja has no pid inside the guest to observe."""
+        ninja = self._start(testbed, 1 * SECOND)
+        guest_comms = {
+            e["comm"] for e in testbed.kernel.walk_task_list_guest()
+        }
+        assert "ninja" not in guest_comms
+
+    def test_stop(self, testbed):
+        ninja = self._start(testbed, 100 * MILLISECOND)
+        testbed.run_s(0.5)
+        ninja.stop()
+        scans = ninja.scans_completed
+        testbed.run_s(1.0)
+        assert ninja.scans_completed == scans
+
+
+class TestHTNinja:
+    def test_detects_transient_attack(self, testbed):
+        """Active monitoring: the IO-syscall check fires *during* the
+        attack, however short it is."""
+        ninja = HTNinja()
+        testbed.monitor([ninja])
+        testbed.run_s(0.3)
+        attack = TransientAttack(testbed.kernel)
+        attack.launch()
+        testbed.run_s(0.5)
+        assert ninja.detected
+        assert ninja.detections[0]["pid"] == attack.result.attacker_pid
+
+    def test_detects_rootkit_combined_attack(self, testbed):
+        ninja = HTNinja()
+        testbed.monitor([ninja])
+        testbed.run_s(0.3)
+        RootkitCombinedAttack(testbed.kernel).launch()
+        testbed.run_s(0.5)
+        assert ninja.detected
+
+    def test_detects_under_spamming(self, testbed):
+        ninja = HTNinja()
+        testbed.monitor([ninja])
+        testbed.run_s(0.3)
+        spam = SpammingAttack(testbed.kernel, idle_processes=100)
+        spam.spam()
+        testbed.run_s(0.3)
+        spam.launch()
+        testbed.run_s(1.0)
+        assert ninja.detected
+
+    def test_detects_glibc_exploit(self, testbed):
+        ninja = HTNinja()
+        testbed.monitor([ninja])
+        testbed.run_s(0.3)
+        TransientAttack(
+            testbed.kernel, ExploitPlan(cve=CVE_2010_3847)
+        ).launch()
+        testbed.run_s(0.5)
+        assert ninja.detected
+
+    def test_no_false_positives_on_legit_root(self, testbed):
+        """Root daemons parented by init are authorized."""
+        ninja = HTNinja()
+        testbed.monitor([ninja])
+
+        def root_daemon(ctx):
+            while True:
+                yield ctx.sys_disk_read(1)
+                yield ctx.compute(1_000_000)
+
+        testbed.kernel.spawn_process(
+            root_daemon, "cron", uid=0, exe="/usr/sbin/cron"
+        )
+        testbed.run_s(2.0)
+        assert not ninja.detected
+
+    def test_whitelist_limitation(self, testbed):
+        """§VIII-C2's caveat: attacks inside whitelisted processes are
+        not detected — faithfully reproduced."""
+        ninja = HTNinja()
+        testbed.monitor([ninja])
+        testbed.run_s(0.3)
+
+        def compromised_su(ctx):  # buffer overflow inside /bin/su
+            yield ctx.syscall("vuln_sock_diag")
+            yield ctx.sys_disk_read(2)
+            yield ctx.exit(0)
+
+        testbed.kernel.spawn_process(
+            compromised_su, "su", uid=1000, exe="/bin/su"
+        )
+        testbed.run_s(0.5)
+        assert not ninja.detected
+
+    def test_pause_on_detect(self, testbed):
+        ninja = HTNinja(pause_on_detect=True)
+        testbed.monitor([ninja])
+        testbed.run_s(0.3)
+        TransientAttack(testbed.kernel, ExploitPlan(exit_after=False)).launch()
+        testbed.run_s(0.5)
+        assert ninja.detected
+        assert testbed.machine.vm_paused

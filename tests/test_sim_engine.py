@@ -1,0 +1,136 @@
+"""Tests for the discrete-event engine and clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import MILLISECOND, SECOND, VirtualClock, format_ns
+from repro.sim.engine import Engine
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0
+
+    def test_advance(self):
+        clock = VirtualClock()
+        clock.advance_to(500)
+        assert clock.now == 500
+
+    def test_cannot_move_backwards(self):
+        clock = VirtualClock(1000)
+        with pytest.raises(SimulationError):
+            clock.advance_to(999)
+
+    def test_cannot_start_negative(self):
+        with pytest.raises(SimulationError):
+            VirtualClock(-1)
+
+    def test_now_seconds(self):
+        clock = VirtualClock(2 * SECOND)
+        assert clock.now_seconds == pytest.approx(2.0)
+
+    def test_format_ns(self):
+        assert format_ns(5) == "5ns"
+        assert format_ns(5_000) == "5.000us"
+        assert format_ns(5_000_000) == "5.000ms"
+        assert "s" in format_ns(5 * SECOND)
+
+
+class TestEngine:
+    def test_schedule_and_run(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(100, fired.append, 1)
+        engine.schedule(50, fired.append, 2)
+        engine.run_until(200)
+        assert fired == [2, 1]
+        assert engine.clock.now == 200
+
+    def test_same_time_fifo_order(self):
+        engine = Engine()
+        fired = []
+        for i in range(10):
+            engine.schedule(100, fired.append, i)
+        engine.run_until(100)
+        assert fired == list(range(10))
+
+    def test_cancel(self):
+        engine = Engine()
+        fired = []
+        handle = engine.schedule(10, fired.append, "x")
+        handle.cancel()
+        engine.run_until(100)
+        assert fired == []
+
+    def test_cannot_schedule_in_past(self):
+        engine = Engine()
+        engine.clock.advance_to(100)
+        with pytest.raises(SimulationError):
+            engine.schedule_at(50, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.schedule(-1, lambda: None)
+
+    def test_run_until_lands_on_horizon(self):
+        engine = Engine()
+        engine.schedule(30, lambda: None)
+        engine.run_until(1000)
+        assert engine.clock.now == 1000
+
+    def test_events_scheduled_during_run(self):
+        engine = Engine()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 5:
+                engine.schedule(10, chain, n + 1)
+
+        engine.schedule(0, chain, 0)
+        engine.run_until(100)
+        assert fired == [0, 1, 2, 3, 4, 5]
+
+    def test_run_for_is_relative(self):
+        engine = Engine()
+        engine.run_for(5 * MILLISECOND)
+        engine.run_for(5 * MILLISECOND)
+        assert engine.clock.now == 10 * MILLISECOND
+
+    def test_step_returns_false_when_empty(self):
+        assert Engine().step() is False
+
+    def test_max_events_bound(self):
+        engine = Engine()
+
+        def rearm():
+            engine.schedule(1, rearm)
+
+        engine.schedule(0, rearm)
+        fired = engine.run_until(10**9, max_events=100)
+        assert fired == 100
+
+    def test_stop_during_run(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(10, fired.append, 1)
+        engine.schedule(20, lambda: engine.stop())
+        engine.schedule(30, fired.append, 2)
+        engine.run_until(100)
+        assert fired == [1]
+
+    def test_drain(self):
+        engine = Engine()
+        fired = []
+        for i in range(5):
+            engine.schedule(i * 10, fired.append, i)
+        assert engine.drain() == 5
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_pending_counts_uncancelled(self):
+        engine = Engine()
+        handle = engine.schedule(10, lambda: None)
+        engine.schedule(20, lambda: None)
+        handle.cancel()
+        assert engine.pending == 1

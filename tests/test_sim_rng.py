@@ -1,0 +1,47 @@
+"""Tests for named random streams."""
+
+from repro.sim.rng import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream(self):
+        a = RandomStreams(1).stream("x").random()
+        b = RandomStreams(1).stream("x").random()
+        assert a == b
+
+    def test_different_names_independent(self):
+        streams = RandomStreams(1)
+        a = streams.stream("a").random()
+        b = streams.stream("b").random()
+        assert a != b
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).stream("x").random()
+        b = RandomStreams(2).stream("x").random()
+        assert a != b
+
+    def test_stream_is_cached(self):
+        streams = RandomStreams(0)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        s1 = RandomStreams(9)
+        first = [s1.stream("main").random() for _ in range(3)]
+        s2 = RandomStreams(9)
+        s2.stream("other").random()  # interleaved draw on another stream
+        second = [s2.stream("main").random() for _ in range(3)]
+        assert first == second
+
+    def test_jitter_bounds(self):
+        streams = RandomStreams(3)
+        for _ in range(200):
+            value = streams.jitter_ns("j", 1000, 0.1)
+            assert 900 <= value <= 1100
+
+    def test_jitter_zero_base(self):
+        assert RandomStreams(0).jitter_ns("j", 0, 0.5) == 0
+
+    def test_jitter_never_negative(self):
+        streams = RandomStreams(0)
+        for _ in range(100):
+            assert streams.jitter_ns("j", 1, 0.99) >= 1

@@ -1,0 +1,193 @@
+"""Tests for the §VII-D syscall-policy and sequence-anomaly auditors."""
+
+import pytest
+
+from repro.auditors.syscall_policy import (
+    SyscallPolicy,
+    SyscallPolicyAuditor,
+    SyscallSequenceAnomalyDetector,
+)
+
+
+def well_behaved_daemon(ctx):
+    """open -> read -> write -> close, repeatedly."""
+    while True:
+        fd = yield ctx.sys_open("/var/data")
+        yield ctx.sys_read(fd, 256)
+        yield ctx.sys_write(fd, 256)
+        yield ctx.sys_close(fd)
+        yield ctx.sys_nanosleep(20_000_000)
+
+
+class TestSyscallPolicy:
+    def test_policy_builder(self):
+        policy = SyscallPolicy.allow("/bin/cat", "open", "read", "close")
+        from repro.guest.syscalls import SYSCALL_NUMBERS
+
+        assert SYSCALL_NUMBERS["open"] in policy.allowed
+        assert SYSCALL_NUMBERS["write"] not in policy.allowed
+
+    def test_conforming_process_passes(self, testbed):
+        auditor = SyscallPolicyAuditor(
+            {
+                "/usr/sbin/datad": SyscallPolicy.allow(
+                    "/usr/sbin/datad",
+                    "open", "read", "write", "close", "nanosleep",
+                )
+            }
+        )
+        testbed.monitor([auditor])
+        testbed.kernel.spawn_process(
+            well_behaved_daemon, "datad", uid=2, exe="/usr/sbin/datad"
+        )
+        testbed.run_s(1.0)
+        assert auditor.checked > 0
+        assert auditor.violations == []
+
+    def test_violation_detected(self, testbed):
+        auditor = SyscallPolicyAuditor(
+            {
+                "/usr/sbin/datad": SyscallPolicy.allow(
+                    "/usr/sbin/datad", "open", "read", "close", "nanosleep"
+                )  # note: write NOT allowed
+            }
+        )
+        testbed.monitor([auditor])
+        testbed.kernel.spawn_process(
+            well_behaved_daemon, "datad", uid=2, exe="/usr/sbin/datad"
+        )
+        testbed.run_s(1.0)
+        assert auditor.violations
+        violation = auditor.violations[0]
+        assert violation["syscall"] == "write"
+        assert violation["exe"] == "/usr/sbin/datad"
+
+    def test_default_deny_mode(self, testbed):
+        auditor = SyscallPolicyAuditor({}, default_allow=False)
+        testbed.monitor([auditor])
+        testbed.kernel.spawn_process(
+            well_behaved_daemon, "datad", uid=2, exe="/usr/sbin/datad"
+        )
+        testbed.run_s(0.5)
+        assert auditor.violations
+
+    def test_pause_on_violation(self, testbed):
+        auditor = SyscallPolicyAuditor(
+            {"/x": SyscallPolicy.allow("/x", "getpid")},
+            default_allow=True,
+            pause_on_violation=True,
+        )
+        testbed.monitor([auditor])
+
+        def rogue(ctx):
+            while True:
+                yield ctx.sys_disk_read(1)
+
+        testbed.kernel.spawn_process(rogue, "rogue", uid=2, exe="/x")
+        testbed.run_s(1.0)
+        assert auditor.violations
+        assert testbed.machine.vm_paused
+
+    def test_policy_identity_is_architectural(self, testbed):
+        """The exe used for the policy lookup comes from the derived
+        task_struct — an in-guest /proc lie does not change it, but
+        the attacker *can* overwrite the exe field itself (values are
+        forgeable; the anchor is not). Verify we read the real field."""
+        auditor = SyscallPolicyAuditor({}, default_allow=False)
+        testbed.monitor([auditor])
+        task = testbed.kernel.spawn_process(
+            well_behaved_daemon, "d", uid=2, exe="/usr/sbin/datad"
+        )
+        testbed.run_s(0.3)
+        assert any(
+            v["exe"] == "/usr/sbin/datad" for v in auditor.violations
+        )
+
+
+class TestSequenceAnomaly:
+    def test_learns_then_accepts_normal(self, testbed):
+        detector = SyscallSequenceAnomalyDetector(ngram=3)
+        testbed.monitor([detector])
+        testbed.kernel.spawn_process(
+            well_behaved_daemon, "d", uid=2, exe="/usr/sbin/datad"
+        )
+        testbed.run_s(1.0)
+        detector.finish_learning()
+        testbed.run_s(1.0)
+        assert detector.profile_size("/usr/sbin/datad") > 0
+        assert detector.anomalies_found == 0
+
+    def test_flags_novel_sequence(self, testbed):
+        detector = SyscallSequenceAnomalyDetector(ngram=3)
+        testbed.monitor([detector])
+        phase = {"attack": False}
+
+        def daemon(ctx):
+            while True:
+                if not phase["attack"]:
+                    fd = yield ctx.sys_open("/var/data")
+                    yield ctx.sys_read(fd, 256)
+                    yield ctx.sys_close(fd)
+                else:
+                    # Exploited: suddenly spawning and escalating.
+                    yield ctx.syscall("vuln_sock_diag")
+                    yield ctx.sys_disk_read(1)
+                yield ctx.sys_nanosleep(10_000_000)
+
+        testbed.kernel.spawn_process(daemon, "d", uid=2, exe="/usr/sbin/d")
+        testbed.run_s(1.0)
+        detector.finish_learning()
+        testbed.run_s(0.3)
+        assert detector.anomalies_found == 0
+        phase["attack"] = True
+        testbed.run_s(0.5)
+        assert detector.anomalies_found > 0
+        ngram = detector.alerts[0]["ngram"]
+        assert "vuln_sock_diag" in ngram or "disk_read" in ngram
+
+    def test_profiles_are_per_executable(self, testbed):
+        detector = SyscallSequenceAnomalyDetector(ngram=2)
+        testbed.monitor([detector])
+
+        def writer(ctx):
+            while True:
+                yield ctx.sys_write(1, 8)
+                yield ctx.sys_nanosleep(10_000_000)
+
+        testbed.kernel.spawn_process(writer, "w", uid=2, exe="/bin/w")
+        testbed.kernel.spawn_process(
+            well_behaved_daemon, "d", uid=2, exe="/bin/d"
+        )
+        testbed.run_s(1.0)
+        assert detector.profile_size("/bin/w") > 0
+        assert detector.profile_size("/bin/d") > 0
+        assert detector.profile_size("/bin/w") != detector.profile_size(
+            "/bin/d"
+        )
+
+    def test_ngram_validation(self):
+        with pytest.raises(ValueError):
+            SyscallSequenceAnomalyDetector(ngram=1)
+
+    def test_anomaly_alerted_once_per_gram(self, testbed):
+        detector = SyscallSequenceAnomalyDetector(ngram=2)
+        testbed.monitor([detector])
+        phase = {"attack": False}
+
+        def daemon(ctx):
+            while True:
+                if phase["attack"]:
+                    yield ctx.sys_disk_write(1)
+                yield ctx.sys_write(1, 8)
+                yield ctx.sys_nanosleep(10_000_000)
+
+        testbed.kernel.spawn_process(daemon, "d", uid=2, exe="/bin/d")
+        testbed.run_s(0.8)
+        detector.finish_learning()
+        phase["attack"] = True
+        testbed.run_s(1.0)
+        first_count = detector.anomalies_found
+        assert first_count > 0
+        testbed.run_s(1.0)
+        # The same novel grams do not re-alert forever.
+        assert detector.anomalies_found <= first_count + 2

@@ -1,0 +1,78 @@
+"""Tests for the Ether-style trace recorder."""
+
+import json
+
+from repro.auditors.trace import TraceRecorder
+from repro.core.events import EventType
+from repro.guest.syscalls import SYSCALL_NUMBERS
+
+
+def worker(ctx):
+    while True:
+        yield ctx.compute(300_000)
+        yield ctx.sys_write(1, 8)
+
+
+class TestTraceRecorder:
+    def test_records_event_mix(self, testbed):
+        recorder = TraceRecorder()
+        testbed.monitor([recorder])
+        testbed.kernel.spawn_process(worker, "w", uid=1000)
+        testbed.run_s(1.0)
+        counts = recorder.event_counts()
+        assert counts.get("syscall", 0) > 0
+        assert counts.get("thread_switch", 0) > 0
+
+    def test_syscall_records_carry_registers(self, testbed):
+        recorder = TraceRecorder()
+        testbed.monitor([recorder])
+
+        def prog(ctx):
+            yield ctx.sys_write(3, 42)
+            yield ctx.exit(0)
+
+        testbed.kernel.spawn_process(prog, "p", uid=1000)
+        testbed.run_s(0.5)
+        writes = [
+            r
+            for r in recorder.syscall_trace()
+            if r["nr"] == SYSCALL_NUMBERS["write"]
+        ]
+        assert writes
+        assert writes[0]["args"][:2] == [3, 42]
+
+    def test_task_resolution(self, testbed):
+        recorder = TraceRecorder(resolve_tasks=True)
+        testbed.monitor([recorder])
+        task = testbed.kernel.spawn_process(worker, "traced", uid=1000)
+        testbed.run_s(0.5)
+        trace = recorder.syscall_trace(pid=task.pid)
+        assert trace
+        assert all(r["comm"] == "traced" for r in trace)
+
+    def test_bounded_capacity(self, testbed):
+        recorder = TraceRecorder(capacity=50)
+        testbed.monitor([recorder])
+        testbed.kernel.spawn_process(worker, "w", uid=1000)
+        testbed.run_s(2.0)
+        assert len(recorder.records) == 50
+        assert recorder.dropped > 0
+
+    def test_jsonl_round_trips(self, testbed):
+        recorder = TraceRecorder(capacity=100)
+        testbed.monitor([recorder])
+        testbed.kernel.spawn_process(worker, "w", uid=1000)
+        testbed.run_s(0.5)
+        lines = recorder.to_jsonl().splitlines()
+        assert lines
+        parsed = [json.loads(line) for line in lines]
+        assert all("t" in r and "type" in r for r in parsed)
+        times = [r["t"] for r in parsed]
+        assert times == sorted(times)
+
+    def test_type_filter(self, testbed):
+        recorder = TraceRecorder(event_types=[EventType.SYSCALL])
+        testbed.monitor([recorder])
+        testbed.kernel.spawn_process(worker, "w", uid=1000)
+        testbed.run_s(1.0)
+        assert set(recorder.event_counts()) == {"syscall"}

@@ -1,0 +1,127 @@
+"""Tests for the workload programs and the micro-benchmark runner."""
+
+import pytest
+
+from repro.guest.task import TaskState
+from repro.workloads.common import SshProbe, start_workload, WORKLOAD_NAMES
+from repro.workloads.hanoi import hanoi_moves
+from repro.workloads.unixbench import MICROBENCHES, run_microbench
+
+
+class TestHanoi:
+    def test_move_count(self):
+        for n in (1, 3, 5, 10):
+            assert sum(1 for _ in hanoi_moves(n)) == 2**n - 1
+
+    def test_moves_are_legal(self):
+        """Replay the move sequence against real pegs."""
+        n = 7
+        pegs = {0: list(range(n, 0, -1)), 1: [], 2: []}
+        for src, dst in hanoi_moves(n):
+            disk = pegs[src].pop()
+            assert not pegs[dst] or pegs[dst][-1] > disk
+            pegs[dst].append(disk)
+        assert pegs[2] == list(range(n, 0, -1))
+
+    def test_hanoi_runs_in_guest(self, testbed):
+        handle = start_workload(testbed.kernel, "hanoi")
+        testbed.run_s(1.0)
+        ref = testbed.kernel.task_ref(handle.tasks[0])
+        assert ref.read("utime") > 0
+
+
+class TestMake:
+    def test_make_spawns_compilers(self, testbed):
+        start_workload(testbed.kernel, "make-j1")
+        testbed.run_s(2.0)
+        assert testbed.kernel.syscall_count > 10
+        assert testbed.machine.disk.blocks_read > 0
+
+    def test_make_j2_uses_both_cpus(self, testbed):
+        start_workload(testbed.kernel, "make-j2")
+        testbed.run_s(3.0)
+        # both CPUs saw context switches from compile jobs
+        for cpu in testbed.kernel.cpus:
+            assert cpu.context_switches > 2
+
+
+class TestHttp:
+    def test_server_answers_requests(self, testbed):
+        handle = start_workload(testbed.kernel, "http")
+        testbed.run_s(3.0)
+        assert handle.driver.requests_sent > 100
+        assert handle.driver.responses > 50
+
+    def test_unknown_workload_rejected(self, testbed):
+        with pytest.raises(ValueError):
+            start_workload(testbed.kernel, "seti-at-home")
+
+    def test_all_names_start(self, testbed):
+        for name in WORKLOAD_NAMES:
+            start_workload(testbed.kernel, name)
+        testbed.run_s(0.5)  # nothing crashes
+
+
+class TestSshProbe:
+    def test_probe_healthy_guest(self, testbed):
+        probe = SshProbe(testbed.kernel)
+        probe.start()
+        testbed.run_s(5.0)
+        assert probe.stats["responses"] >= 3
+        assert not probe.reports_dead
+
+    def test_probe_detects_dead_network(self, testbed):
+        probe = SshProbe(testbed.kernel)
+        probe.start()
+        testbed.run_s(3.0)
+        testbed.kernel.force_exit(probe.task)  # sshd dies
+        testbed.run_s(5.0)
+        assert probe.reports_dead
+
+
+class TestMicrobenches:
+    def test_catalog_nonempty(self):
+        assert len(MICROBENCHES) >= 10
+        for name, (factory, kwargs, category) in MICROBENCHES.items():
+            assert callable(factory)
+            assert category
+
+    def test_syscall_bench_completes(self, testbed):
+        elapsed = run_microbench(
+            testbed, "syscall", overrides={"iterations": 200}
+        )
+        assert elapsed > 0
+
+    def test_ctx_switch_bench_switches(self, testbed):
+        before = testbed.kernel.cpus[0].context_switches
+        run_microbench(
+            testbed, "context-switch", overrides={"iterations": 100}
+        )
+        assert testbed.kernel.cpus[0].context_switches - before > 100
+
+    def test_disk_bench_hits_disk(self, testbed):
+        run_microbench(testbed, "disk-io", overrides={"iterations": 10})
+        assert testbed.machine.disk.blocks_read >= 5
+
+    def test_process_creation_bench(self, testbed):
+        pids_before = testbed.kernel._next_pid
+        run_microbench(
+            testbed, "process-creation", overrides={"iterations": 10}
+        )
+        assert testbed.kernel._next_pid >= pids_before + 10
+
+    def test_monitoring_adds_overhead(self, testbed):
+        """The qualitative heart of Fig 7: monitored > baseline."""
+        from repro.auditors.ht_ninja import HTNinja
+        from repro.harness import Testbed, TestbedConfig
+
+        baseline = run_microbench(
+            testbed, "syscall", overrides={"iterations": 500}
+        )
+        monitored_tb = Testbed(TestbedConfig(num_vcpus=2, seed=42))
+        monitored_tb.boot()
+        monitored_tb.monitor([HTNinja()])
+        monitored = run_microbench(
+            monitored_tb, "syscall", overrides={"iterations": 500}
+        )
+        assert monitored > baseline

@@ -1,0 +1,74 @@
+"""Record & replay throughput (the IRIS [22] use case).
+
+Records each scenario live (full machine simulation), then replays the
+trace through fresh auditors with no Machine at all — just the decoded
+event stream driving a virtual clock.  Reports replay throughput
+against the live event rate; the subsystem's goal is >= 10x, so that
+one live capture supports many offline re-audits and fuzzing runs.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.replay.recorder import SCENARIOS, record_scenario
+from repro.replay.source import ReplaySource
+
+ROUNDS = 5
+
+
+def _run_scenario(name: str):
+    run = record_scenario(name, seed=0)
+    live_rate = (
+        run.trace.header.total_events / run.live_wall_seconds
+        if run.live_wall_seconds > 0
+        else float("inf")
+    )
+    walls = []
+    for _ in range(ROUNDS):
+        report = ReplaySource(
+            run.trace, SCENARIOS[name].build_auditors()
+        ).run()
+        walls.append(report.wall_seconds)
+    best_rate = report.events_replayed / min(walls)
+    return {
+        "events": report.events_replayed,
+        "live_rate": live_rate,
+        "replay_rate": best_rate,
+        "speedup": best_rate / live_rate if live_rate > 0 else 0.0,
+        "reproduced": report.matches_live(run.live_verdicts),
+    }
+
+
+def _run_all():
+    return {name: _run_scenario(name) for name in sorted(SCENARIOS)}
+
+
+def test_replay_throughput(benchmark, report):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    rows = [
+        [
+            name,
+            r["events"],
+            f"{r['live_rate']:,.0f}/s",
+            f"{r['replay_rate']:,.0f}/s",
+            f"{r['speedup']:.1f}x",
+            "yes" if r["reproduced"] else "NO",
+        ]
+        for name, r in results.items()
+    ]
+    report(
+        format_table(
+            ["scenario", "events", "live rate", "replay rate",
+             "speedup", "verdicts reproduced"],
+            rows,
+            title=f"Replay throughput vs live simulation (best of {ROUNDS})",
+        )
+    )
+
+    for name, r in results.items():
+        assert r["reproduced"], f"{name}: replay diverged from live verdicts"
+        assert r["speedup"] >= 5.0, (
+            f"{name}: replay only {r['speedup']:.1f}x live "
+            "(subsystem targets >= 10x on an idle machine)"
+        )

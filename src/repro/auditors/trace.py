@@ -9,18 +9,11 @@ in-memory trace and can dump JSON-lines for offline tooling.
 from __future__ import annotations
 
 import json
-from collections import deque
+from collections import Counter, deque
 from typing import Deque, Dict, Iterable, List, Optional
 
 from repro.core.auditor import Auditor
-from repro.core.events import (
-    EventType,
-    GuestEvent,
-    IOEvent,
-    ProcessSwitchEvent,
-    SyscallEvent,
-    ThreadSwitchEvent,
-)
+from repro.core.events import EVENT_CLASSES, EventType, GuestEvent
 
 
 class TraceRecorder(Auditor):
@@ -48,27 +41,27 @@ class TraceRecorder(Auditor):
         self.resolve_tasks = resolve_tasks
         self.records: Deque[Dict] = deque(maxlen=capacity)
         self.dropped = 0
+        #: Event types the shared codec has no registered class for —
+        #: they are still recorded generically, but counted so the gap
+        #: is visible instead of silently losing payload fields.
+        self.unknown_types: Counter = Counter()
+        self.serialize_failures = 0
 
     # ------------------------------------------------------------------
     def audit(self, event: GuestEvent) -> None:
         if len(self.records) == self.records.maxlen:
             self.dropped += 1
-        record: Dict = {
-            "t": event.time_ns,
-            "vcpu": event.vcpu_index,
-            "type": event.type.value,
-        }
-        if isinstance(event, ProcessSwitchEvent):
-            record["new_pdba"] = event.new_pdba
-            record["old_pdba"] = event.old_pdba
-        elif isinstance(event, ThreadSwitchEvent):
-            record["rsp0"] = event.rsp0
-        elif isinstance(event, SyscallEvent):
-            record["nr"] = event.number
-            record["args"] = list(event.args)
-            record["mechanism"] = event.mechanism
-        elif isinstance(event, IOEvent):
-            record["kind"] = event.kind
+        try:
+            # One serialization for every event class (replay uses the
+            # same codec), instead of a hand-rolled per-class subset
+            # that silently dropped TSS_INTEGRITY/MEM_ACCESS/RAW_EXIT
+            # payloads.
+            record = event.to_record()
+        except Exception:  # noqa: BLE001 - recording must never crash
+            self.serialize_failures += 1
+            return
+        if record["type"] not in EVENT_CLASSES:
+            self.unknown_types[record["type"]] += 1
         if self.resolve_tasks and self.hypertap is not None:
             info = self.hypertap.deriver.current_task_info(event.vcpu_index)
             if info is not None:

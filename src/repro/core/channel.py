@@ -11,7 +11,7 @@ derived events.  That sharing is the paper's core performance claim
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.auditor import Auditor
 from repro.core.events import EventType, GuestEvent, REQUIRED_EXIT_REASONS
@@ -32,6 +32,57 @@ from repro.hw.machine import Machine
 from repro.hypervisor.containers import AuditingContainer
 
 
+class EventFanout:
+    """Subscription registry + derived-event delivery.
+
+    The fan-out half of the unified channel, factored out so any event
+    producer — the live interception pipeline here, or a trace replay
+    (``repro.replay.source``) — can deliver derived events to unmodified
+    auditors through their containers.
+    """
+
+    def __init__(self) -> None:
+        #: (auditor, container) pairs subscribed to derived events.
+        self._subscribers: List[Tuple[Auditor, AuditingContainer]] = []
+        #: Event type -> interested (auditor, container) pairs, so the
+        #: per-event hot path never scans uninterested subscribers.
+        self._by_type: Dict[EventType, List[Tuple[Auditor, AuditingContainer]]]
+        self._by_type = {event_type: [] for event_type in EventType}
+        self.events_published: Counter = Counter()
+
+    def subscribe(self, auditor: Auditor, container: AuditingContainer) -> None:
+        self._subscribers.append((auditor, container))
+        for event_type in auditor.subscriptions:
+            self._by_type[event_type].append((auditor, container))
+
+    @property
+    def subscribers(self) -> List[Tuple[Auditor, AuditingContainer]]:
+        return list(self._subscribers)
+
+    def publish(
+        self,
+        event: GuestEvent,
+        blocking_charge: Optional[Callable[[Auditor, GuestEvent], None]] = None,
+    ) -> None:
+        """Deliver ``event`` to every subscriber.
+
+        ``blocking_charge`` is invoked before delivery to a blocking
+        auditor that wants this event synchronously — the live channel
+        uses it to charge the exiting vCPU the audit time; replay, which
+        has no vCPU, passes nothing.
+        """
+        event_type = event.type
+        self.events_published[event_type] += 1
+        for auditor, container in self._by_type[event_type]:
+            if (
+                blocking_charge is not None
+                and auditor.blocking
+                and auditor.wants_blocking(event)
+            ):
+                blocking_charge(auditor, event)
+            container.deliver(auditor, event)
+
+
 class UnifiedChannel:
     """Shared logging channel for one VM."""
 
@@ -39,9 +90,7 @@ class UnifiedChannel:
         self.machine = machine
         self.vm_id = vm_id
         self.interceptors: List[Interceptor] = []
-        #: (auditor, container) pairs subscribed to derived events.
-        self._subscribers: List[Tuple[Auditor, AuditingContainer]] = []
-        self.events_published: Counter = Counter()
+        self.fanout = EventFanout()
         # Named handles for interceptors auditors may query directly.
         self.process_switches: Optional[ProcessSwitchInterceptor] = None
         self.thread_switches: Optional[ThreadSwitchInterceptor] = None
@@ -113,7 +162,11 @@ class UnifiedChannel:
     # Subscription and delivery
     # ------------------------------------------------------------------
     def subscribe(self, auditor: Auditor, container: AuditingContainer) -> None:
-        self._subscribers.append((auditor, container))
+        self.fanout.subscribe(auditor, container)
+
+    @property
+    def events_published(self) -> Counter:
+        return self.fanout.events_published
 
     def on_exit(self, vcpu: VCPU, exit_event: VMExit) -> None:
         """EM consumer entry point: raw exit -> interception -> events."""
@@ -122,13 +175,11 @@ class UnifiedChannel:
             if exit_event.reason in interceptor.reasons:
                 interceptor.on_exit(vcpu, exit_event)
 
+    def _charge_blocking(self, auditor: Auditor, event: GuestEvent) -> None:
+        vcpu = getattr(self, "_current_vcpu", None)
+        if vcpu is not None:
+            vcpu.charge(self.machine.costs.blocking_audit_ns)
+
     def publish(self, event: GuestEvent) -> None:
         """Deliver a derived event to every subscribed auditor."""
-        self.events_published[event.type] += 1
-        for auditor, container in self._subscribers:
-            if event.type in auditor.subscriptions:
-                if auditor.blocking and auditor.wants_blocking(event):
-                    vcpu = getattr(self, "_current_vcpu", None)
-                    if vcpu is not None:
-                        vcpu.charge(self.machine.costs.blocking_audit_ns)
-                container.deliver(auditor, event)
+        self.fanout.publish(event, blocking_charge=self._charge_blocking)

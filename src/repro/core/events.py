@@ -10,9 +10,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple, Type
 
-from repro.hw.exits import ExitReason, GuestStateSnapshot
+from repro.errors import TraceFormatError
+from repro.hw.exits import ExitAction, ExitReason, GuestStateSnapshot, MemAccess
 
 
 class EventType(enum.Enum):
@@ -48,6 +49,116 @@ REQUIRED_EXIT_REASONS: Dict[EventType, frozenset] = {
 }
 
 
+#: Fields of :class:`GuestStateSnapshot`, in serialization order.
+_SNAPSHOT_FIELDS = (
+    "cr3", "tr_base", "rsp", "rip",
+    "rax", "rbx", "rcx", "rdx", "rsi", "rdi", "cpl",
+)
+
+#: Enums that may appear inside qualification/detail dictionaries.
+_QUAL_ENUMS: Dict[str, type] = {
+    "ExitReason": ExitReason,
+    "ExitAction": ExitAction,
+    "MemAccess": MemAccess,
+}
+
+
+def _require_int(value: Any, what: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TraceFormatError(f"{what} must be an integer, got {value!r}")
+    return value
+
+
+def _snapshot_to_record(snap: Optional[GuestStateSnapshot]):
+    """Positional list in ``_SNAPSHOT_FIELDS`` order (compact + fast)."""
+    if snap is None:
+        return None
+    return [getattr(snap, name) for name in _SNAPSHOT_FIELDS]
+
+
+def _snapshot_from_record(record: Any) -> Optional[GuestStateSnapshot]:
+    if record is None:
+        return None
+    if type(record) is list:
+        if len(record) != len(_SNAPSHOT_FIELDS):
+            raise TraceFormatError(
+                f"hw snapshot needs {len(_SNAPSHOT_FIELDS)} values, "
+                f"got {len(record)}"
+            )
+        values = record
+    elif isinstance(record, dict):
+        # Tolerated for hand-written records: keyed form.
+        try:
+            values = [record[name] for name in _SNAPSHOT_FIELDS]
+        except KeyError as exc:
+            raise TraceFormatError(f"hw snapshot missing field {exc}") from exc
+    else:
+        raise TraceFormatError(
+            f"hw snapshot must be a list or dict, got {record!r}"
+        )
+    for value in values:
+        if type(value) is not int:
+            name = _SNAPSHOT_FIELDS[
+                next(i for i, v in enumerate(values) if type(v) is not int)
+            ]
+            raise TraceFormatError(
+                f"hw.{name} must be an integer, got {value!r}"
+            )
+    # Frozen-dataclass __init__ routes every field through
+    # object.__setattr__; building the immutable value directly keeps
+    # trace decoding off that slow path (this is the replay hot loop).
+    snap = object.__new__(GuestStateSnapshot)
+    snap.__dict__.update(zip(_SNAPSHOT_FIELDS, values))
+    return snap
+
+
+def _encode_value(value: Any) -> Any:
+    """JSON-safe encoding for qualification/detail values."""
+    if isinstance(value, enum.Enum):
+        return {"$enum": type(value).__name__, "v": value.value}
+    if isinstance(value, dict):
+        return {str(k): _encode_value(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode_value(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    # Last resort for exotic harness-injected values: keep *something*
+    # human-readable rather than failing the whole record.
+    return repr(value)
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if set(value) == {"$enum", "v"}:
+            cls = _QUAL_ENUMS.get(value["$enum"])
+            if cls is None:
+                raise TraceFormatError(f"unknown enum tag {value['$enum']!r}")
+            try:
+                return cls(value["v"])
+            except ValueError as exc:
+                raise TraceFormatError(str(exc)) from exc
+        return {k: _decode_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode_value(v) for v in value]
+    return value
+
+
+def _decode_dict(value: Any, what: str) -> Dict[str, Any]:
+    if value is None:
+        return {}
+    if not isinstance(value, dict):
+        raise TraceFormatError(f"{what} must be a dict, got {value!r}")
+    # Scalar values (the common case) need no recursive decoding: one
+    # cheap scan, then a C-speed copy.
+    for v in value.values():
+        if type(v) is dict or type(v) is list:
+            return {
+                k: _decode_value(v) if isinstance(v, (dict, list)) else v
+                for k, v in value.items()
+            }
+    return dict(value)
+
+
 @dataclass
 class GuestEvent:
     """Base event: timestamp, vCPU, and the hardware state snapshot."""
@@ -61,6 +172,69 @@ class GuestEvent:
     def type(self) -> EventType:  # pragma: no cover - overridden
         return EventType.RAW_EXIT
 
+    # ------------------------------------------------------------------
+    # Codec (shared by the trace recorder and ``repro.replay``)
+    # ------------------------------------------------------------------
+    def payload(self) -> Dict[str, Any]:
+        """Subclass-specific fields, JSON-safe.  Overridden below."""
+        return {}
+
+    def to_record(self) -> Dict[str, Any]:
+        """Serialize to a JSON-safe dict (see ``repro.replay.format``).
+
+        Keys: ``t`` (time ns), ``vcpu``, ``vm``, ``type`` and ``hw``
+        (snapshot or ``None``), plus the subclass payload, flat.
+        """
+        record: Dict[str, Any] = {
+            "t": self.time_ns,
+            "vcpu": self.vcpu_index,
+            "vm": self.vm_id,
+            "type": self.type.value,
+            "hw": _snapshot_to_record(self.hw_state),
+        }
+        record.update(self.payload())
+        return record
+
+    @classmethod
+    def _from_payload(cls, record: Dict[str, Any]) -> Dict[str, Any]:
+        """Decode the subclass payload into constructor kwargs."""
+        return {}
+
+    @staticmethod
+    def from_record(record: Dict[str, Any]) -> "GuestEvent":
+        """Decode any event class; raises :class:`TraceFormatError`."""
+        if not isinstance(record, dict):
+            raise TraceFormatError(f"event record must be a dict, got {record!r}")
+        try:
+            type_value = record["type"]
+            time_ns = record["t"]
+            vcpu_index = record["vcpu"]
+        except KeyError as exc:
+            raise TraceFormatError(f"event record missing {exc}") from exc
+        cls = (
+            EVENT_CLASSES.get(type_value)
+            if isinstance(type_value, (str, int)) else None
+        )
+        if cls is None:
+            raise TraceFormatError(f"unknown event type {type_value!r}")
+        if type(time_ns) is not int or time_ns < 0:
+            raise TraceFormatError(f"bad timestamp {time_ns!r}")
+        if type(vcpu_index) is not int:
+            raise TraceFormatError(f"vcpu must be an integer, got {vcpu_index!r}")
+        vm_id = record.get("vm", "vm0")
+        if not isinstance(vm_id, str):
+            raise TraceFormatError(f"vm must be a string, got {vm_id!r}")
+        # Same decode-hot-path shortcut as _snapshot_from_record: the
+        # payload is already validated, so skip the generated __init__.
+        event = object.__new__(cls)
+        fields = event.__dict__
+        fields["time_ns"] = time_ns
+        fields["vcpu_index"] = vcpu_index
+        fields["vm_id"] = vm_id
+        fields["hw_state"] = _snapshot_from_record(record.get("hw"))
+        fields.update(cls._from_payload(record))
+        return event
+
 
 @dataclass
 class ProcessSwitchEvent(GuestEvent):
@@ -73,6 +247,16 @@ class ProcessSwitchEvent(GuestEvent):
     def type(self) -> EventType:
         return EventType.PROCESS_SWITCH
 
+    def payload(self) -> Dict[str, Any]:
+        return {"new_pdba": self.new_pdba, "old_pdba": self.old_pdba}
+
+    @classmethod
+    def _from_payload(cls, record: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "new_pdba": _require_int(record.get("new_pdba", 0), "new_pdba"),
+            "old_pdba": _require_int(record.get("old_pdba", 0), "old_pdba"),
+        }
+
 
 @dataclass
 class ThreadSwitchEvent(GuestEvent):
@@ -84,6 +268,13 @@ class ThreadSwitchEvent(GuestEvent):
     @property
     def type(self) -> EventType:
         return EventType.THREAD_SWITCH
+
+    def payload(self) -> Dict[str, Any]:
+        return {"rsp0": self.rsp0}
+
+    @classmethod
+    def _from_payload(cls, record: Dict[str, Any]) -> Dict[str, Any]:
+        return {"rsp0": _require_int(record.get("rsp0", 0), "rsp0")}
 
 
 @dataclass
@@ -98,6 +289,30 @@ class SyscallEvent(GuestEvent):
     def type(self) -> EventType:
         return EventType.SYSCALL
 
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "nr": self.number,
+            "args": list(self.args),
+            "mechanism": self.mechanism,
+        }
+
+    @classmethod
+    def _from_payload(cls, record: Dict[str, Any]) -> Dict[str, Any]:
+        args = record.get("args", [])
+        if not isinstance(args, (list, tuple)):
+            raise TraceFormatError(f"args must be a list, got {args!r}")
+        for a in args:
+            if type(a) is not int:
+                raise TraceFormatError(f"args must be integers, got {a!r}")
+        mechanism = record.get("mechanism", "sysenter")
+        if not isinstance(mechanism, str):
+            raise TraceFormatError(f"mechanism must be a string, got {mechanism!r}")
+        return {
+            "number": _require_int(record.get("nr", 0), "nr"),
+            "args": tuple(args),
+            "mechanism": mechanism,
+        }
+
 
 @dataclass
 class IOEvent(GuestEvent):
@@ -109,6 +324,21 @@ class IOEvent(GuestEvent):
     @property
     def type(self) -> EventType:
         return EventType.IO
+
+    def payload(self) -> Dict[str, Any]:
+        # "io_kind", not "kind": trace records reserve "kind" for the
+        # record-kind envelope (header/event/scan/footer).
+        return {"io_kind": self.kind, "detail": _encode_value(self.detail)}
+
+    @classmethod
+    def _from_payload(cls, record: Dict[str, Any]) -> Dict[str, Any]:
+        kind = record.get("io_kind", "pio")
+        if not isinstance(kind, str):
+            raise TraceFormatError(f"io_kind must be a string, got {kind!r}")
+        return {
+            "kind": kind,
+            "detail": _decode_dict(record.get("detail"), "detail"),
+        }
 
 
 @dataclass
@@ -123,6 +353,20 @@ class MemoryAccessEvent(GuestEvent):
     def type(self) -> EventType:
         return EventType.MEM_ACCESS
 
+    def payload(self) -> Dict[str, Any]:
+        return {"gva": self.gva, "gpa": self.gpa, "access": self.access}
+
+    @classmethod
+    def _from_payload(cls, record: Dict[str, Any]) -> Dict[str, Any]:
+        access = record.get("access", "w")
+        if not isinstance(access, str):
+            raise TraceFormatError(f"access must be a string, got {access!r}")
+        return {
+            "gva": _require_int(record.get("gva", 0), "gva"),
+            "gpa": _require_int(record.get("gpa", 0), "gpa"),
+            "access": access,
+        }
+
 
 @dataclass
 class TssIntegrityAlert(GuestEvent):
@@ -136,6 +380,16 @@ class TssIntegrityAlert(GuestEvent):
     def type(self) -> EventType:
         return EventType.TSS_INTEGRITY
 
+    def payload(self) -> Dict[str, Any]:
+        return {"saved_tr": self.saved_tr, "current_tr": self.current_tr}
+
+    @classmethod
+    def _from_payload(cls, record: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "saved_tr": _require_int(record.get("saved_tr", 0), "saved_tr"),
+            "current_tr": _require_int(record.get("current_tr", 0), "current_tr"),
+        }
+
 
 @dataclass
 class RawExitEvent(GuestEvent):
@@ -147,3 +401,32 @@ class RawExitEvent(GuestEvent):
     @property
     def type(self) -> EventType:
         return EventType.RAW_EXIT
+
+    def payload(self) -> Dict[str, Any]:
+        return {
+            "reason": self.reason.value,
+            "qual": _encode_value(self.qualification),
+        }
+
+    @classmethod
+    def _from_payload(cls, record: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            reason = ExitReason(record.get("reason", ExitReason.HLT.value))
+        except ValueError as exc:
+            raise TraceFormatError(str(exc)) from exc
+        return {
+            "reason": reason,
+            "qualification": _decode_dict(record.get("qual"), "qual"),
+        }
+
+
+#: Serialized ``type`` value -> event class, for :meth:`GuestEvent.from_record`.
+EVENT_CLASSES: Dict[str, Type[GuestEvent]] = {
+    EventType.PROCESS_SWITCH.value: ProcessSwitchEvent,
+    EventType.THREAD_SWITCH.value: ThreadSwitchEvent,
+    EventType.SYSCALL.value: SyscallEvent,
+    EventType.IO.value: IOEvent,
+    EventType.MEM_ACCESS.value: MemoryAccessEvent,
+    EventType.TSS_INTEGRITY.value: TssIntegrityAlert,
+    EventType.RAW_EXIT.value: RawExitEvent,
+}

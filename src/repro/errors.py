@@ -53,5 +53,14 @@ class AuditorCrash(MonitorError):
     """An auditor raised an unhandled exception while auditing."""
 
 
+class TraceFormatError(MonitorError):
+    """A recorded trace (or one of its records) could not be decoded.
+
+    Raised by the event codecs and the ``repro.replay`` readers on
+    malformed input; replay tooling treats it as a *graceful* rejection
+    (the record is counted and skipped), never a crash.
+    """
+
+
 class VmxError(SimulationError):
     """Invalid use of the virtual VMX facilities (VMCS misconfiguration)."""

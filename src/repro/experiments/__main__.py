@@ -28,6 +28,12 @@ def main(argv=None) -> int:
         action="store_true",
         help="paper-scale grids (hours for fig4/ninjas)",
     )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override each experiment's built-in RNG seed",
+    )
     args = parser.parse_args(argv)
 
     if args.name == "list":
@@ -42,7 +48,9 @@ def main(argv=None) -> int:
     for name in names:
         print(f"\n===== {name} =====")
         try:
-            print(run_experiment(name, scale=args.scale, full=args.full))
+            print(run_experiment(
+                name, scale=args.scale, full=args.full, seed=args.seed
+            ))
         except KeyError as exc:
             print(exc, file=sys.stderr)
             return 2

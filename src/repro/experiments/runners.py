@@ -33,15 +33,18 @@ def _scaled(n: int, scale: float, minimum: int = 1) -> int:
 # ======================================================================
 # Fig 4 + Fig 5 — fault-injection campaign
 # ======================================================================
-def run_fig4_fig5(scale: float = 1.0, full: bool = False) -> str:
+def run_fig4_fig5(
+    scale: float = 1.0, full: bool = False, seed: Optional[int] = None
+) -> str:
     catalog = build_site_catalog()
     if full:
-        sites, seeds = catalog, (0, 1, 2)
+        base = 0 if seed is None else seed
+        sites, seeds = catalog, (base, base + 1, base + 2)
     else:
         first_pass = [s for s in catalog if s.activation_pass == 1]
         count = _scaled(8, scale)
         sites = first_pass[:: max(1, len(first_pass) // count)][:count]
-        seeds = (0,)
+        seeds = (0 if seed is None else seed,)
     summary = run_campaign(
         sites,
         seeds=seeds,
@@ -100,8 +103,12 @@ def run_fig4_fig5(scale: float = 1.0, full: bool = False) -> str:
 # ======================================================================
 # Table II — HRKD vs the rootkit zoo
 # ======================================================================
-def run_table2(scale: float = 1.0, full: bool = False) -> str:
-    testbed = Testbed(TestbedConfig(num_vcpus=2, seed=17))
+def run_table2(
+    scale: float = 1.0, full: bool = False, seed: Optional[int] = None
+) -> str:
+    testbed = Testbed(
+        TestbedConfig(num_vcpus=2, seed=17 if seed is None else seed)
+    )
     testbed.boot()
     hrkd = HiddenRootkitDetector()
     testbed.monitor([hrkd])
@@ -148,11 +155,14 @@ def run_table2(scale: float = 1.0, full: bool = False) -> str:
 # ======================================================================
 # Table III — /proc side channel
 # ======================================================================
-def run_table3(scale: float = 1.0, full: bool = False) -> str:
+def run_table3(
+    scale: float = 1.0, full: bool = False, seed: Optional[int] = None
+) -> str:
     samples = 30 if full else _scaled(8, scale)
     rows = []
     for interval_s in (1, 2, 4, 8):
-        testbed = Testbed(TestbedConfig(num_vcpus=2, seed=interval_s))
+        trial_seed = interval_s if seed is None else seed + interval_s
+        testbed = Testbed(TestbedConfig(num_vcpus=2, seed=trial_seed))
         testbed.boot()
         oninja = ONinja(testbed.kernel, interval_ns=interval_s * SECOND)
         oninja.install()
@@ -231,9 +241,11 @@ def _ninja_trial(seed, spam, o_interval_ns, h_interval_ns, jitter_ns):
     return o_ninja.detected, h_ninja.detected, ht_ninja.detected
 
 
-def run_ninja_curves(scale: float = 1.0, full: bool = False) -> str:
+def run_ninja_curves(
+    scale: float = 1.0, full: bool = False, seed: Optional[int] = None
+) -> str:
     trials = 300 if full else _scaled(12, scale)
-    rng = RandomStreams(1234)
+    rng = RandomStreams(1234 if seed is None else seed)
 
     def rates(spam, h_interval_ns):
         jitter_stream = rng.stream(f"j-{spam}-{h_interval_ns}")
@@ -275,7 +287,9 @@ def run_ninja_curves(scale: float = 1.0, full: bool = False) -> str:
 # ======================================================================
 # Fig 7 — overhead grid
 # ======================================================================
-def run_fig7(scale: float = 1.0, full: bool = False) -> str:
+def run_fig7(
+    scale: float = 1.0, full: bool = False, seed: Optional[int] = None
+) -> str:
     workloads = [
         "file-copy-1024", "disk-io", "dhrystone", "context-switch",
         "pipe-throughput", "syscall",
@@ -296,7 +310,9 @@ def run_fig7(scale: float = 1.0, full: bool = False) -> str:
     grid = {}
     for config_name, classes in configs:
         for workload in workloads:
-            testbed = Testbed(TestbedConfig(num_vcpus=2, seed=42))
+            testbed = Testbed(
+                TestbedConfig(num_vcpus=2, seed=42 if seed is None else seed)
+            )
             testbed.boot()
             if classes:
                 testbed.monitor([cls() for cls in classes])
@@ -319,14 +335,16 @@ def run_fig7(scale: float = 1.0, full: bool = False) -> str:
 # ======================================================================
 # Ablation + RHC
 # ======================================================================
-def run_unified_ablation(scale: float = 1.0, full: bool = False) -> str:
+def run_unified_ablation(
+    scale: float = 1.0, full: bool = False, seed: Optional[int] = None
+) -> str:
     rows = []
     for workload in ("context-switch", "syscall"):
         timings = {}
         for mode in (None, "unified", "separate"):
             testbed = Testbed(
                 TestbedConfig(
-                    num_vcpus=2, seed=42,
+                    num_vcpus=2, seed=42 if seed is None else seed,
                     monitoring_mode=mode or "unified",
                 )
             )
@@ -351,11 +369,16 @@ def run_unified_ablation(scale: float = 1.0, full: bool = False) -> str:
     )
 
 
-def run_rhc(scale: float = 1.0, full: bool = False) -> str:
+def run_rhc(
+    scale: float = 1.0, full: bool = False, seed: Optional[int] = None
+) -> str:
     rows = []
     for sample_every in (16, 64, 256):
         testbed = Testbed(
-            TestbedConfig(num_vcpus=2, seed=5, with_rhc=True, rhc_timeout_s=3)
+            TestbedConfig(
+                num_vcpus=2, seed=5 if seed is None else seed,
+                with_rhc=True, rhc_timeout_s=3,
+            )
         )
         testbed.boot()
         testbed.multiplexer.rhc_sample_every = sample_every
@@ -392,10 +415,15 @@ EXPERIMENTS: Dict[str, tuple] = {
 }
 
 
-def run_experiment(name: str, scale: float = 1.0, full: bool = False) -> str:
+def run_experiment(
+    name: str,
+    scale: float = 1.0,
+    full: bool = False,
+    seed: Optional[int] = None,
+) -> str:
     if name not in EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
         )
     runner, _description = EXPERIMENTS[name]
-    return runner(scale=scale, full=full)
+    return runner(scale=scale, full=full, seed=seed)

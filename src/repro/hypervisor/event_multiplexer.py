@@ -24,6 +24,29 @@ from repro.hypervisor.rhc import RemoteHealthChecker
 Consumer = Callable[[VCPU, VMExit], None]
 
 
+class HeartbeatSampler:
+    """Every-Nth-event heartbeat forwarding to the RHC.
+
+    Factored out of the EM so other event pumps (notably the trace
+    replayer in ``repro.replay``) report liveness the exact same way:
+    the RHC cannot tell a replayed pipeline from a live one, which is
+    what lets replay regression-test the RHC itself.
+    """
+
+    def __init__(
+        self, rhc: Optional[RemoteHealthChecker], sample_every: int = 64
+    ) -> None:
+        self.rhc = rhc
+        self.sample_every = max(1, sample_every)
+        self.seen = 0
+
+    def observe(self, time_ns: int) -> None:
+        """Note one pipeline event; forward every Nth to the RHC."""
+        self.seen += 1
+        if self.rhc is not None and self.seen % self.sample_every == 0:
+            self.rhc.heartbeat(time_ns)
+
+
 class EventMultiplexer:
     """Host-wide event fan-out (one instance per physical host)."""
 
@@ -34,12 +57,30 @@ class EventMultiplexer:
         rhc_sample_every: int = 64,
     ) -> None:
         self.ring_capacity = ring_capacity
-        self.rhc = rhc
-        self.rhc_sample_every = max(1, rhc_sample_every)
+        self._sampler = HeartbeatSampler(rhc, rhc_sample_every)
         self._rings: Dict[str, Deque[VMExit]] = {}
         self._consumers: Dict[str, List[Tuple[frozenset, Consumer]]] = {}
         self.delivered = 0
         self.submitted = 0
+
+    # ------------------------------------------------------------------
+    # RHC sampling (delegated to the shared sampler)
+    # ------------------------------------------------------------------
+    @property
+    def rhc(self) -> Optional[RemoteHealthChecker]:
+        return self._sampler.rhc
+
+    @rhc.setter
+    def rhc(self, rhc: Optional[RemoteHealthChecker]) -> None:
+        self._sampler.rhc = rhc
+
+    @property
+    def rhc_sample_every(self) -> int:
+        return self._sampler.sample_every
+
+    @rhc_sample_every.setter
+    def rhc_sample_every(self, every: int) -> None:
+        self._sampler.sample_every = max(1, every)
 
     # ------------------------------------------------------------------
     # Registration
@@ -73,8 +114,7 @@ class EventMultiplexer:
             self._rings[vm_id] = ring
         ring.append(exit_event)
 
-        if self.rhc is not None and self.submitted % self.rhc_sample_every == 0:
-            self.rhc.heartbeat(exit_event.time_ns)
+        self._sampler.observe(exit_event.time_ns)
 
         for reasons, consumer in self._consumers.get(vm_id, []):
             if exit_event.reason in reasons:

@@ -1,0 +1,51 @@
+"""Deterministic exit-event record & replay (the IRIS use case).
+
+HyperTap's auditors are pure consumers of the unified derived-event
+stream.  This package makes that stream a first-class artifact:
+
+* :mod:`repro.replay.format` — versioned, schema-checked JSONL codec
+  for every :class:`~repro.core.events.GuestEvent` class;
+* :mod:`repro.replay.trace_io` — streaming :class:`TraceWriter` /
+  :class:`TraceReader` with gzip support and an in-band header;
+* :mod:`repro.replay.recorder` — a recording auditor plus named
+  scenarios that produce replayable traces from live simulations;
+* :mod:`repro.replay.source` — a :class:`ReplaySource` that re-audits
+  a trace through unmodified auditors, no ``Machine`` required;
+* :mod:`repro.replay.mutate` — seeded trace mutations for fuzzing the
+  monitoring stack against malformed streams.
+
+CLI: ``python -m repro.replay {record,replay,fuzz,list}``.
+"""
+
+from repro.replay.format import (
+    FORMAT_VERSION,
+    Trace,
+    TraceHeader,
+    normalize_alerts,
+)
+from repro.replay.mutate import MUTATION_OPERATORS, TraceMutator
+from repro.replay.recorder import (
+    SCENARIOS,
+    RecordingAuditor,
+    record_scenario,
+)
+from repro.replay.source import ReplayReport, ReplaySource
+from repro.replay.trace_io import TraceReader, TraceWriter, load_trace, save_trace
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MUTATION_OPERATORS",
+    "RecordingAuditor",
+    "ReplayReport",
+    "ReplaySource",
+    "SCENARIOS",
+    "Trace",
+    "TraceHeader",
+    "TraceMutator",
+    "TraceReader",
+    "TraceWriter",
+    "load_trace",
+    "normalize_alerts",
+    "record_scenario",
+    "save_trace",
+]

@@ -1,0 +1,330 @@
+"""Replay a recorded event stream into unmodified auditors.
+
+No :class:`~repro.hw.machine.Machine`, no guest kernel, no hypervisor:
+a :class:`ReplaySource` owns a fresh discrete-event
+:class:`~repro.sim.engine.Engine` whose virtual clock is driven by the
+recorded timestamps, and re-publishes decoded events through the same
+:class:`~repro.core.channel.EventFanout` + auditing-container path the
+live pipeline uses.  Auditors cannot tell the difference:
+
+* ``hypertap.machine.clock`` / ``hypertap.engine`` — the replay clock,
+  so periodic checks (GOSHD) fire in recorded time;
+* ``hypertap.machine.vcpus`` — lightweight stand-ins carrying indexes;
+* ``hypertap.deriver`` — serves the record-time deriver annotations
+  embedded in the trace, so identity derivations (HRKD, HT-Ninja)
+  return exactly what the hardware-rooted chain returned live;
+* ``hypertap.count_user_processes()`` — Fig 3A's PDBA count rebuilt
+  from the replayed process-switch events themselves.
+
+Malformed records never propagate: decoding failures are counted as
+graceful rejections and auditor crashes stay inside the container.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Set
+
+from repro.core.auditor import Auditor
+from repro.core.channel import EventFanout
+from repro.core.derive import DerivedTaskInfo
+from repro.core.events import GuestEvent, ProcessSwitchEvent, ThreadSwitchEvent
+from repro.errors import TraceFormatError
+from repro.hypervisor.containers import AuditingContainer
+from repro.hypervisor.event_multiplexer import HeartbeatSampler
+from repro.hypervisor.rhc import RemoteHealthChecker
+from repro.replay.format import (
+    KIND_EVENT,
+    KIND_SCAN,
+    Trace,
+    decode_scan,
+    normalize_alerts,
+    task_from_record,
+)
+from repro.sim.clock import SECOND
+from repro.sim.engine import Engine
+
+#: Events timestamped beyond the recorded horizon plus this slack are
+#: rejected as malformed (a fuzzer favourite: one huge timestamp would
+#: otherwise drag every periodic auditor check across aeons).
+HORIZON_SLACK_NS = 120 * SECOND
+
+#: Safety valve on timer callbacks fired per replayed record.
+_MAX_TIMER_EVENTS_PER_RECORD = 100_000
+
+
+class ReplayVcpu:
+    """Stand-in for a vCPU: auditors only read ``index`` during replay."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+
+
+class ReplayMachine:
+    """The slice of :class:`Machine` the auditor API touches."""
+
+    def __init__(self, num_vcpus: int, clock) -> None:
+        self.clock = clock
+        self.vcpus = [ReplayVcpu(i) for i in range(num_vcpus)]
+        self.vm_paused = False
+
+
+class ReplayDeriver:
+    """Architectural deriver backed by recorded annotations.
+
+    The trace carries, per event, what the live deriver computed from
+    guest memory at exit time; replay serves those sightings back by
+    rsp0, by task_struct GVA, and by "current task on vCPU".
+    """
+
+    def __init__(self) -> None:
+        self._by_rsp0: Dict[int, DerivedTaskInfo] = {}
+        self._by_gva: Dict[int, DerivedTaskInfo] = {}
+        self._current: Dict[int, DerivedTaskInfo] = {}
+
+    def observe(
+        self,
+        event: GuestEvent,
+        task: Optional[DerivedTaskInfo],
+        parent: Optional[DerivedTaskInfo],
+    ) -> None:
+        for info in (task, parent):
+            if info is not None:
+                self._by_gva[info.task_struct_gva] = info
+        if task is not None:
+            self._current[event.vcpu_index] = task
+            if isinstance(event, ThreadSwitchEvent):
+                self._by_rsp0[event.rsp0] = task
+
+    # -- ArchDeriver-compatible surface --------------------------------
+    def task_info_from_rsp0(self, rsp0: int) -> Optional[DerivedTaskInfo]:
+        return self._by_rsp0.get(rsp0)
+
+    def task_info_at(self, task_gva: int) -> Optional[DerivedTaskInfo]:
+        return self._by_gva.get(task_gva)
+
+    def current_task_info(self, vcpu_index: int) -> Optional[DerivedTaskInfo]:
+        return self._current.get(vcpu_index)
+
+
+class ReplayHyperTap:
+    """HyperTap-shaped control interface over a replayed stream."""
+
+    def __init__(self, machine: ReplayMachine, engine: Engine) -> None:
+        self.machine = machine
+        self.engine = engine
+        self.deriver = ReplayDeriver()
+        self.vm_id = "vm0"
+        self._pdbas: Set[int] = set()
+        self.pause_requests = 0
+
+    # -- control interface (auditor-visible) ---------------------------
+    def pause_vm(self) -> None:
+        """There is no guest to freeze; remember the verdict instead."""
+        self.machine.vm_paused = True
+        self.pause_requests += 1
+
+    def resume_vm(self) -> None:
+        self.machine.vm_paused = False
+
+    def count_user_processes(self) -> int:
+        """Fig 3A count from the replayed PDBA set (kernel space excluded)."""
+        return max(0, len(self._pdbas) - 1)
+
+    # -- stream bookkeeping --------------------------------------------
+    def observe(self, event: GuestEvent) -> None:
+        if isinstance(event, ProcessSwitchEvent):
+            for pdba in (event.new_pdba, event.old_pdba):
+                if pdba:
+                    self._pdbas.add(pdba)
+
+
+@dataclass
+class ReplayReport:
+    """What one replay run produced."""
+
+    scenario: str = ""
+    events_replayed: int = 0
+    events_rejected: int = 0
+    scans_run: int = 0
+    scan_errors: int = 0
+    alerts: Dict[str, List[dict]] = field(default_factory=dict)
+    verdicts: List[dict] = field(default_factory=list)
+    container_failed: bool = False
+    failure_reason: Optional[str] = None
+    rhc_alarmed: bool = False
+    sim_span_ns: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def events_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.events_replayed / self.wall_seconds
+
+    def matches_live(self, live_verdicts: List[dict]) -> bool:
+        """Did replay reproduce the recorded run's verdicts?"""
+        return self.verdicts == live_verdicts
+
+
+class ReplaySource:
+    """Drives recorded events through real auditors in virtual time."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        auditors: Iterable[Auditor],
+        rhc_timeout_ns: Optional[int] = None,
+        rhc_sample_every: int = 64,
+    ) -> None:
+        self.trace = trace
+        self.auditors: List[Auditor] = list(auditors)
+        header = trace.header
+        self.engine = Engine()
+        self.machine = ReplayMachine(header.num_vcpus, self.engine.clock)
+        self.hypertap = ReplayHyperTap(self.machine, self.engine)
+        self.hypertap.vm_id = header.vm_id
+        self.container = AuditingContainer(header.vm_id)
+        self.fanout = EventFanout()
+        self.rhc: Optional[RemoteHealthChecker] = None
+        if rhc_timeout_ns is not None:
+            self.rhc = RemoteHealthChecker(self.engine, timeout_ns=rhc_timeout_ns)
+        self._sampler = HeartbeatSampler(self.rhc, rhc_sample_every)
+        for auditor in self.auditors:
+            self.container.add_auditor(auditor)
+            self.fanout.subscribe(auditor, self.container)
+
+    # ------------------------------------------------------------------
+    def _advance_to(self, t_ns: int) -> None:
+        """Move virtual time forward, firing due auditor timers."""
+        engine = self.engine
+        if t_ns <= engine.clock.now:
+            return
+        queue = engine._queue
+        if queue and queue[0].when <= t_ns:
+            engine.run_until(t_ns, max_events=_MAX_TIMER_EVENTS_PER_RECORD)
+        else:
+            # Nothing due before the target: just move the clock.
+            engine.clock.advance_to(t_ns)
+
+    def _horizon(self) -> Optional[int]:
+        end_ns = self.trace.header.end_ns
+        if end_ns is None:
+            return None
+        return end_ns + HORIZON_SLACK_NS
+
+    def _scan_auditor(self, name: str) -> Optional[Auditor]:
+        for auditor in self.auditors:
+            if auditor.name == name and hasattr(auditor, "scan_against"):
+                return auditor
+        return None
+
+    # ------------------------------------------------------------------
+    def run(self) -> ReplayReport:
+        report = ReplayReport(scenario=self.trace.header.scenario)
+        start_wall = time.perf_counter()
+        # Traces need not start at t=0: move to the recorded origin
+        # before anything arms its timers or liveness baselines.
+        self._advance_to(self.trace.header.start_ns)
+        if self.rhc is not None:
+            self.rhc.start()
+        for auditor in self.auditors:
+            auditor.bind(self.hypertap)
+
+        horizon = self._horizon()
+        # Hot loop: hoist every per-record attribute lookup into locals,
+        # inline the decode wrapper (kind was already checked here) and
+        # the no-timer-due clock advance.
+        engine = self.engine
+        clock = engine.clock
+        queue = engine._queue
+        run_until = engine.run_until
+        advance_clock = clock.advance_to
+        deriver_observe = self.hypertap.deriver.observe
+        hypertap_observe = self.hypertap.observe
+        sampler_observe = self._sampler.observe
+        publish = self.fanout.publish
+        from_record = GuestEvent.from_record
+        replayed = 0
+        rejected = 0
+        for record in self.trace.records:
+            if type(record) is not dict:
+                rejected += 1
+                continue
+            kind = record.get("kind", KIND_EVENT)
+            if kind != KIND_EVENT:
+                if kind == KIND_SCAN:
+                    self._replay_scan(record, report)
+                else:
+                    rejected += 1
+                continue
+            try:
+                event = from_record(record)
+                t_ns = event.time_ns
+                if horizon is not None and t_ns > horizon:
+                    raise TraceFormatError(
+                        f"timestamp {t_ns} beyond trace horizon"
+                    )
+                task = record.get("task")
+                if task is not None:
+                    task = task_from_record(task)
+                parent = record.get("parent")
+                if parent is not None:
+                    parent = task_from_record(parent)
+            except TraceFormatError:
+                rejected += 1
+                continue
+            if t_ns > clock.now:
+                if queue and queue[0].when <= t_ns:
+                    run_until(t_ns, max_events=_MAX_TIMER_EVENTS_PER_RECORD)
+                else:
+                    advance_clock(t_ns)
+            deriver_observe(event, task, parent)
+            hypertap_observe(event)
+            sampler_observe(t_ns)
+            publish(event)
+            replayed += 1
+        report.events_replayed = replayed
+        report.events_rejected += rejected
+
+        # Play out the recorded tail so end-of-trace silence is seen by
+        # the periodic checkers exactly as the live run saw it.
+        end_ns = self.trace.header.end_ns
+        if end_ns is not None:
+            self._advance_to(end_ns)
+
+        report.wall_seconds = time.perf_counter() - start_wall
+        report.sim_span_ns = max(
+            0, self.engine.clock.now - self.trace.header.start_ns
+        )
+        report.alerts = {a.name: list(a.alerts) for a in self.auditors}
+        report.verdicts = normalize_alerts(report.alerts)
+        report.container_failed = self.container.failed
+        report.failure_reason = self.container.failure_reason
+        report.rhc_alarmed = self.rhc.alarmed if self.rhc is not None else False
+        return report
+
+    # ------------------------------------------------------------------
+    def _replay_scan(self, record: Dict[str, Any], report: ReplayReport) -> None:
+        try:
+            scan = decode_scan(record)
+        except TraceFormatError:
+            report.events_rejected += 1
+            return
+        auditor = self._scan_auditor(scan["auditor"])
+        if auditor is None:
+            report.events_rejected += 1
+            return
+        self._advance_to(scan["t"])
+        try:
+            auditor.scan_against(
+                scan["untrusted_pids"],
+                scan["view"],
+                untrusted_process_count=scan["untrusted_count"],
+            )
+            report.scans_run += 1
+        except Exception:  # noqa: BLE001 - the replay container boundary
+            report.scan_errors += 1

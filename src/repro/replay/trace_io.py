@@ -1,0 +1,199 @@
+"""Streaming trace I/O: JSONL files, optionally gzip-compressed.
+
+Two write paths exist on purpose:
+
+* :func:`save_trace` — the whole trace is in memory (the recorder's
+  normal case), so the in-band header carries authoritative event
+  counts;
+* :class:`TraceWriter` — true streaming: records hit the file as they
+  are written and a footer with the final counts is appended at close.
+
+:class:`TraceReader` handles both: it surfaces the header immediately
+and folds footer counts back into ``reader.header`` when iteration
+reaches the end of the stream.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import json
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.core.derive import DerivedTaskInfo
+from repro.core.events import GuestEvent
+from repro.errors import TraceFormatError
+from repro.replay.format import (
+    KIND_EVENT,
+    KIND_FOOTER,
+    KIND_HEADER,
+    Trace,
+    TraceHeader,
+    event_to_record,
+)
+
+
+def _open(path: str, mode: str):
+    """Text-mode file handle; transparent gzip for ``*.gz`` paths."""
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+class TraceWriter:
+    """Streaming writer: header first, records as they come, footer last."""
+
+    def __init__(self, path: str, header: TraceHeader) -> None:
+        self.path = str(path)
+        self.header = header
+        self.event_counts: Dict[str, int] = {}
+        self.records_written = 0
+        self._fh = _open(self.path, "w")
+        self._closed = False
+        self._write_line(header.to_record())
+
+    # ------------------------------------------------------------------
+    def _write_line(self, record: Dict[str, Any]) -> None:
+        self._fh.write(json.dumps(record, sort_keys=True))
+        self._fh.write("\n")
+
+    def write_record(self, record: Dict[str, Any]) -> None:
+        """Append one raw body record (event or marker)."""
+        if self._closed:
+            raise TraceFormatError("writer already closed")
+        if record.get("kind") == KIND_EVENT:
+            key = str(record.get("type"))
+            self.event_counts[key] = self.event_counts.get(key, 0) + 1
+        self._write_line(record)
+        self.records_written += 1
+
+    def write_event(
+        self,
+        event: GuestEvent,
+        task: Optional[DerivedTaskInfo] = None,
+        parent: Optional[DerivedTaskInfo] = None,
+    ) -> None:
+        self.write_record(event_to_record(event, task=task, parent=parent))
+
+    def close(self, end_ns: Optional[int] = None) -> None:
+        if self._closed:
+            return
+        footer = {
+            "kind": KIND_FOOTER,
+            "event_counts": dict(self.event_counts),
+            "end_ns": end_ns if end_ns is not None else self.header.end_ns,
+        }
+        self._write_line(footer)
+        self._fh.close()
+        self._closed = True
+        self.header.event_counts = dict(self.event_counts)
+        if end_ns is not None:
+            self.header.end_ns = end_ns
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class TraceReader:
+    """Streaming reader; yields raw body records in file order."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._fh = _open(self.path, "r")
+        self.footer: Optional[Dict[str, Any]] = None
+        self.malformed_lines = 0
+        first = self._fh.readline()
+        if not first.strip():
+            self._fh.close()
+            raise TraceFormatError(f"{self.path}: empty trace file")
+        self.header = TraceHeader.from_record(self._parse(first, strict=True))
+
+    # ------------------------------------------------------------------
+    def _parse(self, line: str, strict: bool = False) -> Dict[str, Any]:
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"{self.path}: bad JSON line: {exc}") from exc
+        if strict and not isinstance(record, dict):
+            raise TraceFormatError(f"{self.path}: record is not an object")
+        return record
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        """Yield body records; unparseable lines are counted, not raised
+        (a torn tail from a crashed recorder should not kill replay)."""
+        for line in self._fh:
+            if not line.strip():
+                continue
+            try:
+                record = self._parse(line)
+            except TraceFormatError:
+                self.malformed_lines += 1
+                continue
+            if not isinstance(record, dict):
+                self.malformed_lines += 1
+                continue
+            kind = record.get("kind")
+            if kind == KIND_FOOTER:
+                self.footer = record
+                counts = record.get("event_counts")
+                if isinstance(counts, dict) and not self.header.event_counts:
+                    self.header.event_counts = {
+                        str(k): int(v) for k, v in counts.items()
+                    }
+                end_ns = record.get("end_ns")
+                if isinstance(end_ns, int) and self.header.end_ns is None:
+                    self.header.end_ns = end_ns
+                continue
+            if kind == KIND_HEADER:  # duplicated header: corrupt, skip
+                self.malformed_lines += 1
+                continue
+            yield record
+        self._fh.close()
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self) -> "TraceReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ======================================================================
+# Whole-trace convenience
+# ======================================================================
+def save_trace(path: str, trace: Trace) -> None:
+    """Write a complete in-memory trace; the header carries the counts."""
+    trace.recount()
+    with _open(str(path), "w") as fh:
+        fh.write(json.dumps(trace.header.to_record(), sort_keys=True))
+        fh.write("\n")
+        for record in trace.records:
+            fh.write(json.dumps(record, sort_keys=True))
+            fh.write("\n")
+
+
+def load_trace(path: str) -> Trace:
+    """Read a whole trace into memory (header counts folded in)."""
+    reader = TraceReader(path)
+    records: List[Dict[str, Any]] = list(reader)
+    trace = Trace(header=reader.header, records=records)
+    if not trace.header.event_counts:
+        trace.recount()
+    return trace
+
+
+def dumps_trace(trace: Trace) -> str:
+    """Serialize a trace to a JSONL string (tests, goldens)."""
+    buf = io.StringIO()
+    trace.recount()
+    buf.write(json.dumps(trace.header.to_record(), sort_keys=True))
+    buf.write("\n")
+    for record in trace.records:
+        buf.write(json.dumps(record, sort_keys=True))
+        buf.write("\n")
+    return buf.getvalue()

@@ -1,5 +1,17 @@
-"""Statistics and presentation helpers for experiment output."""
+"""Analysis tooling: experiment statistics and the static-analysis pass.
 
+Two halves share this package:
+
+* presentation helpers for experiment output (``stats`` / ``tables`` /
+  ``figures``), used by ``repro.experiments``;
+* the invariant-aware static-analysis pass (``python -m repro.analysis``)
+  that enforces HyperTap's trust boundary, event-coverage completeness,
+  determinism, and auditor purity at commit time — see ``runner`` and
+  the ``rules`` subpackage.
+"""
+
+from repro.analysis.findings import Finding
+from repro.analysis.runner import Report, run_analysis
 from repro.analysis.stats import cdf, mean, percentile, stdev
 from repro.analysis.tables import format_table
 from repro.analysis.figures import ascii_bar_chart, ascii_cdf
@@ -12,4 +24,7 @@ __all__ = [
     "format_table",
     "ascii_bar_chart",
     "ascii_cdf",
+    "Finding",
+    "Report",
+    "run_analysis",
 ]

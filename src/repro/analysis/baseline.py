@@ -1,0 +1,83 @@
+"""Baseline files: adopt the pass on a tree with known debt.
+
+A baseline records the fingerprints of currently-accepted findings so
+the pass can gate *new* violations while the old ones are paid down.
+This repo's baseline is empty — every violation was fixed or justified
+inline in the PR that introduced the pass — but the mechanism is what
+makes the tool adoptable elsewhere (and lets a future PR land a rule
+stricter than the code it meets).
+
+Format (JSON, sorted, line-number free so edits don't churn it):
+
+    {"version": 1,
+     "findings": [{"rule": ..., "path": ..., "message": ..., "count": N}]}
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Counter as CounterType, Iterable, List, Tuple
+
+from repro.analysis.findings import Finding
+from repro.errors import ConfigurationError
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> CounterType[str]:
+    """Fingerprint -> accepted occurrence count."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise ConfigurationError(f"baseline file not found: {path}")
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"unreadable baseline {path}: {exc}")
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ConfigurationError(
+            f"baseline {path} has unsupported version "
+            f"{data.get('version') if isinstance(data, dict) else data!r}"
+        )
+    accepted: CounterType[str] = Counter()
+    for entry in data.get("findings", []):
+        if not isinstance(entry, dict):
+            raise ConfigurationError(f"bad baseline entry: {entry!r}")
+        try:
+            fingerprint = f"{entry['rule']}|{entry['path']}|{entry['message']}"
+            count = int(entry.get("count", 1))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"bad baseline entry: {exc}")
+        accepted[fingerprint] += max(1, count)
+    return accepted
+
+
+def apply_baseline(
+    findings: Iterable[Finding], accepted: CounterType[str]
+) -> Tuple[List[Finding], int]:
+    """Split findings into (still-active, number baselined away)."""
+    remaining = Counter(accepted)
+    active: List[Finding] = []
+    baselined = 0
+    for finding in findings:
+        if remaining[finding.fingerprint] > 0:
+            remaining[finding.fingerprint] -= 1
+            baselined += 1
+        else:
+            active.append(finding)
+    return active, baselined
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    """Persist ``findings`` as the new accepted baseline."""
+    counts: CounterType[Tuple[str, str, str]] = Counter(
+        (f.rule, f.path, f.message) for f in findings
+    )
+    entries = [
+        {"rule": rule, "path": rel, "message": message, "count": count}
+        for (rule, rel, message), count in sorted(counts.items())
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )

@@ -1,0 +1,148 @@
+"""Inline suppressions: ``# hypertap: allow(<rule>) — <justification>``.
+
+A pragma names one or more rules (comma-separated) and must carry a
+justification — the point of the mechanism is that every sanctioned
+trust-boundary crossing is *explained where it happens* (HRKD's guest
+view, O-Ninja as the deliberate passive baseline).  A pragma applies to
+findings on its own line, or — when it stands alone on a comment line —
+to the line directly below it (so multi-line imports can be annotated
+above the statement).
+
+Pragmas are themselves audited: a malformed pragma (unknown rule, no
+justification) and a pragma that suppresses nothing are both findings
+under the ``pragma`` rule, so stale annotations cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+
+#: Rule id used for findings about the pragmas themselves.
+PRAGMA_RULE = "pragma"
+
+_PRAGMA_RE = re.compile(
+    r"#\s*hypertap:\s*allow\(\s*(?P<rules>[^)]*)\)\s*(?P<rest>.*)$"
+)
+#: Separators allowed between the pragma and its justification.
+_SEP_RE = re.compile(r"^[\s:\-\u2013\u2014]+")
+
+
+@dataclass
+class Pragma:
+    """One parsed ``hypertap: allow`` comment."""
+
+    line: int  #: Line the pragma comment sits on (1-based).
+    rules: Set[str] = field(default_factory=set)
+    justification: str = ""
+    standalone: bool = False  #: True when the line is comment-only.
+    error: Optional[str] = None
+    used: bool = False
+
+    @property
+    def applies_to(self) -> int:
+        """Line whose findings this pragma suppresses."""
+        return self.line + 1 if self.standalone else self.line
+
+
+class PragmaSheet:
+    """All pragmas of one source file, indexed by the line they cover."""
+
+    def __init__(self, pragmas: List[Pragma]) -> None:
+        self.pragmas = pragmas
+        self._by_target: Dict[int, List[Pragma]] = {}
+        for pragma in pragmas:
+            self._by_target.setdefault(pragma.applies_to, []).append(pragma)
+
+    def suppresses(self, finding: Finding) -> bool:
+        """True (and marks the pragma used) if ``finding`` is allowed."""
+        if finding.rule == PRAGMA_RULE:
+            return False  # pragma findings cannot be self-suppressed
+        for pragma in self._by_target.get(finding.line, ()):
+            if pragma.error is None and finding.rule in pragma.rules:
+                pragma.used = True
+                return True
+        return False
+
+    def audit(self, path: str) -> Iterator[Finding]:
+        """Findings about the pragmas themselves (malformed / unused)."""
+        for pragma in self.pragmas:
+            if pragma.error is not None:
+                yield Finding(
+                    path=path,
+                    line=pragma.line,
+                    rule=PRAGMA_RULE,
+                    message=f"malformed suppression: {pragma.error}",
+                )
+            elif not pragma.used:
+                rules = ",".join(sorted(pragma.rules))
+                yield Finding(
+                    path=path,
+                    line=pragma.line,
+                    rule=PRAGMA_RULE,
+                    message=(
+                        f"unused suppression for '{rules}': nothing on the "
+                        "annotated line violates it (stale pragma?)"
+                    ),
+                )
+
+
+def _comments(text: str) -> Iterator[Tuple[int, bool, str]]:
+    """(line, standalone, comment text) for each real ``#`` comment.
+
+    Tokenizing (rather than regex over raw lines) keeps docstrings and
+    string literals that merely *mention* the pragma syntax — like this
+    module's own documentation — from parsing as pragmas.
+    """
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            standalone = not token.line[: token.start[1]].strip()
+            yield token.start[0], standalone, token.string
+    except (tokenize.TokenError, IndentationError):
+        return  # unparseable tail; the AST pass reports the syntax error
+
+
+def scan_pragmas(text: str, known_rules: Set[str]) -> PragmaSheet:
+    """Parse every ``hypertap: allow`` comment in ``text``."""
+    pragmas: List[Pragma] = []
+    for lineno, standalone, comment in _comments(text):
+        match = _PRAGMA_RE.search(comment)
+        if match is None:
+            if "hypertap:" in comment:
+                pragmas.append(
+                    Pragma(
+                        line=lineno,
+                        standalone=standalone,
+                        error=(
+                            "expected '# hypertap: allow(<rule>) — "
+                            "<justification>'"
+                        ),
+                    )
+                )
+            continue
+        pragma = Pragma(line=lineno, standalone=standalone)
+        names = [n.strip() for n in match.group("rules").split(",") if n.strip()]
+        if not names:
+            pragma.error = "allow() names no rule"
+        else:
+            unknown = [n for n in names if n not in known_rules]
+            if unknown:
+                pragma.error = (
+                    f"unknown rule(s) {', '.join(sorted(unknown))}; known: "
+                    f"{', '.join(sorted(known_rules))}"
+                )
+            pragma.rules = set(names)
+        justification = _SEP_RE.sub("", match.group("rest")).strip()
+        if pragma.error is None and not justification:
+            pragma.error = "missing justification after allow(...)"
+        pragma.justification = justification
+        pragmas.append(pragma)
+    return PragmaSheet(pragmas)

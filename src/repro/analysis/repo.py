@@ -1,0 +1,109 @@
+"""Source-tree discovery and parsing for the static-analysis pass.
+
+The analysis root is the directory that *contains* the ``repro``
+package (normally ``src/``).  Every ``*.py`` below it is parsed once;
+rules share the parsed trees through an :class:`AnalysisContext`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.pragmas import PragmaSheet, scan_pragmas
+
+#: Directories never worth parsing.
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+
+@dataclass
+class SourceFile:
+    """One parsed module."""
+
+    path: Path  #: Absolute path on disk.
+    rel: str  #: POSIX path relative to the analysis root.
+    module: str  #: Dotted module name (``repro.auditors.hrkd``).
+    text: str
+    tree: ast.Module
+    pragmas: PragmaSheet
+
+
+class AnalysisContext:
+    """Everything a rule may look at: the parsed tree plus parse errors."""
+
+    def __init__(self, root: Path, known_rules: Set[str]) -> None:
+        self.root = root.resolve()
+        self.files: List[SourceFile] = []
+        self.parse_errors: List[Finding] = []
+        self._by_module: Dict[str, SourceFile] = {}
+        self._load(known_rules)
+
+    # ------------------------------------------------------------------
+    def _load(self, known_rules: Set[str]) -> None:
+        for path in sorted(self.root.rglob("*.py")):
+            if any(part in _SKIP_DIRS for part in path.parts):
+                continue
+            rel = path.relative_to(self.root).as_posix()
+            try:
+                text = path.read_text(encoding="utf-8")
+                tree = ast.parse(text, filename=rel)
+            except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+                line = getattr(exc, "lineno", None) or 1
+                self.parse_errors.append(
+                    Finding(
+                        path=rel,
+                        line=int(line),
+                        rule="parse",
+                        message=f"cannot analyze file: {exc.__class__.__name__}: {exc}",
+                    )
+                )
+                continue
+            source = SourceFile(
+                path=path,
+                rel=rel,
+                module=module_name(rel),
+                text=text,
+                tree=tree,
+                pragmas=scan_pragmas(text, known_rules),
+            )
+            self.files.append(source)
+            self._by_module[source.module] = source
+
+    # ------------------------------------------------------------------
+    def module(self, dotted: str) -> Optional[SourceFile]:
+        """Look a file up by dotted module name, if present in the tree."""
+        return self._by_module.get(dotted)
+
+    def modules_under(self, prefix: str) -> List[SourceFile]:
+        """Every file whose module is ``prefix`` or lives below it."""
+        dot = prefix + "."
+        return [
+            f for f in self.files if f.module == prefix or f.module.startswith(dot)
+        ]
+
+
+def module_name(rel: str) -> str:
+    """``repro/auditors/hrkd.py`` -> ``repro.auditors.hrkd``."""
+    parts = rel.split("/")
+    leaf = parts[-1]
+    if leaf == "__init__.py":
+        parts = parts[:-1]
+    else:
+        parts[-1] = leaf[: -len(".py")] if leaf.endswith(".py") else leaf
+    return ".".join(p for p in parts if p)
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Flatten ``a.b.c`` attribute/name chains; None for anything else."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None

@@ -1,0 +1,113 @@
+"""determinism: replay fidelity forbids ambient entropy and wall clocks.
+
+The record/replay subsystem re-derives verdicts bit-for-bit from a
+trace; that only holds while every timestamp comes from the virtual
+clock and every random draw from the seeded stream factory
+(``repro.sim.rng``).  One ``time.time()`` in a hot path silently breaks
+trace comparability — at runtime, where no test looks.
+
+Allowed islands: ``repro.sim.rng`` (the seeded stream factory itself)
+and ``repro.replay.mutate`` (seeded fuzzing, one ``random.Random`` per
+(seed, n) pair).  ``time.perf_counter`` is *not* flagged: wall-clock
+throughput reporting never feeds verdicts.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.repo import AnalysisContext, SourceFile, dotted_name
+from repro.analysis.rules import Rule, register
+
+#: Modules allowed to draw ambient randomness / construct RNGs.
+ALLOWED_MODULES: FrozenSet[str] = frozenset(
+    {"repro.sim.rng", "repro.replay.mutate"}
+)
+
+#: Whole modules whose import implies nondeterminism.
+ENTROPY_MODULES: FrozenSet[str] = frozenset({"random", "secrets"})
+
+#: ``from <module> import <name>`` pairs that smuggle entropy/wall time.
+FORBIDDEN_FROM_IMPORTS: FrozenSet[str] = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "os.urandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "datetime.datetime.now",
+    }
+)
+
+#: Dotted call targets that read the wall clock or ambient entropy.
+FORBIDDEN_CALLS: FrozenSet[str] = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "os.urandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "date.today",
+        "datetime.date.today",
+    }
+)
+
+
+@register
+class DeterminismRule(Rule):
+    id = "determinism"
+    summary = (
+        "no wall-clock time or unseeded randomness outside repro.sim.rng "
+        "and repro.replay.mutate (replay fidelity depends on it)"
+    )
+
+    def check(self, ctx: AnalysisContext) -> Iterator[Finding]:
+        for source in ctx.files:
+            if source.module in ALLOWED_MODULES:
+                continue
+            yield from self._check_file(source)
+
+    def _check_file(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in ENTROPY_MODULES:
+                        yield self._finding(source, node.lineno, f"import {alias.name}")
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or not node.module:
+                    continue
+                if node.module in ENTROPY_MODULES:
+                    yield self._finding(
+                        source, node.lineno, f"from {node.module} import ..."
+                    )
+                    continue
+                for alias in node.names:
+                    qualified = f"{node.module}.{alias.name}"
+                    if qualified in FORBIDDEN_FROM_IMPORTS:
+                        yield self._finding(
+                            source,
+                            node.lineno,
+                            f"from {node.module} import {alias.name}",
+                        )
+            elif isinstance(node, ast.Call):
+                target = dotted_name(node.func)
+                if target is not None and target in FORBIDDEN_CALLS:
+                    yield self._finding(source, node.lineno, f"{target}()")
+
+    def _finding(self, source: SourceFile, line: int, what: str) -> Finding:
+        return self.finding(
+            source.rel,
+            line,
+            f"nondeterministic source '{what}' outside the sanctioned RNG "
+            "modules; use the virtual clock (machine.clock / engine.clock) "
+            "or a seeded stream from repro.sim.rng.RandomStreams",
+        )

@@ -1,0 +1,86 @@
+"""trust-boundary: auditors must stay rooted in hardware invariants.
+
+HyperTap's detection claims (Table II, §VII) rest on auditors consuming
+only *hardware-derived* inputs: exit-time register snapshots, EPT
+qualifications, and the architectural deriver chain.  An auditor that
+imports guest internals (``repro.guest.*``), the traditional-VMI walk
+(``repro.vmi.*``), or the raw machine (``repro.hw.machine``) has quietly
+re-introduced the passive-Ninja weakness — its verdicts collapse with
+the guest kernel.
+
+Deliberate crossings exist and are annotated where they happen:
+
+* HRKD compares the trusted view *against* an untrusted VMI view — the
+  untrusted view is input data, not a root of trust;
+* O-Ninja / H-Ninja are the paper's passive baselines, kept guest- or
+  VMI-rooted on purpose so the ablations mean something;
+* kernel-ABI tables (layout offsets, syscall numbers) are interface
+  specifications, not runtime guest state — the sanctioned source for
+  those is ``repro.core.derive``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.repo import AnalysisContext, SourceFile
+from repro.analysis.rules import Rule, register
+
+#: Modules whose files the boundary applies to.
+AUDITOR_PREFIX = "repro.auditors"
+
+#: Import prefixes an auditor may not depend on.
+FORBIDDEN_PREFIXES: Tuple[str, ...] = ("repro.guest", "repro.vmi")
+#: Exact modules an auditor may not depend on.
+FORBIDDEN_MODULES: Tuple[str, ...] = ("repro.hw.machine",)
+
+
+def forbidden_target(module: str) -> bool:
+    if module in FORBIDDEN_MODULES:
+        return True
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in FORBIDDEN_PREFIXES
+    )
+
+
+def _imports(tree: ast.Module) -> Iterator[Tuple[int, str]]:
+    """(line, imported module) for every import anywhere in the file."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield node.lineno, alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative imports cannot leave the package
+                continue
+            if node.module:
+                yield node.lineno, node.module
+
+
+@register
+class TrustBoundaryRule(Rule):
+    id = "trust-boundary"
+    summary = (
+        "auditor modules must not import repro.guest.*, repro.vmi.*, or "
+        "repro.hw.machine (hardware-invariant inputs only)"
+    )
+
+    def check(self, ctx: AnalysisContext) -> Iterator[Finding]:
+        for source in ctx.modules_under(AUDITOR_PREFIX):
+            yield from self._check_file(source)
+
+    def _check_file(self, source: SourceFile) -> Iterator[Finding]:
+        seen: List[Tuple[int, str]] = []
+        for line, module in _imports(source.tree):
+            if forbidden_target(module) and (line, module) not in seen:
+                seen.append((line, module))
+                yield self.finding(
+                    source.rel,
+                    line,
+                    f"auditor imports guest-rooted module '{module}'; "
+                    "auditors must consume hardware-derived events "
+                    "(annotate a sanctioned cross-validation point with "
+                    "'# hypertap: allow(trust-boundary) — why' if deliberate)",
+                )

@@ -1,0 +1,146 @@
+"""Orchestration: discover → rule sweep → suppress → baseline → render.
+
+The output is deterministic by construction — files discovered in
+sorted order, rules run in sorted-id order, findings sorted before
+rendering, no timestamps — so two runs over the same tree are
+byte-identical (a property the test suite asserts; diffable CI logs
+and stable baselines depend on it).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.baseline import apply_baseline, load_baseline
+from repro.analysis.findings import Finding
+from repro.analysis.pragmas import PRAGMA_RULE
+from repro.analysis.repo import AnalysisContext
+from repro.analysis.rules import all_rules, rule_ids
+from repro.errors import ConfigurationError
+
+#: Schema version of the ``--json`` output.
+REPORT_VERSION = 1
+
+
+@dataclass
+class Report:
+    """Outcome of one analysis run."""
+
+    root: str
+    rules: List[str]
+    files_scanned: int
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    baselined: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.clean else 1
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+
+def run_analysis(
+    root: Path,
+    selected_rules: Optional[Sequence[str]] = None,
+    baseline: Optional[Path] = None,
+) -> Report:
+    """Run the pass over the tree rooted at ``root``."""
+    known = set(rule_ids())
+    if selected_rules is not None:
+        unknown = sorted(set(selected_rules) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown rule(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+    ctx = AnalysisContext(root, known_rules=known)
+
+    rules = [
+        rule
+        for rule in all_rules()
+        if selected_rules is None or rule.id in selected_rules
+    ]
+    raw: List[Finding] = list(ctx.parse_errors)
+    for rule in rules:
+        raw.extend(rule.check(ctx))
+
+    # Inline suppressions (marks pragmas used as a side effect).
+    sheets = {source.rel: source.pragmas for source in ctx.files}
+    active: List[Finding] = []
+    suppressed = 0
+    for finding in raw:
+        sheet = sheets.get(finding.path)
+        if sheet is not None and sheet.suppresses(finding):
+            suppressed += 1
+        else:
+            active.append(finding)
+
+    # Pragma hygiene is only meaningful on a full-rule run: a filtered
+    # run would misreport pragmas for unselected rules as unused.
+    if selected_rules is None:
+        for source in ctx.files:
+            active.extend(source.pragmas.audit(source.rel))
+
+    baselined = 0
+    if baseline is not None:
+        active, baselined = apply_baseline(active, load_baseline(baseline))
+
+    return Report(
+        root=str(root),
+        rules=[rule.id for rule in rules] + ([PRAGMA_RULE] if selected_rules is None else []),
+        files_scanned=len(ctx.files),
+        findings=sorted(
+            active, key=lambda f: (f.path, f.line, f.col, f.rule, f.message)
+        ),
+        suppressed=suppressed,
+        baselined=baselined,
+    )
+
+
+# ======================================================================
+# Rendering
+# ======================================================================
+def render_text(report: Report) -> str:
+    lines: List[str] = []
+    for finding in report.findings:
+        lines.append(f"{finding.location()}: [{finding.rule}] {finding.message}")
+    summary = (
+        f"{len(report.findings)} finding(s) in {report.files_scanned} file(s)"
+    )
+    extras = []
+    if report.suppressed:
+        extras.append(f"{report.suppressed} suppressed inline")
+    if report.baselined:
+        extras.append(f"{report.baselined} baselined")
+    if extras:
+        summary += f" ({', '.join(extras)})"
+    lines.append(summary)
+    if report.clean:
+        lines.append("OK: hardware-invariant trust boundary holds")
+    return "\n".join(lines)
+
+
+def render_json(report: Report) -> str:
+    payload = {
+        "version": REPORT_VERSION,
+        "rules": report.rules,
+        "files_scanned": report.files_scanned,
+        "findings": [f.to_json() for f in report.findings],
+        "counts_by_rule": report.counts_by_rule(),
+        "suppressed": report.suppressed,
+        "baselined": report.baselined,
+        "clean": report.clean,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

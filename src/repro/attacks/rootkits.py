@@ -29,7 +29,6 @@ from typing import Dict, List, Set, Tuple
 
 from repro.errors import SimulationError
 from repro.guest.kernel import GuestKernel
-from repro.guest.layouts import TASK_STRUCT
 
 
 class HidingTechnique(enum.Enum):

@@ -14,10 +14,10 @@ Four strategies, composable exactly as the paper composes them:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.attacks.exploits import CVE_2013_1763, ExploitPlan, exploit_program
+from repro.attacks.exploits import ExploitPlan, exploit_program
 from repro.attacks.rootkits import Rootkit, build_rootkit
 from repro.guest.kernel import GuestKernel
 from repro.guest.programs import GuestContext

@@ -19,9 +19,17 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.auditors.ninja_rules import NinjaPolicy, facts_from_mappings
+
+# H-Ninja is the paper's hypervisor-level *passive* baseline (§VIII-C):
+# it scans via traditional VMI on a polling interval, standing outside
+# the HyperTap event pipeline on purpose so the ablation against
+# HT-Ninja isolates what architectural invariants + active checks buy.
+# hypertap: allow(trust-boundary) — deliberate VMI baseline: pauses/scans the raw machine outside HyperTap
 from repro.hw.machine import Machine
 from repro.sim.clock import MILLISECOND
 from repro.sim.engine import Engine
+
+# hypertap: allow(trust-boundary) — deliberate VMI baseline: the OS-invariant task-list walk is its input
 from repro.vmi.introspection import KernelSymbolMap, OsInvariantView
 
 #: Host-side cost to decode one task_struct via VMI (guest page walk +
@@ -77,6 +85,7 @@ class HNinja:
         if self.blocking:
             # Pause the guest for the whole scan: no entry can exit
             # under us, defeating spamming (at a guest-latency cost).
+            # hypertap: allow(auditor-purity) — blocking H-Ninja freezes the VM around a scan by definition
             self.machine.vm_paused = True
             for entry in entries:
                 self._check_entry(entry, by_gva)
@@ -118,6 +127,7 @@ class HNinja:
 
         def _next() -> None:
             if resume:
+                # hypertap: allow(auditor-purity) — unpause pairs with the blocking-scan freeze above
                 self.machine.vm_paused = False
             if self._running:
                 self.engine.schedule(

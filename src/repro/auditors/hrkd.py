@@ -24,15 +24,18 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set
 
 from repro.core.auditor import Auditor
-from repro.core.derive import DerivedTaskInfo
+from repro.core.derive import PF_KTHREAD
 from repro.core.events import (
     EventType,
     GuestEvent,
-    ProcessSwitchEvent,
     ThreadSwitchEvent,
 )
-from repro.guest.layouts import PF_KTHREAD
 from repro.sim.clock import SECOND
+
+# The VMI walk is one of the *untrusted views* HRKD cross-validates the
+# trusted execution view against (§VII-B): its output is input data to
+# the comparison, never a root of trust.
+# hypertap: allow(trust-boundary) — HRKD's sanctioned cross-validation input: the untrusted VMI view being audited
 from repro.vmi.introspection import OsInvariantView
 
 
@@ -82,13 +85,9 @@ class HiddenRootkitDetector(Auditor):
         self._vmi: Optional[OsInvariantView] = None
 
     def on_attach(self) -> None:
-        from repro.vmi.introspection import KernelSymbolMap
-
-        # HRKD's own VMI view for cross-validation (one of the
-        # "other views" the trusted view is compared against).
-        machine = self.hypertap.machine
-        # The symbol map comes from the kernel build; the harness can
-        # override via set_vmi_view() when it has richer symbols.
+        # The untrusted VMI view needs kernel symbols the framework does
+        # not carry; the harness injects one via set_vmi_view() when it
+        # wants VMI cross-validation in addition to the guest view.
         self._vmi = None
 
     def set_vmi_view(self, vmi: OsInvariantView) -> None:

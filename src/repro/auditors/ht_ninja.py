@@ -18,18 +18,19 @@ micro-benchmark overhead in Fig 7).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import Optional, Set
 
 from repro.auditors.ninja_rules import NinjaPolicy, ProcessFacts
 from repro.core.auditor import Auditor
-from repro.core.derive import DerivedTaskInfo
+from repro.core.derive import DerivedTaskInfo, PF_KTHREAD
 from repro.core.events import (
     EventType,
     GuestEvent,
     SyscallEvent,
     ThreadSwitchEvent,
 )
-from repro.guest.layouts import PF_KTHREAD
+
+# hypertap: allow(trust-boundary) — syscall-number table is the kernel ABI spec, not runtime guest state
 from repro.guest.syscalls import IO_SYSCALLS, SYSCALL_NUMBERS
 
 #: Syscall numbers HT-Ninja treats as IO-related.

@@ -19,11 +19,11 @@ selective critical protection.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import Dict, Set
 
 from repro.core.auditor import Auditor
+from repro.core.derive import TASK_STRUCT
 from repro.core.events import EventType, GuestEvent, MemoryAccessEvent
-from repro.guest.layouts import TASK_STRUCT
 from repro.hw.memory import page_base
 
 

@@ -15,8 +15,17 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.auditors.ninja_rules import NinjaPolicy, facts_from_mappings
+
+# O-Ninja *is* the paper's in-guest passive baseline (§VIII-C): it must
+# run inside the guest and read /proc, inheriting every guest-level
+# weakness, so the ablation against H-/HT-Ninja measures something.
+# hypertap: allow(trust-boundary) — deliberate in-guest baseline: runs as a guest process by design
 from repro.guest.kernel import GuestKernel
+
+# hypertap: allow(trust-boundary) — deliberate in-guest baseline: scan loop is a guest program by design
 from repro.guest.programs import GuestContext
+
+# hypertap: allow(trust-boundary) — deliberate in-guest baseline: the scanner is itself a guest task
 from repro.guest.task import Task
 from repro.sim.clock import MILLISECOND
 
@@ -42,6 +51,7 @@ class ONinja:
     # ------------------------------------------------------------------
     def install(self) -> Task:
         """Spawn the scanner inside the guest (a root daemon)."""
+        # hypertap: allow(auditor-purity) — installing the in-guest daemon is the O-Ninja deployment model
         self.task = self.kernel.spawn_process(
             self._program,
             "ninja",
@@ -101,4 +111,5 @@ class ONinja:
                 if self.kill_on_detect:
                     target = self.kernel.find_task(facts.pid)
                     if target is not None:
+                        # hypertap: allow(auditor-purity) — kill-on-detect is the real daemon's response action
                         self.kernel.force_exit(target, code=-9)

@@ -18,11 +18,13 @@ root of trust for free.  This module provides both:
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, FrozenSet, Optional, Set, Tuple
 
 from repro.core.auditor import Auditor
 from repro.core.events import EventType, GuestEvent, SyscallEvent
+
+# hypertap: allow(trust-boundary) — syscall-number table is the kernel ABI spec, not runtime guest state
 from repro.guest.syscalls import SYSCALL_NUMBERS
 
 #: Reverse map for readable alerts.

@@ -14,7 +14,7 @@ from collections import Counter
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.auditor import Auditor
-from repro.core.events import EventType, GuestEvent, REQUIRED_EXIT_REASONS
+from repro.core.events import EventType, GuestEvent
 from repro.core.interception import (
     FastSyscallInterceptor,
     FineGrainedTracer,

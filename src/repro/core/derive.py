@@ -23,11 +23,19 @@ from typing import Optional
 
 from repro.guest.layouts import (
     KNOWN_KERNEL_GVA,
+    PF_KTHREAD,
     TASK_STRUCT,
     THREAD_INFO,
     THREAD_SIZE,
 )
 from repro.hw.machine import Machine
+
+#: Kernel-ABI knowledge auditors may consume.  Layout offsets and flag
+#: bits are *interface specifications* the derivation chain is built on
+#: (Section IV-B's "layout knowledge"), not runtime guest state — so the
+#: deriver re-exports them and the trust-boundary rule keeps auditors
+#: from importing ``repro.guest.*`` directly.
+__all__ = ["ArchDeriver", "DerivedTaskInfo", "PF_KTHREAD", "TASK_STRUCT"]
 
 
 @dataclass(frozen=True)

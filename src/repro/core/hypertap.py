@@ -19,7 +19,6 @@ from typing import Dict, List, Optional
 from repro.core.auditor import Auditor
 from repro.core.channel import UnifiedChannel
 from repro.core.derive import ArchDeriver
-from repro.core.events import EventType
 from repro.errors import ConfigurationError, SimulationError
 from repro.hw.machine import Machine
 from repro.hypervisor.containers import AuditingContainer

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.analysis.figures import ascii_cdf
 from repro.analysis.tables import format_table

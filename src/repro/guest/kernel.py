@@ -26,7 +26,6 @@ from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Tuple
 from repro.errors import SimulationError
 from repro.guest.kalloc import KernelAllocator
 from repro.guest.layouts import (
-    INT80_ENTRY_GVA,
     KERNEL_TEXT_BASE,
     KERNEL_TEXT_GPA,
     KERNEL_TEXT_SIZE,
@@ -41,7 +40,7 @@ from repro.guest.layouts import (
     direct_map_gpa,
     StructRef,
 )
-from repro.guest.locks import LEAKED, LockTable
+from repro.guest.locks import LockTable
 from repro.guest.programs import (
     BlockOn,
     Compute,

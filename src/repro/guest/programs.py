@@ -18,7 +18,7 @@ the architectural boundary (the trap).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Generator, Tuple
 
 

@@ -9,7 +9,7 @@ kernel executor; this module owns the bookkeeping.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Deque, List
 
 from repro.guest.task import Task, TaskState
 

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, Tuple, TYPE_CHECKING
 
-from repro.guest.layouts import TASK_STRUCT
 from repro.guest.programs import (
     BlockOn,
     DiskRequest,

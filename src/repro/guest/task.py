@@ -13,10 +13,10 @@ from __future__ import annotations
 import enum
 from typing import Any, Generator, List, Optional, TYPE_CHECKING
 
-from repro.guest.layouts import TASK_STRUCT, THREAD_INFO, THREAD_SIZE
+from repro.guest.layouts import THREAD_SIZE
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.guest.programs import KernelOp, Op
+    from repro.guest.programs import KernelOp
     from repro.hw.paging import AddressSpace
 
 

@@ -13,7 +13,6 @@ from typing import Callable, Dict, Optional, TYPE_CHECKING
 
 from repro.errors import SimulationError
 from repro.hw.vmcs import VECTOR_DISK, VECTOR_NET
-from repro.sim.engine import Engine
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hw.cpu import VCPU

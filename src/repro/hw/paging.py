@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, Optional
 
 from repro.errors import GuestPageFault, SimulationError
-from repro.hw.memory import PAGE_SHIFT, PAGE_SIZE, page_number, page_offset
+from repro.hw.memory import PAGE_SHIFT, page_number, page_offset
 
 #: Sentinel returned by host-side translation when a GVA is unmapped.
 UNMAPPED_GVA = -1

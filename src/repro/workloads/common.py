@@ -11,7 +11,7 @@ GOSHD's handful of "Not Detected" classifications.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from repro.guest.kernel import GuestKernel
 from repro.guest.programs import GuestContext

@@ -6,7 +6,6 @@ from repro.attacks.exploits import (
     CVE_2010_3847,
     CVE_2013_1763,
     ExploitPlan,
-    exploit_program,
 )
 from repro.attacks.sidechannel import IntervalEstimate, ProcSideChannel
 from repro.attacks.strategies import (

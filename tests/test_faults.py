@@ -1,17 +1,14 @@
 """Tests for the fault-site catalog and the injector."""
 
-import pytest
 
 from repro.faults.injector import FaultInjector, InjectionMode
 from repro.faults.sites import (
     FaultClass,
-    FaultSite,
     KERNEL_FUNCTIONS,
     PAPER_SITE_COUNT,
     build_site_catalog,
     sites_by_module,
 )
-from repro.guest.programs import KCompute, LockAcquire, LockRelease, FaultPoint
 
 
 class TestCatalog:

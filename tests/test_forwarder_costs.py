@@ -3,7 +3,6 @@
 from repro.core.auditor import Auditor
 from repro.core.events import EventType
 from repro.harness import Testbed, TestbedConfig
-from repro.hw.exits import ExitReason
 from repro.hypervisor.event_forwarder import EventForwarder
 from repro.hypervisor.event_multiplexer import EventMultiplexer
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.guest.kernel import GuestKernel, KernelConfig
+from repro.guest.kernel import KernelConfig
 from repro.guest.layouts import (
     KERNEL_TEXT_BASE,
     SYSENTER_ENTRY_GVA,

@@ -1,10 +1,9 @@
 """Edge cases in the guest kernel: lifecycle races, scheduler corners,
 GOSHD profiling helper."""
 
-import pytest
 
 from repro.auditors.goshd import profile_hang_threshold
-from repro.guest.programs import BlockOn, KCompute, LockAcquire
+from repro.guest.programs import KCompute, LockAcquire
 from repro.guest.task import TaskState
 from repro.sim.clock import MILLISECOND, SECOND
 

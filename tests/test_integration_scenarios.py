@@ -5,7 +5,6 @@ run at reduced scale so the suite stays fast; the full-scale versions
 live in benchmarks/.
 """
 
-import pytest
 
 from repro.attacks.exploits import ExploitPlan
 from repro.attacks.rootkits import build_rootkit
@@ -18,7 +17,7 @@ from repro.faults.campaign import Outcome, TrialConfig, run_trial
 from repro.faults.injector import InjectionMode
 from repro.faults.sites import FaultClass, build_site_catalog
 from repro.harness import Testbed, TestbedConfig
-from repro.sim.clock import MILLISECOND, SECOND
+from repro.sim.clock import SECOND
 from repro.vmi.introspection import KernelSymbolMap, OsInvariantView
 
 

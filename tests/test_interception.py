@@ -1,6 +1,5 @@
 """Tests for the Fig 3 interception algorithms."""
 
-import pytest
 
 from repro.core.auditor import Auditor
 from repro.core.events import (
@@ -12,7 +11,6 @@ from repro.core.events import (
 from repro.guest.syscalls import SYSCALL_NUMBERS
 from repro.guest.task import TaskState
 from repro.harness import Testbed, TestbedConfig
-from repro.sim.clock import MILLISECOND
 
 
 class Recorder(Auditor):

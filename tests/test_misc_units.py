@@ -20,7 +20,7 @@ from repro.guest.layouts import (
     direct_map_gpa,
     direct_map_gva,
 )
-from repro.harness import Testbed, TestbedConfig, build_testbed
+from repro.harness import build_testbed
 from repro.hw.machine import Machine, MachineConfig
 from repro.hw.memory import PAGE_SIZE
 from repro.hw.vmcs import ExecutionControls, Vmcs

@@ -1,6 +1,5 @@
 """Tests for the three Ninjas (§VII-C, §VIII-C)."""
 
-import pytest
 
 from repro.attacks.exploits import CVE_2010_3847, ExploitPlan
 from repro.attacks.strategies import (

@@ -5,8 +5,6 @@ import pytest
 from repro.attacks.rootkits import (
     HidingTechnique,
     ROOTKIT_ZOO,
-    Rootkit,
-    RootkitSpec,
     build_rootkit,
 )
 from repro.errors import SimulationError

@@ -1,6 +1,5 @@
 """Cross-cutting tests of the paper's unification claims (§IV)."""
 
-import pytest
 
 from repro.auditors import (
     GuestOSHangDetector,

@@ -7,7 +7,6 @@ from repro.auditors.vigilant import (
     VigilantDetector,
 )
 from repro.guest.programs import KCompute, LockAcquire
-from repro.sim.clock import SECOND
 from repro.workloads.common import start_workload
 
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.guest.task import TaskState
 from repro.workloads.common import SshProbe, start_workload, WORKLOAD_NAMES
 from repro.workloads.hanoi import hanoi_moves
 from repro.workloads.unixbench import MICROBENCHES, run_microbench

@@ -20,6 +20,7 @@ from repro.hypervisor.kvm import KvmHypervisor
 from repro.hypervisor.rhc import RemoteHealthChecker
 from repro.sim.clock import MILLISECOND, SECOND
 from repro.sim.engine import Engine
+from repro.sim.perturb import SchedulePerturbation
 
 
 @dataclass
@@ -37,6 +38,10 @@ class TestbedConfig:
     with_rhc: bool = False
     rhc_timeout_s: int = 5
     monitoring_mode: str = "unified"
+    #: Optional seeded schedule perturbation (repro.sim.perturb) —
+    #: jittered timeslices / same-instant shuffles for adversarial
+    #: conformance runs.  None keeps the engine's documented ordering.
+    perturb: Optional[SchedulePerturbation] = None
 
 
 class Testbed:
@@ -46,7 +51,7 @@ class Testbed:
 
     def __init__(self, config: Optional[TestbedConfig] = None) -> None:
         self.config = config if config is not None else TestbedConfig()
-        self.engine = Engine()
+        self.engine = Engine(schedule_policy=self.config.perturb)
         self.machine = Machine(
             MachineConfig(
                 num_vcpus=self.config.num_vcpus,
@@ -194,6 +199,12 @@ class SharedHost:
         for auditor in auditors:
             vm.hypertap.register_auditor(auditor)
         vm.hypertap.attach()
+        if self.rhc is not None:
+            # Per-container heartbeat channel: a quarantined container
+            # is flagged by name while the other VMs' pipelines stay
+            # green (the host-wide heartbeat alone cannot tell).
+            self.rhc.watch(vm.vm_id)
+            vm.hypertap.container.liveness = self.rhc
         return vm.hypertap
 
     def run_s(self, seconds: float) -> None:

@@ -22,13 +22,19 @@ if TYPE_CHECKING:  # pragma: no cover
 class AuditingContainer:
     """One container hosting the auditors of one VM."""
 
-    def __init__(self, vm_id: str) -> None:
+    def __init__(self, vm_id: str, liveness=None) -> None:
         self.vm_id = vm_id
         self.auditors: List["Auditor"] = []
         self.failed = False
         self.failure_reason: Optional[str] = None
         self.delivered = 0
         self.dropped = 0
+        #: Duck-typed liveness observer: anything with
+        #: ``heartbeat(t_ns, channel=...)`` (the RHC qualifies).  Only
+        #: *successful* deliveries beat — a quarantined container goes
+        #: silent on its channel, which is exactly the signal a
+        #: per-channel health check needs.
+        self.liveness = liveness
 
     def add_auditor(self, auditor: "Auditor") -> None:
         self.auditors.append(auditor)
@@ -46,6 +52,11 @@ class AuditingContainer:
             self.failed = True
             self.failure_reason = f"{type(exc).__name__}: {exc}"
             self.dropped += 1
+            return
+        if self.liveness is not None:
+            self.liveness.heartbeat(
+                getattr(event, "time_ns", 0), channel=self.vm_id
+            )
 
     def raise_if_failed(self) -> None:
         """Test helper: surface a container crash as an exception."""

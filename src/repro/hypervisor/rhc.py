@@ -4,11 +4,18 @@ Runs on a *separate machine* (Fig 2) and measures intervals between
 sampled events arriving from the EM.  Silence beyond the timeout means
 the monitoring pipeline itself — EF, EM, or the whole host — has died,
 closing the "who monitors the monitor" loop.
+
+Besides the host-wide heartbeat, the RHC watches named *channels*: one
+per auditing container on a shared host.  The host-wide signal cannot
+distinguish "vm1's auditors died" from healthy silence as long as any
+other VM keeps the pipeline busy; per-channel timestamps can, so a
+single quarantined container is flagged while its neighbours stay
+green.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.sim.clock import SECOND
 from repro.sim.engine import Engine
@@ -29,6 +36,10 @@ class RemoteHealthChecker:
         self.last_heartbeat_ns: Optional[int] = None
         self.heartbeats = 0
         self.alerts: List[int] = []
+        #: Per-channel silence alerts as ``(t_ns, channel)``.
+        self.channel_alerts: List[Tuple[int, str]] = []
+        self._channel_last: Dict[str, int] = {}
+        self._channel_alarmed: Set[str] = set()
         self._started = False
         self._alert_raised = False
 
@@ -36,13 +47,23 @@ class RemoteHealthChecker:
         if self._started:
             return
         self._started = True
-        self.last_heartbeat_ns = self.engine.clock.now
+        now = self.engine.clock.now
+        self.last_heartbeat_ns = now
+        for channel in self._channel_last:
+            self._channel_last[channel] = max(self._channel_last[channel], now)
         self.engine.schedule(self.check_period_ns, self._check, label="rhc-check")
 
-    def heartbeat(self, t_ns: int) -> None:
+    def watch(self, channel: str) -> None:
+        """Register a named heartbeat channel (one auditing container)."""
+        self._channel_last.setdefault(channel, self.engine.clock.now)
+
+    def heartbeat(self, t_ns: int, channel: Optional[str] = None) -> None:
         self.heartbeats += 1
         self.last_heartbeat_ns = t_ns
         self._alert_raised = False
+        if channel is not None:
+            self._channel_last[channel] = t_ns
+            self._channel_alarmed.discard(channel)
 
     def _check(self) -> None:
         if not self._started:
@@ -52,6 +73,13 @@ class RemoteHealthChecker:
         if now - last > self.timeout_ns and not self._alert_raised:
             self.alerts.append(now)
             self._alert_raised = True
+        for channel, channel_last in self._channel_last.items():
+            if (
+                now - channel_last > self.timeout_ns
+                and channel not in self._channel_alarmed
+            ):
+                self.channel_alerts.append((now, channel))
+                self._channel_alarmed.add(channel)
         self.engine.schedule(self.check_period_ns, self._check, label="rhc-check")
 
     def stop(self) -> None:
@@ -60,3 +88,9 @@ class RemoteHealthChecker:
     @property
     def alarmed(self) -> bool:
         return bool(self.alerts)
+
+    @property
+    def stalled_channels(self) -> Set[str]:
+        """Channels currently past the silence timeout (live view: a
+        resumed heartbeat clears the channel)."""
+        return set(self._channel_alarmed)

@@ -44,6 +44,11 @@ class TraceMutator:
 
     def __init__(self, seed: int = 0) -> None:
         self.rng = random.Random(seed)
+        #: Net time shift applied by ``silence_gap`` during one
+        #: :meth:`mutate` call; the only mutation allowed to move the
+        #: trace horizon (a ``corrupt`` that writes an absurd timestamp
+        #: must stay *beyond* the horizon so replay rejects it).
+        self._shift_ns = 0
 
     # ------------------------------------------------------------------
     # Operators (each edits ``records`` in place, returns a description)
@@ -107,6 +112,8 @@ class TraceMutator:
             if isinstance(record, dict) and isinstance(record.get("t"), int):
                 record["t"] += gap_ns
                 shifted += 1
+        if shifted:
+            self._shift_ns += gap_ns
         return f"silence_gap: +{gap_ns}ns after record {split} ({shifted} shifted)"
 
     # ------------------------------------------------------------------
@@ -119,18 +126,14 @@ class TraceMutator:
             records=copy.deepcopy(trace.records),
         )
         log: List[str] = []
+        self._shift_ns = 0
         for _ in range(max(1, n_mutations)):
             op = self.rng.choice(MUTATION_OPERATORS)
             log.append(getattr(self, op)(mutated.records))
-        if mutated.header.end_ns is not None:
-            # Keep the horizon consistent with any time shifts.
-            max_t = max(
-                (
-                    r["t"]
-                    for r in mutated.records
-                    if isinstance(r, dict) and isinstance(r.get("t"), int)
-                ),
-                default=mutated.header.end_ns,
-            )
-            mutated.header.end_ns = max(mutated.header.end_ns, max_t)
+        if mutated.header.end_ns is not None and self._shift_ns:
+            # Extend the horizon by exactly the silence-gap shifts —
+            # never by whatever timestamp ``corrupt`` wrote, or one
+            # 2**63 corruption would legitimize an absurd horizon and
+            # drag every periodic auditor check across aeons.
+            mutated.header.end_ns += self._shift_ns
         return mutated, log

@@ -106,30 +106,34 @@ class Scenario:
     description: str
     #: Fresh auditor instances — used by both ``record`` and ``replay``.
     build_auditors: Callable[[], List[Auditor]]
-    #: Drives the live simulation; returns the testbed used.
-    run: Callable[[RecordingAuditor, List[Auditor], int], Any]
+    #: Drives the live simulation; returns the testbed used.  The last
+    #: argument is an optional seeded schedule perturbation
+    #: (``repro.sim.perturb``) for adversarial-interleaving recording.
+    run: Callable[..., Any]
 
 
-def _build_testbed(seed: int, num_vcpus: int = 2):
+def _build_testbed(seed: int, num_vcpus: int = 2, perturb=None):
     from repro.harness import Testbed, TestbedConfig
 
-    testbed = Testbed(TestbedConfig(num_vcpus=num_vcpus, seed=seed))
+    testbed = Testbed(
+        TestbedConfig(num_vcpus=num_vcpus, seed=seed, perturb=perturb)
+    )
     testbed.boot()
     return testbed
 
 
-def _run_baseline(recorder: RecordingAuditor, auditors, seed: int):
+def _run_baseline(recorder: RecordingAuditor, auditors, seed: int, perturb=None):
     """Failure-free make-j2 under the full auditor set: no verdicts."""
     from repro.workloads.common import start_workload
 
-    testbed = _build_testbed(seed)
+    testbed = _build_testbed(seed, perturb=perturb)
     testbed.monitor(auditors + [recorder])
     start_workload(testbed.kernel, "make-j2")
     testbed.run_s(1.5)
     return testbed
 
 
-def _run_hang(recorder: RecordingAuditor, auditors, seed: int):
+def _run_hang(recorder: RecordingAuditor, auditors, seed: int, perturb=None):
     """§VII-A: a missing spinlock release partially hangs the guest."""
     from repro.faults import (
         FaultClass,
@@ -139,7 +143,7 @@ def _run_hang(recorder: RecordingAuditor, auditors, seed: int):
     )
     from repro.workloads.hanoi import make_hanoi
 
-    testbed = _build_testbed(seed)
+    testbed = _build_testbed(seed, perturb=perturb)
     testbed.monitor(auditors + [recorder])
     testbed.kernel.spawn_process(
         make_hanoi(), "hanoi", uid=1000, exe="/home/user/hanoi", pin_cpu=1
@@ -159,11 +163,11 @@ def _run_hang(recorder: RecordingAuditor, auditors, seed: int):
     return testbed
 
 
-def _run_rootkit(recorder: RecordingAuditor, auditors, seed: int):
+def _run_rootkit(recorder: RecordingAuditor, auditors, seed: int, perturb=None):
     """Table II: a DKOM rootkit hides a process; HRKD cross-validates."""
     from repro.attacks.rootkits import build_rootkit
 
-    testbed = _build_testbed(seed)
+    testbed = _build_testbed(seed, perturb=perturb)
     testbed.monitor(auditors + [recorder])
     hrkd = next(a for a in auditors if isinstance(a, HiddenRootkitDetector))
 
@@ -186,12 +190,12 @@ def _run_rootkit(recorder: RecordingAuditor, auditors, seed: int):
     return testbed
 
 
-def _run_exploit(recorder: RecordingAuditor, auditors, seed: int):
+def _run_exploit(recorder: RecordingAuditor, auditors, seed: int, perturb=None):
     """§VIII-C1: a transient privilege escalation caught by HT-Ninja."""
     from repro.attacks.exploits import ExploitPlan
     from repro.attacks.strategies import TransientAttack
 
-    testbed = _build_testbed(seed)
+    testbed = _build_testbed(seed, perturb=perturb)
 
     def idle(ctx):
         while True:
@@ -259,8 +263,13 @@ class RecordedRun:
         return self.trace.header.total_events / self.live_wall_seconds
 
 
-def record_scenario(name: str, seed: int = 0) -> RecordedRun:
-    """Run a named scenario live and capture its replayable trace."""
+def record_scenario(name: str, seed: int = 0, perturb=None) -> RecordedRun:
+    """Run a named scenario live and capture its replayable trace.
+
+    ``perturb`` (a seeded :class:`repro.sim.perturb.SchedulePerturbation`)
+    records the scenario under an adversarial schedule: jittered vCPU
+    timeslices and shuffled same-instant event ordering.
+    """
     if name not in SCENARIOS:
         raise KeyError(
             f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
@@ -269,7 +278,7 @@ def record_scenario(name: str, seed: int = 0) -> RecordedRun:
     auditors = scenario.build_auditors()
     recorder = RecordingAuditor()
     wall_start = time.perf_counter()
-    testbed = scenario.run(recorder, auditors, seed)
+    testbed = scenario.run(recorder, auditors, seed, perturb)
     wall_seconds = time.perf_counter() - wall_start
 
     alerts = {a.name: list(a.alerts) for a in auditors}
@@ -287,6 +296,7 @@ def record_scenario(name: str, seed: int = 0) -> RecordedRun:
             "live_verdicts": verdicts,
             "live_wall_seconds": round(wall_seconds, 6),
             "serialize_failures": recorder.serialize_failures,
+            "perturb_seed": perturb.seed if perturb is not None else None,
         },
     )
     trace = Trace(header=header, records=recorder.records)

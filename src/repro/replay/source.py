@@ -151,6 +151,7 @@ class ReplayReport:
     events_rejected: int = 0
     scans_run: int = 0
     scan_errors: int = 0
+    events_dropped: int = 0
     alerts: Dict[str, List[dict]] = field(default_factory=dict)
     verdicts: List[dict] = field(default_factory=list)
     container_failed: bool = False
@@ -179,11 +180,23 @@ class ReplaySource:
         auditors: Iterable[Auditor],
         rhc_timeout_ns: Optional[int] = None,
         rhc_sample_every: int = 64,
+        perturb=None,
+        collect_delivery: bool = False,
     ) -> None:
         self.trace = trace
         self.auditors: List[Auditor] = list(auditors)
         header = trace.header
-        self.engine = Engine()
+        #: Optional seeded SchedulePerturbation: delivery is then routed
+        #: through the engine queue (label ``replay-deliver``) so the
+        #: policy can reorder same-instant deliveries, delay them, or
+        #: drop them — the adversarial-schedule half of repro.testing.
+        self.perturb = perturb
+        #: When collecting, each non-dropped perturbed delivery is
+        #: logged as ``(when, prio, seq, record)`` — sorting that log
+        #: materializes the adversarial schedule as a plain trace (see
+        #: ``repro.testing``), which shrinks without re-perturbation.
+        self.delivery_log: Optional[List[tuple]] = [] if collect_delivery else None
+        self.engine = Engine(schedule_policy=perturb)
         self.machine = ReplayMachine(header.num_vcpus, self.engine.clock)
         self.hypertap = ReplayHyperTap(self.machine, self.engine)
         self.hypertap.vm_id = header.vm_id
@@ -233,6 +246,12 @@ class ReplaySource:
             self.rhc.start()
         for auditor in self.auditors:
             auditor.bind(self.hypertap)
+
+        if self.perturb is not None:
+            self._run_perturbed(report)
+            report.wall_seconds = time.perf_counter() - start_wall
+            self._finalize(report)
+            return report
 
         horizon = self._horizon()
         # Hot loop: hoist every per-record attribute lookup into locals,
@@ -297,6 +316,10 @@ class ReplaySource:
             self._advance_to(end_ns)
 
         report.wall_seconds = time.perf_counter() - start_wall
+        self._finalize(report)
+        return report
+
+    def _finalize(self, report: ReplayReport) -> None:
         report.sim_span_ns = max(
             0, self.engine.clock.now - self.trace.header.start_ns
         )
@@ -305,7 +328,103 @@ class ReplaySource:
         report.container_failed = self.container.failed
         report.failure_reason = self.container.failure_reason
         report.rhc_alarmed = self.rhc.alarmed if self.rhc is not None else False
-        return report
+
+    # ------------------------------------------------------------------
+    # Perturbed delivery: every record is routed through the engine
+    # queue so the schedule policy decides ordering/latency/loss.
+    # ------------------------------------------------------------------
+    def _deliver(self, event, task, parent, report: ReplayReport) -> None:
+        self.hypertap.deriver.observe(event, task, parent)
+        self.hypertap.observe(event)
+        self._sampler.observe(self.engine.clock.now)
+        self.fanout.publish(event)
+        report.events_replayed += 1
+
+    def _deliver_scan(self, scan: Dict[str, Any], report: ReplayReport) -> None:
+        auditor = self._scan_auditor(scan["auditor"])
+        if auditor is None:
+            report.events_rejected += 1
+            return
+        try:
+            auditor.scan_against(
+                scan["untrusted_pids"],
+                scan["view"],
+                untrusted_process_count=scan["untrusted_count"],
+            )
+            report.scans_run += 1
+        except Exception:  # noqa: BLE001 - the replay container boundary
+            report.scan_errors += 1
+
+    def _run_perturbed(self, report: ReplayReport) -> None:
+        """Schedule every record's delivery through the (perturbed)
+        engine, then run the queue out to the recorded horizon."""
+        engine = self.engine
+        now = engine.clock.now
+        horizon = self._horizon()
+        max_t = now
+        for record in self.trace.records:
+            if type(record) is not dict:
+                report.events_rejected += 1
+                continue
+            kind = record.get("kind", KIND_EVENT)
+            if kind == KIND_SCAN:
+                try:
+                    scan = decode_scan(record)
+                except TraceFormatError:
+                    report.events_rejected += 1
+                    continue
+                handle = engine.schedule_at(
+                    max(scan["t"], now), self._deliver_scan, scan, report,
+                    label="replay-scan",
+                )
+                if not handle.cancelled:
+                    max_t = max(max_t, handle.when)
+                    if self.delivery_log is not None:
+                        self.delivery_log.append(
+                            (handle.when, handle.prio, handle.seq, record)
+                        )
+                continue
+            if kind != KIND_EVENT:
+                report.events_rejected += 1
+                continue
+            try:
+                event = GuestEvent.from_record(record)
+                t_ns = event.time_ns
+                if horizon is not None and t_ns > horizon:
+                    raise TraceFormatError(
+                        f"timestamp {t_ns} beyond trace horizon"
+                    )
+                task = record.get("task")
+                if task is not None:
+                    task = task_from_record(task)
+                parent = record.get("parent")
+                if parent is not None:
+                    parent = task_from_record(parent)
+            except TraceFormatError:
+                report.events_rejected += 1
+                continue
+            handle = engine.schedule_at(
+                max(t_ns, now), self._deliver, event, task, parent, report,
+                label="replay-deliver",
+            )
+            if not handle.cancelled:
+                # The policy may have delayed the delivery past the
+                # recorded horizon; the deadline must still reach it.
+                max_t = max(max_t, handle.when)
+                if self.delivery_log is not None:
+                    self.delivery_log.append(
+                        (handle.when, handle.prio, handle.seq, record)
+                    )
+        end_ns = self.trace.header.end_ns
+        deadline = max_t if end_ns is None else max(end_ns, max_t)
+        # Bounded drain: enough for every delivery plus the periodic
+        # checks over any sane span, but finite even if a hostile
+        # header smuggles in an astronomical horizon.
+        engine.run_until(
+            deadline,
+            max_events=len(self.trace.records) + _MAX_TIMER_EVENTS_PER_RECORD,
+        )
+        report.events_dropped = engine.events_dropped
 
     # ------------------------------------------------------------------
     def _replay_scan(self, record: Dict[str, Any], report: ReplayReport) -> None:

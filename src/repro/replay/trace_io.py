@@ -18,6 +18,7 @@ from __future__ import annotations
 import gzip
 import io
 import json
+import zlib
 from typing import Any, Dict, Iterator, List, Optional
 
 from repro.core.derive import DerivedTaskInfo
@@ -38,6 +39,14 @@ def _open(path: str, mode: str):
     if str(path).endswith(".gz"):
         return gzip.open(path, mode + "t", encoding="utf-8")
     return open(path, mode, encoding="utf-8")
+
+
+#: What a broken compressed/encoded stream surfaces mid-read: gzip
+#: truncation (EOFError), bad magic / CRC / trailing garbage
+#: (gzip.BadGzipFile, an OSError), corrupt deflate data (zlib.error)
+#: and mojibake from either (UnicodeDecodeError).  All of them become
+#: :class:`TraceFormatError` so callers see one typed failure mode.
+_STREAM_ERRORS = (EOFError, OSError, UnicodeDecodeError, zlib.error)
 
 
 class TraceWriter:
@@ -98,18 +107,42 @@ class TraceWriter:
 
 
 class TraceReader:
-    """Streaming reader; yields raw body records in file order."""
+    """Streaming reader; yields raw body records in file order.
+
+    Malformed *lines* are counted and skipped (a torn JSONL tail from a
+    crashed recorder should not kill replay), but a broken *stream* —
+    truncated gzip, corrupt deflate data, trailing garbage after the
+    compressed member — raises :class:`TraceFormatError` naming the
+    last record successfully read: the bytes after that point are
+    unrecoverable, and silently ending there would pass truncation off
+    as a complete trace.
+    """
 
     def __init__(self, path: str) -> None:
         self.path = str(path)
         self._fh = _open(self.path, "r")
         self.footer: Optional[Dict[str, Any]] = None
         self.malformed_lines = 0
-        first = self._fh.readline()
+        #: Body records yielded so far (the in-band header is not one).
+        self.records_read = 0
+        try:
+            first = self._fh.readline()
+        except _STREAM_ERRORS as exc:
+            self._fh.close()
+            raise TraceFormatError(
+                f"{self.path}: unreadable trace header "
+                f"(corrupt or truncated stream): {exc}"
+            ) from exc
         if not first.strip():
             self._fh.close()
             raise TraceFormatError(f"{self.path}: empty trace file")
-        self.header = TraceHeader.from_record(self._parse(first, strict=True))
+        try:
+            self.header = TraceHeader.from_record(
+                self._parse(first, strict=True)
+            )
+        except TraceFormatError:
+            self._fh.close()
+            raise
 
     # ------------------------------------------------------------------
     def _parse(self, line: str, strict: bool = False) -> Dict[str, Any]:
@@ -123,35 +156,49 @@ class TraceReader:
 
     def __iter__(self) -> Iterator[Dict[str, Any]]:
         """Yield body records; unparseable lines are counted, not raised
-        (a torn tail from a crashed recorder should not kill replay)."""
-        for line in self._fh:
-            if not line.strip():
-                continue
-            try:
-                record = self._parse(line)
-            except TraceFormatError:
-                self.malformed_lines += 1
-                continue
-            if not isinstance(record, dict):
-                self.malformed_lines += 1
-                continue
-            kind = record.get("kind")
-            if kind == KIND_FOOTER:
-                self.footer = record
-                counts = record.get("event_counts")
-                if isinstance(counts, dict) and not self.header.event_counts:
-                    self.header.event_counts = {
-                        str(k): int(v) for k, v in counts.items()
-                    }
-                end_ns = record.get("end_ns")
-                if isinstance(end_ns, int) and self.header.end_ns is None:
-                    self.header.end_ns = end_ns
-                continue
-            if kind == KIND_HEADER:  # duplicated header: corrupt, skip
-                self.malformed_lines += 1
-                continue
-            yield record
-        self._fh.close()
+        (a torn tail from a crashed recorder should not kill replay).
+        A broken stream raises :class:`TraceFormatError` instead —
+        see the class docstring for the line/stream distinction."""
+        try:
+            while True:
+                try:
+                    line = self._fh.readline()
+                except _STREAM_ERRORS as exc:
+                    raise TraceFormatError(
+                        f"{self.path}: corrupt or truncated stream "
+                        f"after record {self.records_read}: {exc}"
+                    ) from exc
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    record = self._parse(line)
+                except TraceFormatError:
+                    self.malformed_lines += 1
+                    continue
+                if not isinstance(record, dict):
+                    self.malformed_lines += 1
+                    continue
+                kind = record.get("kind")
+                if kind == KIND_FOOTER:
+                    self.footer = record
+                    counts = record.get("event_counts")
+                    if isinstance(counts, dict) and not self.header.event_counts:
+                        self.header.event_counts = {
+                            str(k): int(v) for k, v in counts.items()
+                        }
+                    end_ns = record.get("end_ns")
+                    if isinstance(end_ns, int) and self.header.end_ns is None:
+                        self.header.end_ns = end_ns
+                    continue
+                if kind == KIND_HEADER:  # duplicated header: corrupt, skip
+                    self.malformed_lines += 1
+                    continue
+                self.records_read += 1
+                yield record
+        finally:
+            self._fh.close()
 
     def close(self) -> None:
         self._fh.close()

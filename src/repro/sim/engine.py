@@ -4,6 +4,12 @@ The engine owns the :class:`~repro.sim.clock.VirtualClock` and a priority
 queue of callbacks.  Two events scheduled for the same instant fire in
 the order they were scheduled (a monotonically increasing sequence number
 breaks ties), which makes multi-vCPU interleavings reproducible.
+
+An optional *schedule policy* (see :mod:`repro.sim.perturb`) may adjust
+every scheduling decision — bounded same-instant reordering via a tie
+priority, bounded time jitter, or dropping the event outright.  The
+default policy is ``None``: ordering is exactly the documented
+(when, seq) contract, unchanged.
 """
 
 from __future__ import annotations
@@ -16,9 +22,15 @@ from repro.sim.clock import VirtualClock
 
 
 class ScheduledEvent:
-    """Handle for a scheduled callback; supports cancellation."""
+    """Handle for a scheduled callback; supports cancellation.
 
-    __slots__ = ("when", "seq", "callback", "args", "cancelled", "label")
+    ``prio`` is a tie-break priority between ``when`` and ``seq``: it is
+    0 for every normally scheduled event (so insertion order decides),
+    and only a schedule policy ever sets it — which is how bounded
+    same-instant reordering is injected without touching callers.
+    """
+
+    __slots__ = ("when", "seq", "callback", "args", "cancelled", "label", "prio")
 
     def __init__(
         self,
@@ -27,6 +39,7 @@ class ScheduledEvent:
         callback: Callable[..., Any],
         args: tuple,
         label: str,
+        prio: int = 0,
     ) -> None:
         self.when = when
         self.seq = seq
@@ -34,13 +47,14 @@ class ScheduledEvent:
         self.args = args
         self.cancelled = False
         self.label = label
+        self.prio = prio
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped."""
         self.cancelled = True
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
-        return (self.when, self.seq) < (other.when, other.seq)
+        return (self.when, self.prio, self.seq) < (other.when, other.prio, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -50,13 +64,22 @@ class ScheduledEvent:
 class Engine:
     """Deterministic discrete-event loop."""
 
-    def __init__(self, clock: Optional[VirtualClock] = None) -> None:
+    def __init__(
+        self,
+        clock: Optional[VirtualClock] = None,
+        schedule_policy: Optional[Any] = None,
+    ) -> None:
         self.clock = clock if clock is not None else VirtualClock()
         self._queue: List[ScheduledEvent] = []
         self._seq = 0
         self._events_fired = 0
         self._running = False
         self._stop_requested = False
+        #: Optional hook with ``on_schedule(when, label, now)`` returning
+        #: ``(when, prio, drop)``; seeded implementations live in
+        #: :mod:`repro.sim.perturb`.
+        self.schedule_policy = schedule_policy
+        self.events_dropped = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -74,7 +97,20 @@ class Engine:
                 f"cannot schedule event in the past "
                 f"({t_ns} < now {self.clock.now})"
             )
-        event = ScheduledEvent(int(t_ns), self._seq, callback, args, label)
+        when = int(t_ns)
+        prio = 0
+        if self.schedule_policy is not None:
+            when, prio, drop = self.schedule_policy.on_schedule(
+                when, label, self.clock.now
+            )
+            when = max(int(when), self.clock.now)
+            if drop:
+                event = ScheduledEvent(when, self._seq, callback, args, label, prio)
+                self._seq += 1
+                event.cancelled = True
+                self.events_dropped += 1
+                return event
+        event = ScheduledEvent(when, self._seq, callback, args, label, prio)
         self._seq += 1
         heapq.heappush(self._queue, event)
         return event

@@ -1,0 +1,44 @@
+"""Coverage-guided adversarial conformance harness.
+
+IRIS (arXiv:2303.12817) demonstrated that record/replay plus
+coverage-guided fuzzing is how you explore a hypervisor's exit-event
+space; Heckler (arXiv:2404.03387) demonstrated that adversarially
+*timed* event streams break guarantees that hold under benign
+schedules.  ``repro.testing`` combines both against HyperTap's
+auditors:
+
+* :mod:`repro.testing.coverage` — event-type / transition / timing-gap
+  coverage of a replayed stream, the fuzzer's feedback signal;
+* :mod:`repro.testing.oracle` — the differential oracle: expected
+  verdicts recomputed from trace ground truth the auditors never parse,
+  compared against what the auditors actually raised;
+* :mod:`repro.testing.fuzzer` — the coverage-guided loop over trace
+  mutations (:class:`~repro.replay.mutate.TraceMutator`) and schedule
+  perturbations (:mod:`repro.sim.perturb`);
+* :mod:`repro.testing.shrink` — ddmin-style reducer from a failing
+  trace to a minimal reproducer;
+* :mod:`repro.testing.corpus` — checked-in regression traces under
+  ``tests/corpus/`` (every shrunk finding becomes one);
+* :mod:`repro.testing.seeds` — deterministic base traces, including
+  the seeded known-miss used by acceptance tests and the nightly job.
+
+Everything is seeded through :class:`repro.sim.rng.RandomStreams`, so a
+``(seed, budget)`` pair names a byte-reproducible fuzzing campaign.
+"""
+
+from repro.testing.coverage import CoverageAuditor, CoverageMap
+from repro.testing.fuzzer import FuzzConfig, Fuzzer, FuzzResult
+from repro.testing.oracle import Discrepancy, DifferentialOracle, finding_key
+from repro.testing.shrink import shrink_trace
+
+__all__ = [
+    "CoverageAuditor",
+    "CoverageMap",
+    "DifferentialOracle",
+    "Discrepancy",
+    "FuzzConfig",
+    "Fuzzer",
+    "FuzzResult",
+    "finding_key",
+    "shrink_trace",
+]

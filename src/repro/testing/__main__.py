@@ -1,0 +1,269 @@
+"""CLI: ``python -m repro.testing {fuzz,shrink,corpus,report}``.
+
+* ``fuzz``   — run a seeded coverage-guided campaign, write findings as
+  JSONL (byte-reproducible for a given ``--seed``/``--budget``); with
+  ``--corpus-dir``, exit non-zero only on findings whose key is not
+  already covered by a checked-in (shrunk) corpus entry — the nightly
+  contract;
+* ``shrink`` — reduce a failing trace (or the built-in seeded
+  known-miss) to a minimal reproducer and optionally save it as a
+  corpus entry;
+* ``corpus`` — list or re-verify the checked-in regression entries;
+* ``report`` — summarize a findings JSONL by key/kind/auditor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.errors import TraceFormatError
+from repro.replay.recorder import SCENARIOS
+from repro.replay.trace_io import load_trace, save_trace
+from repro.testing.corpus import (
+    DEFAULT_CORPUS_DIR,
+    corpus_entries,
+    corpus_keys,
+    save_finding,
+    verify_entry,
+)
+from repro.testing.fuzzer import FuzzConfig, Fuzzer
+from repro.testing.oracle import Discrepancy
+from repro.testing.seeds import AUDITOR_SCENARIOS, known_miss_trace
+from repro.testing.shrink import (
+    make_finding_predicate,
+    materialize_schedule,
+    shrink_trace,
+)
+
+
+def _findings_lines(findings: List[dict]) -> List[str]:
+    return [json.dumps(f, sort_keys=True) for f in findings]
+
+
+# ======================================================================
+# Subcommands
+# ======================================================================
+def cmd_fuzz(args) -> int:
+    scenario = args.scenario
+    if args.auditor:
+        scenario = AUDITOR_SCENARIOS[args.auditor]
+    config = FuzzConfig(
+        scenario=scenario,
+        seed=args.seed,
+        budget=args.budget,
+        mutations=args.mutations,
+        perturb=not args.no_perturb,
+        artifacts_dir=args.artifacts,
+    )
+    result = Fuzzer(config).run()
+
+    lines = _findings_lines(result.findings)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            for line in lines:
+                fh.write(line + "\n")
+    print(f"fuzzed scenario {scenario!r}: {result.iterations} replays "
+          f"(seed {config.seed})")
+    print(f"  coverage features:  {len(result.coverage)} "
+          f"({result.coverage_events} iterations added new ones)")
+    print(f"  seed pool:          {result.pool_size} traces")
+    print(f"  findings:           {len(result.findings)} "
+          f"({len(result.unique_keys)} unique keys)")
+    for key in result.unique_keys:
+        print(f"    {key}")
+    if args.out:
+        print(f"  findings written to {args.out}")
+
+    if args.corpus_dir is not None:
+        known = set(corpus_keys(args.corpus_dir))
+        new = [k for k in result.unique_keys if k not in known]
+        if new:
+            print(f"NEW unshrunk findings (not in {args.corpus_dir}):",
+                  file=sys.stderr)
+            for key in new:
+                print(f"  {key}", file=sys.stderr)
+            print("shrink each with `python -m repro.testing shrink` and "
+                  "check the result into the corpus.", file=sys.stderr)
+            return 1
+        print(f"  all finding keys already covered by {args.corpus_dir}")
+        return 0
+    return 0
+
+
+def cmd_shrink(args) -> int:
+    if args.known_miss:
+        trace, key = known_miss_trace(seed=args.seed)
+        perturb_params = None
+    else:
+        if not args.trace:
+            print("error: provide a trace file or --known-miss",
+                  file=sys.stderr)
+            return 2
+        trace = load_trace(args.trace)
+        finding = trace.header.meta.get("finding") or {}
+        key = args.key or finding.get("key")
+        perturb_params = finding.get("perturb")
+        if key is None:
+            print("error: no --key given and none recorded in the trace "
+                  "header", file=sys.stderr)
+            return 2
+
+    # A perturbation finding shrinks poorly (removing records shifts
+    # the seeded schedule): bake the adversarial delivery order into
+    # the trace first, when the finding survives materialization.
+    if perturb_params:
+        materialized = materialize_schedule(trace, perturb_params)
+        if make_finding_predicate(key)(materialized):
+            print("materialized the perturbed schedule into the trace")
+            trace, perturb_params = materialized, None
+
+    original = len(trace.records)
+    predicate = make_finding_predicate(key, perturb_params=perturb_params)
+    reduced = shrink_trace(trace, predicate, max_tests=args.max_tests)
+    ratio = len(reduced.records) / max(1, original)
+    print(f"shrunk {original} -> {len(reduced.records)} records "
+          f"({ratio:.1%}) for {key}")
+
+    if args.corpus_dir is not None:
+        kind, auditor, subject_txt = key.split(":", 2)
+        subject = {}
+        for part in subject_txt.split(","):
+            if "=" in part:
+                k, v = part.split("=", 1)
+                subject[k] = int(v) if v.lstrip("-").isdigit() else v
+        path = save_finding(
+            args.corpus_dir,
+            reduced,
+            Discrepancy(kind=kind, auditor=auditor, subject=subject),
+            perturb_params=perturb_params,
+            original_records=original,
+        )
+        print(f"saved corpus entry {path}")
+    elif args.out:
+        save_trace(args.out, reduced)
+        print(f"saved shrunk trace to {args.out}")
+    return 0
+
+
+def cmd_corpus(args) -> int:
+    entries = corpus_entries(args.dir)
+    if args.action == "list":
+        if not entries:
+            print(f"(no corpus entries under {args.dir})")
+            return 0
+        for path in entries:
+            try:
+                trace = load_trace(path)
+                finding = trace.header.meta.get("finding") or {}
+                print(f"{path}: {finding.get('key', '(no key)')} "
+                      f"[{len(trace.records)} records]")
+            except TraceFormatError as exc:
+                print(f"{path}: UNREADABLE ({exc})")
+        return 0
+    # verify
+    failures = 0
+    for path in entries:
+        ok, detail = verify_entry(path)
+        status = "ok" if ok else "FAILED"
+        print(f"{status:6s} {path}: {detail}")
+        if not ok:
+            failures += 1
+    print(f"verified {len(entries)} entries, {failures} failures")
+    return 1 if failures else 0
+
+
+def cmd_report(args) -> int:
+    by_key = {}
+    total = 0
+    with open(args.findings, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            entry = json.loads(line)
+            total += 1
+            by_key.setdefault(entry.get("key", "?"), []).append(entry)
+    print(f"{total} findings, {len(by_key)} unique keys")
+    for key in sorted(by_key):
+        entries = by_key[key]
+        iters = sorted(e.get("iteration", -1) for e in entries)
+        print(f"  {key}: {len(entries)} occurrences "
+              f"(first at iteration {iters[0]})")
+        sample = entries[0]
+        if sample.get("detail"):
+            print(f"      {sample['detail']}")
+    return 0
+
+
+# ======================================================================
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testing",
+        description="Coverage-guided adversarial conformance harness.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fuzz = sub.add_parser("fuzz", help="run a seeded fuzzing campaign")
+    p_fuzz.add_argument("--scenario", default="exploit",
+                        choices=sorted(SCENARIOS))
+    p_fuzz.add_argument("--auditor", default=None,
+                        choices=sorted(AUDITOR_SCENARIOS),
+                        help="shorthand: pick the scenario exercising "
+                             "this auditor")
+    p_fuzz.add_argument("--budget", type=int, default=50,
+                        help="number of mutated/perturbed replays")
+    p_fuzz.add_argument("--seed", type=int, default=0)
+    p_fuzz.add_argument("--mutations", type=int, default=2)
+    p_fuzz.add_argument("--no-perturb", action="store_true",
+                        help="trace mutations only, no schedule "
+                             "perturbation")
+    p_fuzz.add_argument("--out", default=None,
+                        help="write findings JSONL here")
+    p_fuzz.add_argument("--artifacts", default=None,
+                        help="save the first trace exhibiting each "
+                             "finding key into this directory")
+    p_fuzz.add_argument("--corpus-dir", default=None,
+                        help="fail only on finding keys not already "
+                             "covered by this corpus (nightly mode)")
+    p_fuzz.set_defaults(func=cmd_fuzz)
+
+    p_shrink = sub.add_parser("shrink", help="minimize a failing trace")
+    p_shrink.add_argument("trace", nargs="?", default=None)
+    p_shrink.add_argument("--known-miss", action="store_true",
+                          help="shrink the built-in seeded HRKD "
+                               "known-miss instead of a file")
+    p_shrink.add_argument("--key", default=None,
+                          help="finding key to preserve (default: the "
+                               "one recorded in the trace header)")
+    p_shrink.add_argument("--seed", type=int, default=0,
+                          help="seed for --known-miss")
+    p_shrink.add_argument("--max-tests", type=int, default=2000)
+    p_shrink.add_argument("--out", default=None,
+                          help="write the shrunk trace here")
+    p_shrink.add_argument("--corpus-dir", default=None,
+                          help="save the shrunk trace as a corpus entry")
+    p_shrink.set_defaults(func=cmd_shrink)
+
+    p_corpus = sub.add_parser("corpus", help="list/verify regression "
+                                             "entries")
+    p_corpus.add_argument("action", choices=("list", "verify"))
+    p_corpus.add_argument("--dir", default=DEFAULT_CORPUS_DIR)
+    p_corpus.set_defaults(func=cmd_corpus)
+
+    p_report = sub.add_parser("report", help="summarize a findings JSONL")
+    p_report.add_argument("findings")
+    p_report.set_defaults(func=cmd_report)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (TraceFormatError, FileNotFoundError, KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,116 @@
+"""Checked-in regression corpus: every shrunk finding becomes a test.
+
+A corpus entry is an ordinary trace file whose header carries a
+``finding`` block in ``meta``:
+
+.. code-block:: json
+
+   {"key": "miss:hrkd:pid=77", "kind": "miss", "auditor": "hrkd",
+    "subject": {"pid": 77}, "perturb_seed": null,
+    "original_records": 2215}
+
+Entries live under ``tests/corpus/`` and are replayed two ways: by
+``pytest`` (``tests/test_corpus_regressions.py`` asserts each entry's
+finding still reproduces) and by the nightly job, which uses the set of
+corpus keys to distinguish *new* findings (build-failing) from known,
+already-shrunk ones.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import TraceFormatError
+from repro.replay.format import Trace
+from repro.replay.source import ReplaySource
+from repro.replay.trace_io import load_trace, save_trace
+from repro.sim.perturb import perturbation_from_params
+from repro.testing.oracle import DifferentialOracle, Discrepancy
+from repro.testing.seeds import auditors_for
+
+#: Default corpus location, relative to the repository root.
+DEFAULT_CORPUS_DIR = "tests/corpus"
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^a-z0-9]+", "-", text.lower()).strip("-") or "finding"
+
+
+def entry_name(finding: Dict[str, Any]) -> str:
+    """Canonical file name for one finding's corpus entry."""
+    subject = finding.get("subject") or {}
+    parts = [finding.get("kind", "finding"), finding.get("auditor", "any")]
+    parts.extend(f"{k}{subject[k]}" for k in sorted(subject))
+    return _slug("-".join(str(p) for p in parts)) + ".jsonl"
+
+
+def save_finding(
+    corpus_dir: str,
+    trace: Trace,
+    finding: Discrepancy,
+    perturb_params: Optional[Dict[str, Any]] = None,
+    original_records: Optional[int] = None,
+) -> str:
+    """Persist a (shrunk) finding trace; returns the file path."""
+    meta = finding.as_dict()
+    meta["perturb"] = dict(perturb_params) if perturb_params else None
+    if original_records is not None:
+        meta["original_records"] = original_records
+    trace.header.meta["finding"] = meta
+    directory = pathlib.Path(corpus_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / entry_name(meta)
+    save_trace(str(path), trace)
+    return str(path)
+
+
+def corpus_entries(corpus_dir: str = DEFAULT_CORPUS_DIR) -> List[str]:
+    directory = pathlib.Path(corpus_dir)
+    if not directory.is_dir():
+        return []
+    return sorted(
+        str(p)
+        for p in directory.iterdir()
+        if p.suffix in (".jsonl", ".gz") and p.is_file()
+    )
+
+
+def corpus_keys(corpus_dir: str = DEFAULT_CORPUS_DIR) -> List[str]:
+    """The finding keys already covered by checked-in entries."""
+    keys = []
+    for path in corpus_entries(corpus_dir):
+        try:
+            trace = load_trace(path)
+        except TraceFormatError:
+            continue
+        finding = trace.header.meta.get("finding") or {}
+        key = finding.get("key")
+        if key:
+            keys.append(str(key))
+    return sorted(set(keys))
+
+
+def verify_entry(
+    path: str, oracle: Optional[DifferentialOracle] = None
+) -> Tuple[bool, str]:
+    """Replay one corpus entry; does its recorded finding reproduce?"""
+    oracle = oracle if oracle is not None else DifferentialOracle()
+    trace = load_trace(path)
+    finding = trace.header.meta.get("finding") or {}
+    key = finding.get("key")
+    if not key:
+        return False, "no finding key recorded in the trace header"
+    perturb_params = finding.get("perturb")
+    perturb = (
+        perturbation_from_params(perturb_params)
+        if perturb_params
+        else None
+    )
+    auditors = auditors_for(trace)
+    report = ReplaySource(trace, auditors, perturb=perturb).run()
+    found = {d.key() for d in oracle.check(trace, report)}
+    if key in found:
+        return True, f"reproduced {key}"
+    return False, f"expected {key}, replay produced {sorted(found) or 'none'}"

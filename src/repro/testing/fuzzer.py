@@ -1,0 +1,239 @@
+"""The coverage-guided adversarial fuzzing loop.
+
+Each iteration draws a parent trace from the seed pool, derives a
+candidate by trace mutation (:class:`~repro.replay.mutate.TraceMutator`),
+schedule perturbation (:func:`~repro.sim.perturb.replay_perturbation`),
+or both, replays it through fresh unmodified auditors with a
+:class:`~repro.testing.coverage.CoverageAuditor` riding along, and asks
+the :class:`~repro.testing.oracle.DifferentialOracle` whether the
+auditors' verdicts match trace ground truth.  Candidates that light up
+new coverage features join the pool (AFL's feedback loop, IRIS's
+exit-space exploration); discrepancies become findings.
+
+Every draw comes from one named :class:`~repro.sim.rng.RandomStreams`
+stream and per-iteration seeds are derived, never ambient — a
+``(seed, budget)`` pair names the whole campaign byte-for-byte,
+which the nightly CI job and the reproducibility test both rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.replay.format import Trace
+from repro.replay.mutate import TraceMutator
+from repro.replay.source import ReplaySource
+from repro.sim.clock import MILLISECOND, SECOND
+from repro.sim.perturb import SchedulePerturbation, perturbation_from_params
+from repro.sim.rng import RandomStreams
+from repro.testing.coverage import CoverageAuditor, CoverageMap
+from repro.testing.oracle import DifferentialOracle
+from repro.testing.seeds import auditors_for, base_trace
+
+#: How a candidate is derived from its parent each iteration.
+_MODES = ("mutate", "perturb", "both")
+
+#: Adversarial delivery-parameter menu (Heckler-style: the interesting
+#: schedules are the *aggressive* ones — multi-second delays shuffle
+#: arrival order across auditor windows, heavy drops starve blocking
+#: checkpoints).  Each perturbed iteration draws one value per axis.
+_DELAY_PROBABILITIES = (0.0, 0.1, 0.3, 0.6)
+_DELAY_MAXIMA = (
+    100 * MILLISECOND,
+    500 * MILLISECOND,
+    2 * SECOND,
+    6 * SECOND,
+)
+_DROP_PROBABILITIES = (0.0, 0.05, 0.2, 0.5, 0.9)
+_DROP_CAPS = (5, 50, 400, 4000)
+
+
+@dataclass
+class FuzzConfig:
+    """One fuzzing campaign's parameters."""
+
+    scenario: str = "exploit"
+    seed: int = 0
+    #: Number of replays (iteration 0 is the unmutated baseline).
+    budget: int = 50
+    #: Mutation operators applied per mutated candidate.
+    mutations: int = 2
+    #: Mix schedule-perturbation iterations into the campaign.
+    perturb: bool = True
+    #: Seed-pool cap; beyond it new coverage no longer adds parents.
+    max_pool: int = 32
+    #: When set, the first candidate trace exhibiting each finding key
+    #: is saved here (with the finding in its header) for shrinking.
+    artifacts_dir: Optional[str] = None
+
+
+@dataclass
+class FuzzResult:
+    """What one campaign produced."""
+
+    config: FuzzConfig
+    iterations: int = 0
+    #: JSONL-ready finding dicts (one per discrepancy occurrence).
+    findings: List[Dict[str, Any]] = field(default_factory=list)
+    coverage: CoverageMap = field(default_factory=CoverageMap)
+    pool_size: int = 1
+    crashes: int = 0
+    #: Iterations that contributed at least one new coverage feature.
+    coverage_events: int = 0
+
+    @property
+    def unique_keys(self) -> List[str]:
+        return sorted({f["key"] for f in self.findings})
+
+
+class Fuzzer:
+    """Coverage-guided conformance fuzzing over one base scenario."""
+
+    def __init__(
+        self,
+        config: FuzzConfig,
+        base: Optional[Trace] = None,
+        progress=None,
+    ) -> None:
+        self.config = config
+        self.base = (
+            base
+            if base is not None
+            else base_trace(config.scenario, seed=config.seed)
+        )
+        self.oracle = DifferentialOracle()
+        self._rng = RandomStreams(config.seed).stream("fuzz")
+        self._progress = progress
+
+    # ------------------------------------------------------------------
+    def _replay(
+        self,
+        trace: Trace,
+        perturb: Optional[SchedulePerturbation],
+    ):
+        probe = CoverageAuditor()
+        auditors = auditors_for(self.base) + [probe]
+        report = ReplaySource(trace, auditors, perturb=perturb).run()
+        probe.absorb_alerts(report.alerts)
+        return report, probe.map
+
+    def _draw_perturb_params(self, iter_seed: int) -> Dict[str, Any]:
+        rng = self._rng
+        return {
+            "seed": iter_seed,
+            "delay_probability": _DELAY_PROBABILITIES[
+                rng.randrange(len(_DELAY_PROBABILITIES))
+            ],
+            "delay_ns_max": _DELAY_MAXIMA[
+                rng.randrange(len(_DELAY_MAXIMA))
+            ],
+            "drop_probability": _DROP_PROBABILITIES[
+                rng.randrange(len(_DROP_PROBABILITIES))
+            ],
+            "max_drops": _DROP_CAPS[rng.randrange(len(_DROP_CAPS))],
+        }
+
+    def _record_findings(
+        self,
+        result: FuzzResult,
+        trace: Trace,
+        report,
+        iteration: int,
+        ops: List[str],
+        perturb_params: Optional[Dict[str, Any]],
+    ) -> None:
+        known = {f["key"] for f in result.findings}
+        for disc in self.oracle.check(trace, report):
+            if disc.kind == "crash":
+                result.crashes += 1
+            entry = disc.as_dict()
+            entry.update(
+                iteration=iteration,
+                scenario=self.config.scenario,
+                seed=self.config.seed,
+                ops=list(ops),
+                perturb=perturb_params,
+            )
+            if (
+                self.config.artifacts_dir is not None
+                and entry["key"] not in known
+            ):
+                self._save_artifact(trace, disc, perturb_params)
+            result.findings.append(entry)
+
+    def _save_artifact(self, trace: Trace, disc, perturb_params) -> None:
+        import copy as _copy
+
+        from repro.testing.corpus import save_finding
+
+        snapshot = Trace(
+            header=_copy.deepcopy(trace.header),
+            records=trace.records,
+        )
+        save_finding(
+            self.config.artifacts_dir,
+            snapshot,
+            disc,
+            perturb_params=perturb_params,
+            original_records=len(trace.records),
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> FuzzResult:
+        cfg = self.config
+        result = FuzzResult(config=cfg)
+        pool: List[Trace] = [self.base]
+
+        # Iteration 0: the pristine baseline.  Findings here mean the
+        # auditors disagree with ground truth on an *unmutated* trace —
+        # a conformance bug, not an adversarial one.
+        report, cov = self._replay(self.base, None)
+        result.coverage.merge(cov)
+        self._record_findings(result, self.base, report, 0, [], None)
+        result.iterations = 1
+
+        for i in range(1, cfg.budget + 1):
+            parent = pool[self._rng.randrange(len(pool))]
+            iter_seed = self._rng.randrange(2**31)
+            mode = (
+                _MODES[self._rng.randrange(len(_MODES))]
+                if cfg.perturb
+                else "mutate"
+            )
+            ops: List[str] = []
+            candidate = parent
+            if mode in ("mutate", "both"):
+                candidate, ops = TraceMutator(seed=iter_seed).mutate(
+                    parent, n_mutations=cfg.mutations
+                )
+            perturb = perturb_params = None
+            if mode in ("perturb", "both"):
+                perturb_params = self._draw_perturb_params(iter_seed)
+                perturb = perturbation_from_params(perturb_params)
+
+            report, cov = self._replay(candidate, perturb)
+            new = result.coverage.merge(cov)
+            if new:
+                result.coverage_events += 1
+                # Only mutated *traces* become parents: a perturbation
+                # is a replay-time policy, not trace content.
+                if (
+                    candidate is not parent
+                    and len(pool) < cfg.max_pool
+                ):
+                    pool.append(candidate)
+            self._record_findings(
+                result, candidate, report, i, ops, perturb_params
+            )
+            result.iterations = i + 1
+            if self._progress is not None:
+                self._progress(i, cfg.budget, result)
+
+        result.pool_size = len(pool)
+        return result
+
+
+def fuzz(config: FuzzConfig, base: Optional[Trace] = None) -> FuzzResult:
+    """Run one campaign; convenience over :class:`Fuzzer`."""
+    return Fuzzer(config, base=base).run()

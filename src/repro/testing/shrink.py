@@ -1,0 +1,125 @@
+"""ddmin-style trace reduction: from a failing trace to a minimal repro.
+
+Zeller's delta debugging over the trace body: repeatedly try removing
+chunks of records and keep any removal under which the interesting
+property (the same differential finding, by key) still reproduces.
+Timestamps are preserved — a finding that depends on a silence gap or
+on sighting staleness survives removal of unrelated records but not a
+renumbering — and the header is kept verbatim apart from a recount.
+
+The predicate replays each candidate, so reduction cost is bounded by
+``max_tests`` replays; with the auditor pipeline at ~100k events/s a
+few hundred tests over a shrinking trace finish in seconds.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.replay.format import Trace
+from repro.replay.source import ReplaySource
+from repro.sim.perturb import perturbation_from_params
+from repro.testing.oracle import DifferentialOracle
+from repro.testing.seeds import auditors_for
+
+
+def materialize_schedule(
+    trace: Trace, perturb_params: Dict[str, Any]
+) -> Trace:
+    """Bake an adversarial delivery schedule into the trace itself.
+
+    A perturbed replay delivers records in engine order — delayed,
+    shuffled, with some dropped.  Re-running the scheduling pass and
+    sorting the surviving records by their actual ``(when, prio, seq)``
+    yields an ordinary trace whose *file order* is that delivery order
+    (unperturbed replay never rewinds its clock, so an old-timestamp
+    record placed late still arrives late).  Timestamps are preserved.
+    Findings that survive materialization shrink as plain traces — no
+    perturbation seed to keep consistent while records are removed.
+    """
+    source = ReplaySource(
+        trace,
+        [],
+        perturb=perturbation_from_params(perturb_params),
+        collect_delivery=True,
+    )
+    source.run()
+    ordered = sorted(source.delivery_log, key=lambda e: e[:3])
+    materialized = _subtrace(
+        trace, [copy.deepcopy(e[3]) for e in ordered]
+    )
+    materialized.header.meta["materialized_from"] = dict(perturb_params)
+    return materialized
+
+
+def make_finding_predicate(
+    key: str,
+    perturb_params: Optional[Dict[str, Any]] = None,
+    oracle: Optional[DifferentialOracle] = None,
+) -> Callable[[Trace], bool]:
+    """True when replaying ``trace`` still yields the finding ``key``."""
+    oracle = oracle if oracle is not None else DifferentialOracle()
+
+    def predicate(trace: Trace) -> bool:
+        perturb = (
+            perturbation_from_params(perturb_params)
+            if perturb_params is not None
+            else None
+        )
+        try:
+            auditors = auditors_for(trace)
+            report = ReplaySource(trace, auditors, perturb=perturb).run()
+        except Exception:  # noqa: BLE001 - a crashing candidate is not a repro
+            return False
+        return any(d.key() == key for d in oracle.check(trace, report))
+
+    return predicate
+
+
+def _subtrace(trace: Trace, records: List[Dict[str, Any]]) -> Trace:
+    sub = Trace(header=copy.deepcopy(trace.header), records=records)
+    sub.recount()
+    return sub
+
+
+def shrink_trace(
+    trace: Trace,
+    predicate: Callable[[Trace], bool],
+    max_tests: int = 2000,
+) -> Trace:
+    """Minimize ``trace.records`` while ``predicate`` keeps holding.
+
+    ``predicate`` must hold on ``trace`` itself (raises ``ValueError``
+    otherwise — shrinking a non-repro silently would hide harness bugs).
+    Returns a new :class:`Trace`; the input is never modified.
+    """
+    if not predicate(_subtrace(trace, list(trace.records))):
+        raise ValueError("predicate does not hold on the unshrunk trace")
+    records = list(trace.records)
+    tests = 0
+    n = 2
+    while len(records) >= 2 and tests < max_tests:
+        chunk_len = max(1, (len(records) + n - 1) // n)
+        removed_any = False
+        start = 0
+        while start < len(records) and tests < max_tests:
+            candidate = records[:start] + records[start + chunk_len:]
+            if not candidate:
+                start += chunk_len
+                continue
+            tests += 1
+            if predicate(_subtrace(trace, candidate)):
+                records = candidate
+                removed_any = True
+                # Stay at this granularity; the window now points at
+                # the records that slid into the removed chunk's place.
+            else:
+                start += chunk_len
+        if removed_any:
+            n = max(n - 1, 2)
+        else:
+            if chunk_len == 1:
+                break
+            n = min(n * 2, len(records))
+    return _subtrace(trace, records)

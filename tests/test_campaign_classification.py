@@ -1,0 +1,178 @@
+"""Fault-campaign classification edges (Fig 4's outcome taxonomy).
+
+The interesting cases sit on boundaries: a vCPU whose last context
+switch is *exactly* the GOSHD threshold old (the oracle uses strict
+``>``), and trials where the external SSH probe and the simulator's
+oracle counters disagree about whether anything actually failed —
+which is precisely the NOT_DETECTED / NOT_MANIFESTED split the paper's
+coverage number hinges on.
+
+``_classify`` only reads a handful of attributes from each
+collaborator, so plain namespaces stand in for the full stack.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from repro.faults.campaign import (
+    CampaignSummary,
+    Outcome,
+    TrialConfig,
+    TrialResult,
+    _classify,
+    _scheduler_stalled,
+)
+from repro.faults.sites import build_site_catalog
+from repro.sim.clock import SECOND
+
+THRESHOLD = 4 * SECOND
+
+
+def fake_testbed(now_ns, last_switches):
+    return SimpleNamespace(
+        engine=SimpleNamespace(clock=SimpleNamespace(now=now_ns)),
+        kernel=SimpleNamespace(
+            cpus=[SimpleNamespace(last_switch_ns=t) for t in last_switches]
+        ),
+    )
+
+
+def fake_goshd(hang_detected=False, is_full_hang=False):
+    return SimpleNamespace(hang_detected=hang_detected, is_full_hang=is_full_hang)
+
+
+def classify(
+    *,
+    now=10 * SECOND,
+    last_switches=(10 * SECOND, 10 * SECOND),
+    hang_detected=False,
+    is_full_hang=False,
+    activated=True,
+    probe_dead=False,
+):
+    return _classify(
+        fake_testbed(now, list(last_switches)),
+        fake_goshd(hang_detected, is_full_hang),
+        SimpleNamespace(activated=activated),
+        SimpleNamespace(reports_dead=probe_dead),
+        TrialConfig(goshd_threshold_ns=THRESHOLD),
+    )
+
+
+# ======================================================================
+# Oracle boundary: strict > at exactly the threshold
+# ======================================================================
+class TestSchedulerStalledBoundary:
+    def test_exactly_at_threshold_is_not_stalled(self):
+        testbed = fake_testbed(10 * SECOND, [10 * SECOND - THRESHOLD])
+        assert not _scheduler_stalled(testbed, THRESHOLD)
+
+    def test_one_ns_past_threshold_is_stalled(self):
+        testbed = fake_testbed(10 * SECOND, [10 * SECOND - THRESHOLD - 1])
+        assert _scheduler_stalled(testbed, THRESHOLD)
+
+    def test_any_single_stale_vcpu_counts(self):
+        # One fresh vCPU does not mask a stalled sibling — partial
+        # hangs are the paper's headline case.
+        testbed = fake_testbed(10 * SECOND, [10 * SECOND, 1 * SECOND])
+        assert _scheduler_stalled(testbed, THRESHOLD)
+
+    def test_classification_flips_across_the_exact_boundary(self):
+        at = classify(last_switches=(10 * SECOND - THRESHOLD,))
+        past = classify(last_switches=(10 * SECOND - THRESHOLD - 1,))
+        assert at is Outcome.NOT_MANIFESTED
+        assert past is Outcome.NOT_DETECTED
+
+
+# ======================================================================
+# NOT_DETECTED vs NOT_MANIFESTED when the signals disagree
+# ======================================================================
+class TestProbeOracleDisagreement:
+    def test_both_quiet_is_not_manifested(self):
+        assert classify() is Outcome.NOT_MANIFESTED
+
+    def test_probe_dead_oracle_fresh_is_a_miss(self):
+        # The SSH probe sees a dead VM even though every vCPU still
+        # context-switches (e.g. a livelock the counters cannot see):
+        # the trial is still a detection miss, not "nothing happened".
+        assert classify(probe_dead=True) is Outcome.NOT_DETECTED
+
+    def test_oracle_stalled_probe_alive_is_a_miss(self):
+        # Converse disagreement: one vCPU stalled (true partial hang)
+        # while the probe's vCPU stays responsive.  GOSHD said nothing,
+        # so this too must count against coverage.
+        assert (
+            classify(last_switches=(10 * SECOND, 1 * SECOND))
+            is Outcome.NOT_DETECTED
+        )
+
+    def test_detection_beats_the_disagreement(self):
+        # Once GOSHD alarmed, probe/oracle disagreement is moot.
+        assert (
+            classify(hang_detected=True, probe_dead=True)
+            is Outcome.PARTIAL_HANG
+        )
+        assert (
+            classify(hang_detected=True, is_full_hang=True, probe_dead=True)
+            is Outcome.FULL_HANG
+        )
+
+    def test_not_activated_trumps_everything(self):
+        # A trial whose fault never fired is NOT_ACTIVATED even if the
+        # VM looks unhealthy for unrelated reasons.
+        assert (
+            classify(activated=False, probe_dead=True)
+            is Outcome.NOT_ACTIVATED
+        )
+
+
+# ======================================================================
+# Latency bookkeeping and coverage accounting on the same edges
+# ======================================================================
+SITE = build_site_catalog(limit=1)[0]
+
+
+def result(outcome, activation_ns=None, first_alert_ns=None):
+    return TrialResult(
+        site=SITE,
+        config=TrialConfig(),
+        outcome=outcome,
+        activated=activation_ns is not None,
+        activation_ns=activation_ns,
+        first_alert_ns=first_alert_ns,
+        hung_vcpus=(),
+        full_hang_ns=None,
+        probe_dead=False,
+    )
+
+
+class TestLatencyAndCoverage:
+    def test_latency_none_without_both_endpoints(self):
+        assert result(Outcome.NOT_MANIFESTED).detection_latency_ns is None
+        assert (
+            result(Outcome.PARTIAL_HANG, activation_ns=SECOND).detection_latency_ns
+            is None
+        )
+
+    def test_latency_clamped_at_zero(self):
+        # An alarm time stamped before activation (same-instant races
+        # in the event log) clamps to zero, never negative.
+        r = result(
+            Outcome.PARTIAL_HANG,
+            activation_ns=2 * SECOND,
+            first_alert_ns=1 * SECOND,
+        )
+        assert r.detection_latency_ns == 0
+
+    def test_coverage_counts_only_true_hangs(self):
+        summary = CampaignSummary()
+        summary.add(result(Outcome.FULL_HANG, 1, 2))
+        summary.add(result(Outcome.PARTIAL_HANG, 1, 2))
+        summary.add(result(Outcome.NOT_DETECTED, 1))
+        summary.add(result(Outcome.NOT_MANIFESTED, 1))
+        summary.add(result(Outcome.NOT_ACTIVATED))
+        assert summary.coverage() == 2 / 3
+        counts = summary.outcome_counts()
+        assert counts[Outcome.NOT_DETECTED] == 1
+        assert counts[Outcome.NOT_MANIFESTED] == 1

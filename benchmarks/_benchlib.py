@@ -7,6 +7,8 @@ a readable report.  Scale knobs:
 * default        — CI-friendly subset (minutes, shape-preserving)
 * REPRO_SCALE=N  — multiply trial counts by N (float)
 * REPRO_FULL=1   — paper-scale grids (hours)
+* REPRO_JOBS=N   — fan trials across N worker processes (results are
+  byte-identical at any job count; see repro.parallel)
 """
 
 from __future__ import annotations
@@ -24,15 +26,22 @@ def scaled(n: int, minimum: int = 1) -> int:
 
 # ----------------------------------------------------------------------
 # The Fig 4 / Fig 5 campaign is expensive; run it once per session and
-# share the summary between both benchmarks.
+# share the summary between both benchmarks.  The cache key carries
+# (scale, full, jobs): a mixed-scale pytest session (e.g. re-running one
+# benchmark with REPRO_SCALE bumped via monkeypatched SCALE) must never
+# reuse a stale summary computed for a different grid.
 # ----------------------------------------------------------------------
 _campaign_cache = {}
 
 
-def get_campaign_summary():
-    """Run (once) the scaled §VIII-A fault-injection campaign."""
-    if "summary" in _campaign_cache:
-        return _campaign_cache["summary"]
+def get_campaign_summary(jobs=None):
+    """Run (once per shape) the scaled §VIII-A fault-injection campaign."""
+    from repro.parallel import job_count
+
+    jobs = job_count() if jobs is None else max(1, int(jobs))
+    key = (SCALE, FULL, jobs)
+    if key in _campaign_cache:
+        return _campaign_cache[key]
 
     from repro.faults.campaign import TrialConfig, run_campaign
     from repro.faults.injector import InjectionMode
@@ -64,6 +73,7 @@ def get_campaign_summary():
             detect_window_ns=12 * SECOND,
             classify_window_ns=20 * SECOND,
         ),
+        jobs=jobs,
     )
-    _campaign_cache["summary"] = summary
+    _campaign_cache[key] = summary
     return summary

@@ -10,6 +10,14 @@ Allowed islands: ``repro.sim.rng`` (the seeded stream factory itself)
 and ``repro.replay.mutate`` (seeded fuzzing, one ``random.Random`` per
 (seed, n) pair).  ``time.perf_counter`` is *not* flagged: wall-clock
 throughput reporting never feeds verdicts.
+
+Worker scheduling is entropy too: the OS decides which process
+finishes first, so any module that fans work across processes can
+leak completion order into results.  ``multiprocessing`` and
+``concurrent`` imports are therefore confined to ``repro.parallel``,
+whose executor is *built* to erase that order (seeds travel in task
+args, results merge by index).  Anything else wanting parallelism must
+route through it — or carry an audited pragma explaining why not.
 """
 
 from __future__ import annotations
@@ -28,6 +36,16 @@ ALLOWED_MODULES: FrozenSet[str] = frozenset(
 
 #: Whole modules whose import implies nondeterminism.
 ENTROPY_MODULES: FrozenSet[str] = frozenset({"random", "secrets"})
+
+#: Modules whose import implies OS-scheduled concurrency (completion
+#: order is ambient entropy unless an executor erases it).
+SCHEDULING_MODULES: FrozenSet[str] = frozenset(
+    {"multiprocessing", "concurrent"}
+)
+
+#: The one package allowed to touch process pools: its executor merges
+#: results by index, making completion order unobservable.
+PARALLEL_PACKAGE = "repro.parallel"
 
 #: ``from <module> import <name>`` pairs that smuggle entropy/wall time.
 FORBIDDEN_FROM_IMPORTS: FrozenSet[str] = frozenset(
@@ -76,17 +94,32 @@ class DeterminismRule(Rule):
             yield from self._check_file(source)
 
     def _check_file(self, source: SourceFile) -> Iterator[Finding]:
+        parallel_ok = source.module == PARALLEL_PACKAGE or source.module.startswith(
+            PARALLEL_PACKAGE + "."
+        )
         for node in ast.walk(source.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
                     root = alias.name.split(".")[0]
                     if root in ENTROPY_MODULES:
                         yield self._finding(source, node.lineno, f"import {alias.name}")
+                    elif root in SCHEDULING_MODULES and not parallel_ok:
+                        yield self._scheduling_finding(
+                            source, node.lineno, f"import {alias.name}"
+                        )
             elif isinstance(node, ast.ImportFrom):
                 if node.level or not node.module:
                     continue
                 if node.module in ENTROPY_MODULES:
                     yield self._finding(
+                        source, node.lineno, f"from {node.module} import ..."
+                    )
+                    continue
+                if (
+                    node.module.split(".")[0] in SCHEDULING_MODULES
+                    and not parallel_ok
+                ):
+                    yield self._scheduling_finding(
                         source, node.lineno, f"from {node.module} import ..."
                     )
                     continue
@@ -110,4 +143,16 @@ class DeterminismRule(Rule):
             f"nondeterministic source '{what}' outside the sanctioned RNG "
             "modules; use the virtual clock (machine.clock / engine.clock) "
             "or a seeded stream from repro.sim.rng.RandomStreams",
+        )
+
+    def _scheduling_finding(
+        self, source: SourceFile, line: int, what: str
+    ) -> Finding:
+        return self.finding(
+            source.rel,
+            line,
+            f"process-pool primitive '{what}' outside {PARALLEL_PACKAGE}; "
+            "worker completion order is ambient entropy — fan work out "
+            "through repro.parallel.parallel_map, which merges results "
+            "by index and keeps output byte-identical to a serial run",
         )

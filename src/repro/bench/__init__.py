@@ -1,0 +1,320 @@
+"""Performance ledger for the reproduction pipeline.
+
+``python -m repro.bench`` runs the benchmark suite at a fixed scale and
+appends one ``BENCH_<n>.json`` entry to the ledger directory
+(``benchmarks/ledger`` by default).  Each entry records:
+
+* replay throughput (events/sec through :mod:`repro.replay`),
+* fault-campaign throughput (trials/sec, serial and parallel, plus the
+  measured speedup at the requested job count),
+* wall time per experiment figure (the :mod:`repro.experiments` grid).
+
+Entries are numbered, never overwritten, and comparable: ``--check``
+diffs the fresh measurements against the most recent existing entry and
+fails on any metric that regressed beyond a configurable threshold
+(20% by default).  Throughputs regress downward, wall times regress
+upward; the comparison knows which direction is bad for each metric.
+
+Every measured workload is deterministic (seeded grids through
+:mod:`repro.parallel`), so run-to-run metric noise is purely
+machine-load jitter — the threshold exists to absorb exactly that.
+Wall-clock reads use ``time.perf_counter`` (sanctioned for throughput
+reporting) except the one provenance timestamp per entry, which carries
+an audited determinism pragma.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import re
+import time
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Ledger entries: BENCH_0001.json, BENCH_0002.json, ...
+LEDGER_FILE_RE = re.compile(r"^BENCH_(\d{4,})\.json$")
+
+DEFAULT_LEDGER_DIR = os.path.join("benchmarks", "ledger")
+
+#: Fractional change beyond which ``--check`` fails (0.20 = 20%).
+DEFAULT_THRESHOLD = 0.20
+
+SCHEMA_VERSION = 1
+
+#: Figures timed by the standard run; ``--quick`` keeps only the first.
+#: fig4/fig5 are covered by the dedicated campaign measurement, so the
+#: figure list sticks to the cheaper single-VM experiment grids.
+STANDARD_FIGURES: Tuple[str, ...] = ("table3", "ninjas", "fig7")
+
+
+# ======================================================================
+# Measurements
+# ======================================================================
+def measure_replay(
+    rounds: int = 3, scenarios: Optional[List[str]] = None
+) -> Dict[str, Any]:
+    """Record each scenario once, replay it ``rounds`` times, report
+    aggregate replay throughput (events/sec, best round per scenario).
+    """
+    from repro.replay.recorder import SCENARIOS, record_scenario
+    from repro.replay.source import ReplaySource
+
+    names = sorted(SCENARIOS) if scenarios is None else list(scenarios)
+    total_events = 0
+    total_best_wall = 0.0
+    per_scenario: Dict[str, Any] = {}
+    for name in names:
+        run = record_scenario(name, seed=0)
+        walls = []
+        reproduced = True
+        for _ in range(max(1, rounds)):
+            report = ReplaySource(
+                run.trace, SCENARIOS[name].build_auditors()
+            ).run()
+            walls.append(report.wall_seconds)
+            reproduced = reproduced and report.matches_live(run.live_verdicts)
+        best = min(walls)
+        total_events += report.events_replayed
+        total_best_wall += best
+        per_scenario[name] = {
+            "events": report.events_replayed,
+            "best_wall_s": best,
+            "events_per_s": report.events_replayed / best if best > 0 else 0.0,
+            "reproduced": reproduced,
+        }
+    rate = total_events / total_best_wall if total_best_wall > 0 else 0.0
+    return {
+        "events_per_s": rate,
+        "total_events": total_events,
+        "rounds": rounds,
+        "scenarios": per_scenario,
+    }
+
+
+def _campaign_grid(scale: float):
+    """A small stratified slice of the §VIII-A grid, scaled."""
+    from repro.faults.campaign import TrialConfig, iter_trial_grid
+    from repro.faults.injector import InjectionMode
+    from repro.faults.sites import build_site_catalog
+    from repro.sim.clock import SECOND
+
+    n_sites = max(1, int(round(2 * scale)))
+    first_pass = [s for s in build_site_catalog() if s.activation_pass == 1]
+    sites = first_pass[:: max(1, len(first_pass) // n_sites)][:n_sites]
+    return iter_trial_grid(
+        sites,
+        workloads=("hanoi", "http"),
+        modes=(InjectionMode.TRANSIENT,),
+        preempt_options=(False, True),
+        seeds=(0,),
+        base_config=TrialConfig(
+            warmup_ns=1 * SECOND,
+            detect_window_ns=6 * SECOND,
+            classify_window_ns=8 * SECOND,
+        ),
+    )
+
+
+def measure_campaign(scale: float = 1.0, jobs: int = 1) -> Dict[str, Any]:
+    """Time a fixed fault-injection grid serially and at ``jobs``
+    workers, verify the two runs produced identical results, and report
+    trials/sec both ways plus the measured speedup.
+    """
+    from repro.faults.campaign import _trial_task
+    from repro.parallel import parallel_map
+
+    grid = _campaign_grid(scale)
+    t0 = perf_counter()
+    serial = parallel_map(_trial_task, grid, jobs=1)
+    serial_wall = perf_counter() - t0
+
+    parallel_wall = serial_wall
+    identical = True
+    if jobs > 1:
+        t0 = perf_counter()
+        fanned = parallel_map(_trial_task, grid, jobs=jobs)
+        parallel_wall = perf_counter() - t0
+        identical = fanned == serial
+
+    trials = len(grid)
+    return {
+        "trials": trials,
+        "jobs": jobs,
+        "serial_wall_s": serial_wall,
+        "parallel_wall_s": parallel_wall,
+        "trials_per_s_serial": trials / serial_wall if serial_wall > 0 else 0.0,
+        "trials_per_s_parallel": (
+            trials / parallel_wall if parallel_wall > 0 else 0.0
+        ),
+        "speedup": serial_wall / parallel_wall if parallel_wall > 0 else 0.0,
+        "parallel_identical": identical,
+    }
+
+
+def measure_figures(
+    figures: Tuple[str, ...] = STANDARD_FIGURES, scale: float = 1.0
+) -> Dict[str, float]:
+    """Wall seconds to regenerate each experiment figure at ``scale``."""
+    from repro.experiments.runners import run_experiment
+
+    walls: Dict[str, float] = {}
+    for name in figures:
+        t0 = perf_counter()
+        run_experiment(name, scale=scale)
+        walls[name] = perf_counter() - t0
+    return walls
+
+
+def collect(
+    scale: float = 1.0,
+    jobs: int = 1,
+    rounds: int = 3,
+    figures: Tuple[str, ...] = STANDARD_FIGURES,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Run every measurement and assemble one ledger entry (unwritten)."""
+
+    def say(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    say("replay throughput ...")
+    replay = measure_replay(rounds=rounds)
+    say("campaign throughput ...")
+    campaign = measure_campaign(scale=scale, jobs=jobs)
+    say(f"figures {', '.join(figures) or '(none)'} ...")
+    figure_walls = measure_figures(figures, scale=scale)
+    return {
+        "schema": SCHEMA_VERSION,
+        # hypertap: allow(determinism) — ledger provenance timestamp, never feeds a verdict
+        "written_at_unix": time.time(),
+        "scale": scale,
+        "jobs": jobs,
+        "python": platform.python_version(),
+        "metrics": {
+            "replay_events_per_s": replay["events_per_s"],
+            "campaign_trials_per_s_serial": campaign["trials_per_s_serial"],
+            "campaign_trials_per_s_parallel": campaign[
+                "trials_per_s_parallel"
+            ],
+            "parallel_speedup": campaign["speedup"],
+            "figure_wall_s": figure_walls,
+        },
+        "detail": {"replay": replay, "campaign": campaign},
+    }
+
+
+# ======================================================================
+# Ledger
+# ======================================================================
+def ledger_entries(ledger_dir: str) -> List[Tuple[int, str]]:
+    """Sorted ``(number, path)`` for every ledger entry on disk."""
+    if not os.path.isdir(ledger_dir):
+        return []
+    found = []
+    for name in os.listdir(ledger_dir):
+        match = LEDGER_FILE_RE.match(name)
+        if match is not None:
+            found.append((int(match.group(1)), os.path.join(ledger_dir, name)))
+    return sorted(found)
+
+
+def latest_entry(ledger_dir: str) -> Optional[Dict[str, Any]]:
+    """The most recent ledger entry, or ``None`` on an empty ledger."""
+    entries = ledger_entries(ledger_dir)
+    if not entries:
+        return None
+    with open(entries[-1][1], "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def write_entry(ledger_dir: str, entry: Dict[str, Any]) -> str:
+    """Append ``entry`` as the next ``BENCH_<n>.json``; returns its path."""
+    os.makedirs(ledger_dir, exist_ok=True)
+    entries = ledger_entries(ledger_dir)
+    number = entries[-1][0] + 1 if entries else 1
+    path = os.path.join(ledger_dir, f"BENCH_{number:04d}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(entry, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+# ======================================================================
+# Regression comparison
+# ======================================================================
+#: Scalar metrics where *lower* current values are regressions.
+_HIGHER_IS_BETTER = (
+    "replay_events_per_s",
+    "campaign_trials_per_s_serial",
+    "campaign_trials_per_s_parallel",
+)
+
+
+def _relative_change(previous: float, current: float) -> float:
+    if previous <= 0:
+        return 0.0
+    return (current - previous) / previous
+
+
+def compare_entries(
+    previous: Dict[str, Any],
+    current: Dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[str]:
+    """Human-readable regression lines; empty means within threshold.
+
+    Entries measured at different scales or job counts are not
+    comparable — the mismatch itself is reported as a failure rather
+    than silently diffing apples against oranges.
+    """
+    problems: List[str] = []
+    for knob in ("scale", "jobs"):
+        if previous.get(knob) != current.get(knob):
+            problems.append(
+                f"{knob} changed ({previous.get(knob)} -> "
+                f"{current.get(knob)}); entries are not comparable"
+            )
+    if problems:
+        return problems
+
+    prev_m = previous.get("metrics", {})
+    cur_m = current.get("metrics", {})
+    for name in _HIGHER_IS_BETTER:
+        if name not in prev_m or name not in cur_m:
+            continue
+        change = _relative_change(prev_m[name], cur_m[name])
+        if change < -threshold:
+            problems.append(
+                f"{name}: {prev_m[name]:,.1f} -> {cur_m[name]:,.1f} "
+                f"({change:+.1%}, threshold -{threshold:.0%})"
+            )
+    prev_walls = prev_m.get("figure_wall_s", {})
+    cur_walls = cur_m.get("figure_wall_s", {})
+    for figure in sorted(set(prev_walls) & set(cur_walls)):
+        change = _relative_change(prev_walls[figure], cur_walls[figure])
+        if change > threshold:
+            problems.append(
+                f"figure_wall_s[{figure}]: {prev_walls[figure]:.2f}s -> "
+                f"{cur_walls[figure]:.2f}s "
+                f"({change:+.1%}, threshold +{threshold:.0%})"
+            )
+    return problems
+
+
+__all__ = [
+    "DEFAULT_LEDGER_DIR",
+    "DEFAULT_THRESHOLD",
+    "SCHEMA_VERSION",
+    "STANDARD_FIGURES",
+    "collect",
+    "compare_entries",
+    "latest_entry",
+    "ledger_entries",
+    "measure_campaign",
+    "measure_figures",
+    "measure_replay",
+    "write_entry",
+]

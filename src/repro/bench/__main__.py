@@ -1,0 +1,163 @@
+"""``python -m repro.bench`` — run the benchmarks, append to the ledger.
+
+Typical uses::
+
+    python -m repro.bench                  # standard run, new ledger entry
+    python -m repro.bench --quick          # CI smoke: small fixed scale
+    python -m repro.bench --check          # also fail on regression vs
+                                           # the latest existing entry
+    python -m repro.bench --no-write       # measure + compare only
+
+Exit status: 0 on success, 1 when ``--check`` found a regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench import (
+    DEFAULT_LEDGER_DIR,
+    DEFAULT_THRESHOLD,
+    STANDARD_FIGURES,
+    collect,
+    compare_entries,
+    latest_entry,
+    write_entry,
+)
+from repro.parallel import job_count
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Benchmark the reproduction pipeline into the ledger.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: half scale, 2 replay rounds, one figure",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="grid scale factor (default 1.0; --quick implies 0.5)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: REPRO_JOBS, else 1)",
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        help="replay rounds per scenario (default 3; --quick implies 2)",
+    )
+    parser.add_argument(
+        "--figures",
+        default=None,
+        help=(
+            "comma-separated experiment figures to time "
+            "(default: the standard set, first-only under --quick; "
+            "'none' skips figure timing)"
+        ),
+    )
+    parser.add_argument(
+        "--ledger-dir",
+        default=DEFAULT_LEDGER_DIR,
+        help=f"ledger directory (default: {DEFAULT_LEDGER_DIR})",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) on regression vs the latest ledger entry",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help=(
+            "fractional regression tolerance for --check "
+            f"(default {DEFAULT_THRESHOLD:.2f})"
+        ),
+    )
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="measure (and --check) without appending a ledger entry",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    scale = args.scale if args.scale is not None else (0.5 if args.quick else 1.0)
+    rounds = args.rounds if args.rounds is not None else (2 if args.quick else 3)
+    jobs = args.jobs if args.jobs is not None else job_count()
+    figures = STANDARD_FIGURES[:1] if args.quick else STANDARD_FIGURES
+    if args.figures is not None:
+        wanted = args.figures.strip().lower()
+        figures = (
+            ()
+            if wanted in ("", "none")
+            else tuple(name.strip() for name in args.figures.split(","))
+        )
+
+    print(f"repro.bench: scale={scale} jobs={jobs} rounds={rounds}")
+    entry = collect(
+        scale=scale,
+        jobs=jobs,
+        rounds=rounds,
+        figures=figures,
+        progress=lambda msg: print(f"  measuring {msg}"),
+    )
+
+    metrics = entry["metrics"]
+    print(f"replay throughput:  {metrics['replay_events_per_s']:,.0f} events/s")
+    print(
+        "campaign trials/s:  "
+        f"{metrics['campaign_trials_per_s_serial']:.2f} serial, "
+        f"{metrics['campaign_trials_per_s_parallel']:.2f} at {jobs} job(s) "
+        f"({metrics['parallel_speedup']:.2f}x)"
+    )
+    for figure, wall in sorted(metrics["figure_wall_s"].items()):
+        print(f"figure {figure}: {wall:.2f}s")
+    if not entry["detail"]["campaign"]["parallel_identical"]:
+        print(
+            "ERROR: parallel campaign diverged from the serial run",
+            file=sys.stderr,
+        )
+        return 1
+
+    status = 0
+    if args.check:
+        previous = latest_entry(args.ledger_dir)
+        if previous is None:
+            print(f"check: no prior entry in {args.ledger_dir}; baseline run")
+        else:
+            problems = compare_entries(
+                previous, entry, threshold=args.threshold
+            )
+            if problems:
+                print("check: REGRESSION vs previous ledger entry:")
+                for problem in problems:
+                    print(f"  - {problem}")
+                status = 1
+            else:
+                print(
+                    "check: within "
+                    f"{args.threshold:.0%} of the previous entry"
+                )
+
+    if not args.no_write:
+        path = write_entry(args.ledger_dir, entry)
+        print(f"ledger: wrote {path}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

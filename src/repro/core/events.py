@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple, Type
+from typing import Any, Callable, Dict, Optional, Tuple, Type
 
 from repro.errors import TraceFormatError
 from repro.hw.exits import ExitAction, ExitReason, GuestStateSnapshot, MemAccess
@@ -211,12 +211,24 @@ class GuestEvent:
             vcpu_index = record["vcpu"]
         except KeyError as exc:
             raise TraceFormatError(f"event record missing {exc}") from exc
-        cls = (
-            EVENT_CLASSES.get(type_value)
-            if isinstance(type_value, (str, int)) else None
+        # Cached dispatch: (class, bound payload decoder) per type value,
+        # so the replay hot loop pays one dict hit instead of a registry
+        # lookup plus a classmethod bind per record.
+        entry = (
+            _CODEC_DISPATCH.get(type_value)
+            if type(type_value) is str else None
         )
-        if cls is None:
-            raise TraceFormatError(f"unknown event type {type_value!r}")
+        if entry is None:
+            cls = (
+                EVENT_CLASSES.get(type_value)
+                if isinstance(type_value, (str, int)) else None
+            )
+            if cls is None:
+                raise TraceFormatError(f"unknown event type {type_value!r}")
+            entry = (cls, cls._from_payload)
+            if type(type_value) is str:
+                _CODEC_DISPATCH[type_value] = entry
+        cls, decode_payload = entry
         if type(time_ns) is not int or time_ns < 0:
             raise TraceFormatError(f"bad timestamp {time_ns!r}")
         if type(vcpu_index) is not int:
@@ -232,7 +244,7 @@ class GuestEvent:
         fields["vcpu_index"] = vcpu_index
         fields["vm_id"] = vm_id
         fields["hw_state"] = _snapshot_from_record(record.get("hw"))
-        fields.update(cls._from_payload(record))
+        fields.update(decode_payload(record))
         return event
 
 
@@ -419,6 +431,14 @@ class RawExitEvent(GuestEvent):
             "qualification": _decode_dict(record.get("qual"), "qual"),
         }
 
+
+#: Lazy decode-dispatch cache for :meth:`GuestEvent.from_record`:
+#: type value -> (class, payload decoder).  Populated exclusively from
+#: ``EVENT_CLASSES`` (the single registry below), never by hand, so it
+#: cannot drift from the codec.
+_CODEC_DISPATCH: Dict[
+    str, Tuple[Type["GuestEvent"], Callable[[Dict[str, Any]], Dict[str, Any]]]
+] = {}
 
 #: Serialized ``type`` value -> event class, for :meth:`GuestEvent.from_record`.
 EVENT_CLASSES: Dict[str, Type[GuestEvent]] = {

@@ -19,6 +19,7 @@ from repro.faults.campaign import Outcome, TrialConfig, run_campaign
 from repro.faults.injector import InjectionMode
 from repro.faults.sites import build_site_catalog
 from repro.harness import Testbed, TestbedConfig
+from repro.parallel import parallel_map
 from repro.sim.clock import MILLISECOND, SECOND
 from repro.sim.rng import RandomStreams
 from repro.vmi.introspection import KernelSymbolMap, OsInvariantView
@@ -28,6 +29,12 @@ from repro.workloads.unixbench import run_microbench
 
 def _scaled(n: int, scale: float, minimum: int = 1) -> int:
     return max(minimum, int(round(n * scale)))
+
+
+# Experiment grids fan out through repro.parallel: every cell below is
+# a pure function of its argument tuple (each boots a private testbed,
+# all seeds travel in the tuple), and results merge by grid index — so
+# REPRO_JOBS changes wall time, never a table.
 
 
 # ======================================================================
@@ -155,40 +162,44 @@ def run_table2(
 # ======================================================================
 # Table III — /proc side channel
 # ======================================================================
+def _table3_idle(ctx):
+    while True:
+        yield ctx.sys_nanosleep(400 * MILLISECOND)
+
+
+def _table3_cell(args):
+    interval_s, trial_seed, samples = args
+    testbed = Testbed(TestbedConfig(num_vcpus=2, seed=trial_seed))
+    testbed.boot()
+    oninja = ONinja(testbed.kernel, interval_ns=interval_s * SECOND)
+    oninja.install()
+    for i in range(25):
+        testbed.kernel.spawn_process(_table3_idle, f"svc{i}", uid=1000)
+    testbed.run_s(0.5)
+    channel = ProcSideChannel(
+        testbed.kernel, oninja.pid, poll_period_ns=300_000
+    )
+    channel.launch()
+    testbed.run_s((samples + 2) * (interval_s + 0.2))
+    estimate = channel.estimate(max_samples=samples)
+    return [
+        interval_s,
+        f"{estimate.mean:.5f}",
+        f"{estimate.minimum:.5f}",
+        f"{estimate.maximum:.5f}",
+        f"{estimate.stdev:.5f}",
+    ]
+
+
 def run_table3(
     scale: float = 1.0, full: bool = False, seed: Optional[int] = None
 ) -> str:
     samples = 30 if full else _scaled(8, scale)
-    rows = []
-    for interval_s in (1, 2, 4, 8):
-        trial_seed = interval_s if seed is None else seed + interval_s
-        testbed = Testbed(TestbedConfig(num_vcpus=2, seed=trial_seed))
-        testbed.boot()
-        oninja = ONinja(testbed.kernel, interval_ns=interval_s * SECOND)
-        oninja.install()
-
-        def idle(ctx):
-            while True:
-                yield ctx.sys_nanosleep(400 * MILLISECOND)
-
-        for i in range(25):
-            testbed.kernel.spawn_process(idle, f"svc{i}", uid=1000)
-        testbed.run_s(0.5)
-        channel = ProcSideChannel(
-            testbed.kernel, oninja.pid, poll_period_ns=300_000
-        )
-        channel.launch()
-        testbed.run_s((samples + 2) * (interval_s + 0.2))
-        estimate = channel.estimate(max_samples=samples)
-        rows.append(
-            [
-                interval_s,
-                f"{estimate.mean:.5f}",
-                f"{estimate.minimum:.5f}",
-                f"{estimate.maximum:.5f}",
-                f"{estimate.stdev:.5f}",
-            ]
-        )
+    cells = [
+        (interval_s, interval_s if seed is None else seed + interval_s, samples)
+        for interval_s in (1, 2, 4, 8)
+    ]
+    rows = parallel_map(_table3_cell, cells)
     return format_table(
         ["Ninja interval (s)", "predicted mean", "min", "max", "SD"],
         rows,
@@ -241,33 +252,50 @@ def _ninja_trial(seed, spam, o_interval_ns, h_interval_ns, jitter_ns):
     return o_ninja.detected, h_ninja.detected, ht_ninja.detected
 
 
+def _ninja_cell(args):
+    return _ninja_trial(*args)
+
+
 def run_ninja_curves(
     scale: float = 1.0, full: bool = False, seed: Optional[int] = None
 ) -> str:
     trials = 300 if full else _scaled(12, scale)
     rng = RandomStreams(1234 if seed is None else seed)
 
-    def rates(spam, h_interval_ns):
+    # Every (point, trial) cell of both curves, jitters drawn up front
+    # in trial order from the same named streams the serial loop used —
+    # the flat task list then fans out without touching any RNG.
+    points = [("spam", spam, 50 * MILLISECOND) for spam in (0, 100, 200)]
+    points += [
+        ("interval", 50, interval_ms * MILLISECOND)
+        for interval_ms in (4, 8, 20, 40)
+    ]
+    tasks = []
+    for _kind, spam, h_interval_ns in points:
         jitter_stream = rng.stream(f"j-{spam}-{h_interval_ns}")
-        hits = [0, 0, 0]
         for trial in range(trials):
             jitter = int(
                 jitter_stream.uniform(0, max(h_interval_ns, 20 * MILLISECOND))
             )
-            result = _ninja_trial(trial, spam, 0, h_interval_ns, jitter)
+            tasks.append((trial, spam, 0, h_interval_ns, jitter))
+    results = parallel_map(_ninja_cell, tasks)
+
+    def rates(point_index):
+        hits = [0, 0, 0]
+        for result in results[point_index * trials : (point_index + 1) * trials]:
             for i, detected in enumerate(result):
                 hits[i] += bool(detected)
         return [h / trials for h in hits]
 
     spam_rows = []
-    for spam in (0, 100, 200):
-        o, _h, ht = rates(spam, 50 * MILLISECOND)
+    for point_index, spam in enumerate((0, 100, 200)):
+        o, _h, ht = rates(point_index)
         spam_rows.append(
             [f"+{spam} idle procs", f"{o * 100:.1f}%", f"{ht * 100:.1f}%"]
         )
     interval_rows = []
-    for interval_ms in (4, 8, 20, 40):
-        _o, h, ht = rates(50, interval_ms * MILLISECOND)
+    for point_index, interval_ms in enumerate((4, 8, 20, 40)):
+        _o, h, ht = rates(3 + point_index)
         interval_rows.append(
             [f"{interval_ms} ms", f"{h * 100:.1f}%", f"{ht * 100:.1f}%"]
         )
@@ -287,6 +315,25 @@ def run_ninja_curves(
 # ======================================================================
 # Fig 7 — overhead grid
 # ======================================================================
+#: Fig 7 monitoring configurations: name -> auditor classes.
+_FIG7_CONFIGS = (
+    ("baseline", ()),
+    ("GOSHD", (GuestOSHangDetector,)),
+    ("HRKD", (HiddenRootkitDetector,)),
+    ("HT-Ninja", (HTNinja,)),
+    ("all", (GuestOSHangDetector, HiddenRootkitDetector, HTNinja)),
+)
+
+
+def _fig7_cell(args):
+    classes, workload, trial_seed = args
+    testbed = Testbed(TestbedConfig(num_vcpus=2, seed=trial_seed))
+    testbed.boot()
+    if classes:
+        testbed.monitor([cls() for cls in classes])
+    return run_microbench(testbed, workload)
+
+
 def run_fig7(
     scale: float = 1.0, full: bool = False, seed: Optional[int] = None
 ) -> str:
@@ -300,28 +347,23 @@ def run_fig7(
                 "repro.workloads.unixbench", fromlist=["MICROBENCHES"]
             ).MICROBENCHES
         )
-    configs = [
-        ("baseline", []),
-        ("GOSHD", [GuestOSHangDetector]),
-        ("HRKD", [HiddenRootkitDetector]),
-        ("HT-Ninja", [HTNinja]),
-        ("all", [GuestOSHangDetector, HiddenRootkitDetector, HTNinja]),
+    trial_seed = 42 if seed is None else seed
+    keys = [
+        (config_name, workload)
+        for config_name, _classes in _FIG7_CONFIGS
+        for workload in workloads
     ]
-    grid = {}
-    for config_name, classes in configs:
-        for workload in workloads:
-            testbed = Testbed(
-                TestbedConfig(num_vcpus=2, seed=42 if seed is None else seed)
-            )
-            testbed.boot()
-            if classes:
-                testbed.monitor([cls() for cls in classes])
-            grid[(config_name, workload)] = run_microbench(testbed, workload)
+    cells = [
+        (classes, workload, trial_seed)
+        for _config_name, classes in _FIG7_CONFIGS
+        for workload in workloads
+    ]
+    grid = dict(zip(keys, parallel_map(_fig7_cell, cells)))
     rows = []
     for workload in workloads:
         base = grid[("baseline", workload)]
         row = [workload, f"{base / 1e6:9.2f}"]
-        for config_name, _classes in configs[1:]:
+        for config_name, _classes in _FIG7_CONFIGS[1:]:
             pct = (grid[(config_name, workload)] - base) / base * 100
             row.append(f"{pct:6.1f}%")
         rows.append(row)

@@ -255,6 +255,53 @@ class CampaignSummary:
         return sorted(out)
 
 
+def iter_trial_grid(
+    sites: Sequence[FaultSite],
+    workloads: Iterable[str] = ("hanoi", "make-j1", "make-j2", "http"),
+    modes: Iterable[InjectionMode] = (
+        InjectionMode.TRANSIENT,
+        InjectionMode.PERSISTENT,
+    ),
+    preempt_options: Iterable[bool] = (False, True),
+    seeds: Iterable[int] = (0,),
+    base_config: Optional[TrialConfig] = None,
+) -> List[Tuple[FaultSite, TrialConfig]]:
+    """Enumerate the §VIII-A experiment grid in its canonical order.
+
+    The grid order — sites, then workloads, modes, preemption, seeds —
+    *is* the result order of :func:`run_campaign`, serial or parallel.
+    """
+    base = base_config if base_config is not None else TrialConfig()
+    grid: List[Tuple[FaultSite, TrialConfig]] = []
+    for site in sites:
+        for workload in workloads:
+            for mode in modes:
+                for preemptible in preempt_options:
+                    for seed in seeds:
+                        grid.append(
+                            (
+                                site,
+                                TrialConfig(
+                                    workload=workload,
+                                    preemptible=preemptible,
+                                    mode=mode,
+                                    seed=seed,
+                                    warmup_ns=base.warmup_ns,
+                                    detect_window_ns=base.detect_window_ns,
+                                    classify_window_ns=base.classify_window_ns,
+                                    goshd_threshold_ns=base.goshd_threshold_ns,
+                                ),
+                            )
+                        )
+    return grid
+
+
+def _trial_task(task: Tuple[FaultSite, TrialConfig]) -> TrialResult:
+    """Picklable per-trial entry point for the parallel executor."""
+    site, config = task
+    return run_trial(site, config)
+
+
 def run_campaign(
     sites: Sequence[FaultSite],
     workloads: Iterable[str] = ("hanoi", "make-j1", "make-j2", "http"),
@@ -266,28 +313,27 @@ def run_campaign(
     seeds: Iterable[int] = (0,),
     base_config: Optional[TrialConfig] = None,
     progress=None,
+    jobs: Optional[int] = None,
 ) -> CampaignSummary:
-    """The full experiment grid of §VIII-A."""
-    base = base_config if base_config is not None else TrialConfig()
+    """The full experiment grid of §VIII-A.
+
+    Every trial is a pure function of its ``(site, config)`` pair — the
+    trial seed travels inside the config and each trial boots its own
+    testbed — so the grid fans across ``jobs`` worker processes
+    (``REPRO_JOBS`` when ``None``) and merges back **in grid order**:
+    the summary is byte-identical to a serial run at any job count.
+    """
+    from repro.parallel import parallel_map
+
+    grid = iter_trial_grid(
+        sites,
+        workloads=workloads,
+        modes=modes,
+        preempt_options=preempt_options,
+        seeds=seeds,
+        base_config=base_config,
+    )
     summary = CampaignSummary()
-    done = 0
-    for site in sites:
-        for workload in workloads:
-            for mode in modes:
-                for preemptible in preempt_options:
-                    for seed in seeds:
-                        config = TrialConfig(
-                            workload=workload,
-                            preemptible=preemptible,
-                            mode=mode,
-                            seed=seed,
-                            warmup_ns=base.warmup_ns,
-                            detect_window_ns=base.detect_window_ns,
-                            classify_window_ns=base.classify_window_ns,
-                            goshd_threshold_ns=base.goshd_threshold_ns,
-                        )
-                        summary.add(run_trial(site, config))
-                        done += 1
-                        if progress is not None:
-                            progress(done)
+    for result in parallel_map(_trial_task, grid, jobs=jobs, progress=progress):
+        summary.add(result)
     return summary

@@ -60,6 +60,11 @@ class EventMultiplexer:
         self._sampler = HeartbeatSampler(rhc, rhc_sample_every)
         self._rings: Dict[str, Deque[VMExit]] = {}
         self._consumers: Dict[str, List[Tuple[frozenset, Consumer]]] = {}
+        #: Fan-out index: vm_id -> exit reason -> consumers wanting it,
+        #: in registration order.  Precomputed at registration time so
+        #: the per-event hot path is a dict hit, not a scan over every
+        #: consumer's interest set.
+        self._by_reason: Dict[str, Dict[ExitReason, List[Consumer]]] = {}
         self.delivered = 0
         self.submitted = 0
 
@@ -90,9 +95,13 @@ class EventMultiplexer:
     ) -> None:
         """Attach a consumer for ``reasons`` on ``vm_id``'s events."""
         self._consumers.setdefault(vm_id, []).append((reasons, consumer))
+        index = self._by_reason.setdefault(vm_id, {})
+        for reason in reasons:
+            index.setdefault(reason, []).append(consumer)
 
     def unregister_vm(self, vm_id: str) -> None:
         self._consumers.pop(vm_id, None)
+        self._by_reason.pop(vm_id, None)
         self._rings.pop(vm_id, None)
 
     def interest_count(self, vm_id: str, reason: ExitReason) -> int:
@@ -116,10 +125,13 @@ class EventMultiplexer:
 
         self._sampler.observe(exit_event.time_ns)
 
-        for reasons, consumer in self._consumers.get(vm_id, []):
-            if exit_event.reason in reasons:
-                consumer(vcpu, exit_event)
-                self.delivered += 1
+        index = self._by_reason.get(vm_id)
+        if index:
+            consumers = index.get(exit_event.reason)
+            if consumers:
+                for consumer in consumers:
+                    consumer(vcpu, exit_event)
+                self.delivered += len(consumers)
 
     def recent_events(self, vm_id: str) -> List[VMExit]:
         return list(self._rings.get(vm_id, ()))

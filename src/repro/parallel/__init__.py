@@ -1,0 +1,28 @@
+"""Deterministic fan-out of embarrassingly parallel workloads.
+
+Campaign trials, fuzz campaigns, experiment-grid cells and benchmark
+rounds are all pure functions of their argument tuples: every random
+draw inside a task comes from seeds carried *in* the task, never from
+shared state.  :func:`parallel_map` exploits that purity to fan tasks
+across ``REPRO_JOBS`` worker processes while keeping results
+**byte-identical to a serial run**: results are merged by input index
+(order-independent merge), so neither worker count nor completion
+order can change what the caller sees.
+
+See ``DESIGN.md`` §5e for the seed-derivation scheme and the argument
+for why worker scheduling cannot change results.
+"""
+
+from repro.parallel.executor import (
+    InfrastructureFailure,
+    derive_seed,
+    job_count,
+    parallel_map,
+)
+
+__all__ = [
+    "InfrastructureFailure",
+    "derive_seed",
+    "job_count",
+    "parallel_map",
+]

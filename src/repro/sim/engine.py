@@ -30,7 +30,10 @@ class ScheduledEvent:
     same-instant reordering is injected without touching callers.
     """
 
-    __slots__ = ("when", "seq", "callback", "args", "cancelled", "label", "prio")
+    __slots__ = (
+        "when", "seq", "callback", "args", "cancelled", "label", "prio",
+        "_engine",
+    )
 
     def __init__(
         self,
@@ -48,10 +51,18 @@ class ScheduledEvent:
         self.cancelled = False
         self.label = label
         self.prio = prio
+        #: Owning engine while the event sits in the heap; cleared on
+        #: pop so late cancels cannot corrupt the live counters.
+        self._engine: Optional["Engine"] = None
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        engine = self._engine
+        if engine is not None:
+            engine._note_cancelled()
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         return (self.when, self.prio, self.seq) < (other.when, other.prio, other.seq)
@@ -75,6 +86,12 @@ class Engine:
         self._events_fired = 0
         self._running = False
         self._stop_requested = False
+        #: Live count of non-cancelled queued events (O(1) ``pending``).
+        self._pending = 0
+        #: Cancelled events still occupying heap slots; when they are
+        #: the majority the heap is compacted instead of carrying them
+        #: to their pop time (unbounded retention otherwise).
+        self._cancelled_in_heap = 0
         #: Optional hook with ``on_schedule(when, label, now)`` returning
         #: ``(when, prio, drop)``; seeded implementations live in
         #: :mod:`repro.sim.perturb`.
@@ -112,6 +129,8 @@ class Engine:
                 return event
         event = ScheduledEvent(when, self._seq, callback, args, label, prio)
         self._seq += 1
+        event._engine = self
+        self._pending += 1
         heapq.heappush(self._queue, event)
         return event
 
@@ -139,12 +158,38 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        """Number of queued (possibly cancelled) events."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of queued, non-cancelled events (O(1) live counter)."""
+        return self._pending
 
     def stop(self) -> None:
-        """Ask a running loop to stop after the current event."""
+        """Request that the event loop stop before firing another event.
+
+        The request is *consumed* by the next (or current) ``run_until``
+        / ``run_for`` call: a stop issued mid-run halts that run after
+        the current callback; a stop issued between runs makes the next
+        run return immediately, firing nothing and leaving the clock
+        untouched.  Subsequent runs proceed normally.
+        """
         self._stop_requested = True
+
+    # ------------------------------------------------------------------
+    # Cancelled-event accounting (see ScheduledEvent.cancel)
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        self._pending -= 1
+        self._cancelled_in_heap += 1
+        # Lazy compaction: only when cancelled events dominate the heap
+        # does the O(n) rebuild pay for itself.  (when, prio, seq)
+        # ordering is untouched — heapify over the surviving events
+        # reproduces exactly the order popping would have yielded.
+        if (
+            self._cancelled_in_heap * 2 > len(self._queue)
+            and len(self._queue) >= 64
+        ):
+            # In-place (callers may hold an alias to the heap list).
+            self._queue[:] = [e for e in self._queue if not e.cancelled]
+            heapq.heapify(self._queue)
+            self._cancelled_in_heap = 0
 
     def step(self) -> bool:
         """Fire the single next event.
@@ -154,7 +199,10 @@ class Engine:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
+            event._engine = None
+            self._pending -= 1
             self.clock.advance_to(event.when)
             self._events_fired += 1
             event.callback(*event.args)
@@ -166,13 +214,20 @@ class Engine:
 
         Returns the number of events fired.  ``max_events`` is a safety
         valve against runaway loops in experiment harnesses.
+
+        Stop/horizon contract: when no :meth:`stop` intervenes, the
+        clock always lands exactly on ``t_ns`` so repeated calls tile
+        time without gaps.  A pending stop request (whether issued
+        during this run or before it) halts the loop without advancing
+        to the horizon, and is consumed — it never leaks into the next
+        tiling.
         """
         fired = 0
-        self._stop_requested = False
         while self._queue and not self._stop_requested:
             head = self._queue[0]
             if head.cancelled:
                 heapq.heappop(self._queue)
+                self._cancelled_in_heap -= 1
                 continue
             if head.when > t_ns:
                 break

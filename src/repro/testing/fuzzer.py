@@ -19,7 +19,7 @@ which the nightly CI job and the reproducibility test both rely on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.replay.format import Trace
 from repro.replay.mutate import TraceMutator
@@ -237,3 +237,29 @@ class Fuzzer:
 def fuzz(config: FuzzConfig, base: Optional[Trace] = None) -> FuzzResult:
     """Run one campaign; convenience over :class:`Fuzzer`."""
     return Fuzzer(config, base=base).run()
+
+
+def _fuzz_task(config: FuzzConfig) -> FuzzResult:
+    """Picklable per-campaign entry point for the parallel executor."""
+    return Fuzzer(config).run()
+
+
+def fuzz_many(
+    configs: Sequence[FuzzConfig], jobs: Optional[int] = None
+) -> List[FuzzResult]:
+    """Run independent campaigns in parallel, one result per config.
+
+    The parallel cut is at the *campaign* boundary on purpose: within a
+    campaign the coverage-feedback pool makes iteration ``i+1`` depend
+    on iteration ``i``, so intra-campaign parallelism would change
+    results.  Whole campaigns are pure functions of their
+    ``(scenario, seed, budget)`` config, so ``fuzz_many`` returns
+    exactly ``[fuzz(c) for c in configs]`` at any job count (results
+    merge by config index, not completion order).  Campaigns that save
+    artifacts should each get their own ``artifacts_dir``: artifact
+    files are keyed by finding, so sharing a directory lets campaigns
+    overwrite each other's entries (in any execution order).
+    """
+    from repro.parallel import parallel_map
+
+    return parallel_map(_fuzz_task, list(configs), jobs=jobs)

@@ -1,0 +1,148 @@
+"""The performance ledger (repro.bench): entries, comparison, CLI."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+from repro.bench import (
+    compare_entries,
+    latest_entry,
+    ledger_entries,
+    write_entry,
+)
+from repro.bench.__main__ import main
+
+
+def _entry(**overrides):
+    entry = {
+        "schema": 1,
+        "written_at_unix": 0.0,
+        "scale": 1.0,
+        "jobs": 2,
+        "python": "3.11.7",
+        "metrics": {
+            "replay_events_per_s": 100_000.0,
+            "campaign_trials_per_s_serial": 8.0,
+            "campaign_trials_per_s_parallel": 14.0,
+            "parallel_speedup": 1.75,
+            "figure_wall_s": {"table3": 10.0, "fig7": 20.0},
+        },
+        "detail": {},
+    }
+    entry.update(overrides)
+    return entry
+
+
+class TestLedger:
+    def test_entries_number_sequentially(self, tmp_path):
+        ledger = str(tmp_path / "ledger")
+        first = write_entry(ledger, _entry())
+        second = write_entry(ledger, _entry(jobs=4))
+        assert first.endswith("BENCH_0001.json")
+        assert second.endswith("BENCH_0002.json")
+        assert [n for n, _ in ledger_entries(ledger)] == [1, 2]
+        assert latest_entry(ledger)["jobs"] == 4
+
+    def test_empty_ledger(self, tmp_path):
+        assert ledger_entries(str(tmp_path)) == []
+        assert latest_entry(str(tmp_path)) is None
+
+    def test_non_ledger_files_ignored(self, tmp_path):
+        (tmp_path / "README.md").write_text("not an entry")
+        (tmp_path / "BENCH_notanumber.json").write_text("{}")
+        write_entry(str(tmp_path), _entry())
+        assert [n for n, _ in ledger_entries(str(tmp_path))] == [1]
+
+    def test_entries_are_valid_json(self, tmp_path):
+        path = write_entry(str(tmp_path), _entry())
+        with open(path, encoding="utf-8") as fh:
+            loaded = json.load(fh)
+        assert loaded["metrics"]["replay_events_per_s"] == 100_000.0
+
+
+class TestCompare:
+    def test_identical_entries_pass(self):
+        assert compare_entries(_entry(), _entry()) == []
+
+    def test_throughput_regression_flagged(self):
+        current = copy.deepcopy(_entry())
+        current["metrics"]["replay_events_per_s"] = 70_000.0  # -30%
+        problems = compare_entries(_entry(), current, threshold=0.20)
+        assert len(problems) == 1
+        assert "replay_events_per_s" in problems[0]
+
+    def test_wall_time_regression_flagged(self):
+        current = copy.deepcopy(_entry())
+        current["metrics"]["figure_wall_s"]["fig7"] = 30.0  # +50%
+        problems = compare_entries(_entry(), current, threshold=0.20)
+        assert len(problems) == 1
+        assert "fig7" in problems[0]
+
+    def test_improvements_and_jitter_pass(self):
+        current = copy.deepcopy(_entry())
+        current["metrics"]["replay_events_per_s"] = 150_000.0  # faster
+        current["metrics"]["figure_wall_s"]["table3"] = 11.5  # +15% < 20%
+        current["metrics"]["campaign_trials_per_s_serial"] = 7.0  # -12.5%
+        assert compare_entries(_entry(), current, threshold=0.20) == []
+
+    def test_threshold_is_configurable(self):
+        current = copy.deepcopy(_entry())
+        current["metrics"]["campaign_trials_per_s_serial"] = 7.0  # -12.5%
+        assert compare_entries(_entry(), current, threshold=0.10) != []
+
+    def test_mismatched_knobs_are_incomparable(self):
+        problems = compare_entries(_entry(), _entry(scale=2.0))
+        assert problems and "not comparable" in problems[0]
+        problems = compare_entries(_entry(), _entry(jobs=8))
+        assert problems and "not comparable" in problems[0]
+
+    def test_unknown_figures_ignored(self):
+        # A figure timed only on one side is not comparable; skip it.
+        previous = _entry()
+        current = copy.deepcopy(_entry())
+        del current["metrics"]["figure_wall_s"]["fig7"]
+        current["metrics"]["figure_wall_s"]["ninjas"] = 5.0
+        assert compare_entries(previous, current) == []
+
+
+class TestCli:
+    def test_quick_run_writes_and_checks(self, tmp_path, capsys):
+        ledger = str(tmp_path / "ledger")
+        argv = [
+            "--scale",
+            "0.25",
+            "--rounds",
+            "1",
+            "--jobs",
+            "2",
+            "--figures",
+            "none",
+            "--ledger-dir",
+            ledger,
+            "--check",
+        ]
+        # First run: baseline (no prior entry), writes BENCH_0001.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "baseline run" in out
+        [(number, path)] = ledger_entries(ledger)
+        assert number == 1
+        with open(path, encoding="utf-8") as fh:
+            entry = json.load(fh)
+        assert entry["scale"] == 0.25
+        assert entry["jobs"] == 2
+        assert entry["detail"]["campaign"]["parallel_identical"] is True
+        metrics = entry["metrics"]
+        assert metrics["replay_events_per_s"] > 0
+        assert metrics["campaign_trials_per_s_serial"] > 0
+        assert metrics["campaign_trials_per_s_parallel"] > 0
+        assert metrics["figure_wall_s"] == {}
+
+        # Second run: compared against the first; measurements of the
+        # same deterministic workload land within the 20% gate unless
+        # the machine is pathologically loaded, and --no-write keeps
+        # the ledger at one entry either way.
+        status = main(argv + ["--no-write", "--threshold", "0.95"])
+        assert status == 0
+        assert len(ledger_entries(ledger)) == 1

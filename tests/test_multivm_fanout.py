@@ -50,6 +50,52 @@ def busy(ctx):
         yield ctx.sys_write(1, 8)
 
 
+
+class TestReasonIndex:
+    """The per-(vm, reason) consumer index must be invisible except for
+    speed: order, counters, and unregistration behave exactly as the
+    linear interest scan did."""
+
+    def test_same_reason_consumers_fire_in_registration_order(self):
+        em = EventMultiplexer()
+        order = []
+        em.register_consumer("vm0", ALL_TSS, lambda v, e: order.append("first"))
+        em.register_consumer(
+            "vm0",
+            frozenset({ExitReason.EPT_VIOLATION, ExitReason.VMCALL}),
+            lambda v, e: order.append("second"),
+        )
+        em.register_consumer("vm0", ALL_TSS, lambda v, e: order.append("third"))
+        em.submit("vm0", None, exit_at(1))
+        assert order == ["first", "second", "third"]
+
+    def test_delivered_counts_every_matching_consumer(self):
+        em = EventMultiplexer()
+        em.register_consumer("vm0", ALL_TSS, lambda v, e: None)
+        em.register_consumer("vm0", ALL_TSS, lambda v, e: None)
+        em.register_consumer(
+            "vm0", frozenset({ExitReason.VMCALL}), lambda v, e: None
+        )
+        em.submit("vm0", None, exit_at(1))
+        assert em.submitted == 1
+        assert em.delivered == 2
+
+    def test_interest_count_matches_index(self):
+        em = EventMultiplexer()
+        em.register_consumer("vm0", ALL_TSS, lambda v, e: None)
+        em.register_consumer(
+            "vm0",
+            frozenset({ExitReason.EPT_VIOLATION, ExitReason.VMCALL}),
+            lambda v, e: None,
+        )
+        assert em.interest_count("vm0", ExitReason.EPT_VIOLATION) == 2
+        assert em.interest_count("vm0", ExitReason.VMCALL) == 1
+        assert em.interest_count("vm0", ExitReason.IO_INSTRUCTION) == 0
+        em.unregister_vm("vm0")
+        assert em.interest_count("vm0", ExitReason.EPT_VIOLATION) == 0
+        em.submit("vm0", None, exit_at(1))
+        assert em.delivered == 0
+
 # ======================================================================
 # EventMultiplexer: no cross-VM leakage
 # ======================================================================

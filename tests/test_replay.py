@@ -40,7 +40,7 @@ from repro.replay.format import (
 from repro.replay.mutate import TraceMutator
 from repro.replay.recorder import SCENARIOS, record_scenario
 from repro.replay.source import ReplaySource
-from repro.replay.trace_io import dumps_trace, load_trace, save_trace
+from repro.replay.trace_io import TraceWriter, dumps_trace, load_trace, save_trace
 from repro.sim.clock import SECOND
 
 GOLDEN_TRACE = str(pathlib.Path(__file__).parent / "data" / "golden_exploit.jsonl")
@@ -368,3 +368,52 @@ class TestNormalizeAlerts:
             {"auditor": "a", "kind": "y", "pids": [1, 3]},
             {"auditor": "b", "kind": "x", "pid": 2},
         ]
+
+
+class TestBufferedWriter:
+    """TraceWriter batches line assembly: one file write per
+    ``flush_every`` records, identical bytes at any batch size."""
+
+    class _CountingFile:
+        def __init__(self, fh):
+            self.fh = fh
+            self.writes = 0
+
+        def write(self, text):
+            self.writes += 1
+            return self.fh.write(text)
+
+        def close(self):
+            self.fh.close()
+
+    def _records(self, n):
+        return [
+            {"kind": "event", "type": "thread_switch", "t": i * 100}
+            for i in range(n)
+        ]
+
+    def test_one_write_per_batch(self, tmp_path):
+        writer = TraceWriter(
+            str(tmp_path / "t.jsonl"), TraceHeader(), flush_every=4
+        )
+        counter = self._CountingFile(writer._fh)
+        writer._fh = counter
+        for record in self._records(6):
+            writer.write_record(record)
+        # header + 6 records = 7 lines: one flush at 4, three buffered.
+        assert counter.writes == 1
+        writer.close(end_ns=600)
+        # footer fills the second batch; close drains the remainder.
+        assert counter.writes == 2
+
+    def test_bytes_identical_at_any_batch_size(self, tmp_path):
+        paths = []
+        for flush_every in (1, 3, 1024):
+            path = tmp_path / f"t{flush_every}.jsonl"
+            with TraceWriter(
+                str(path), TraceHeader(), flush_every=flush_every
+            ) as writer:
+                for record in self._records(10):
+                    writer.write_record(record)
+            paths.append(path.read_bytes())
+        assert paths[0] == paths[1] == paths[2]

@@ -134,3 +134,94 @@ class TestEngine:
         engine.schedule(20, lambda: None)
         handle.cancel()
         assert engine.pending == 1
+
+
+class TestStopContract:
+    """stop() requests are consumed exactly once (see Engine.stop)."""
+
+    def test_stop_between_tilings_aborts_next_run(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(10, fired.append, 1)
+        engine.schedule(30, fired.append, 2)
+        assert engine.run_until(20) == 1
+        engine.stop()
+        # The pending request is consumed by the next tiling: nothing
+        # fires and the clock does not advance to the horizon.
+        assert engine.run_until(40) == 0
+        assert fired == [1]
+        assert engine.clock.now == 20
+        # Consumed means consumed: the tiling after that runs normally.
+        assert engine.run_until(40) == 1
+        assert fired == [1, 2]
+        assert engine.clock.now == 40
+
+    def test_stop_does_not_leak_into_run_for(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(5, fired.append, "a")
+        engine.stop()
+        assert engine.run_for(10) == 0
+        assert engine.run_for(10) == 1
+        assert fired == ["a"]
+
+
+class TestCancellationCompaction:
+    """pending is O(1) and mass-cancellation cannot bloat the heap."""
+
+    def test_pending_tracks_schedule_fire_cancel(self):
+        engine = Engine()
+        handles = [engine.schedule(10 * (i + 1), lambda: None) for i in range(4)]
+        assert engine.pending == 4
+        handles[3].cancel()
+        assert engine.pending == 3
+        engine.run_until(20)
+        assert engine.pending == 1
+
+    def test_double_cancel_is_idempotent(self):
+        engine = Engine()
+        handle = engine.schedule(10, lambda: None)
+        engine.schedule(20, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert engine.pending == 1
+
+    def test_mass_cancel_compacts_heap(self):
+        engine = Engine()
+        handles = [engine.schedule(10 + i, lambda: None) for i in range(200)]
+        for handle in handles[:150]:
+            handle.cancel()
+        assert engine.pending == 50
+        # Compaction is lazy (it triggers on a cancelled majority), so
+        # some tombstones may remain — but never again a majority, and
+        # never the 150 a naive heap would carry to their pop times.
+        tombstones = sum(1 for event in engine._queue if event.cancelled)
+        assert len(engine._queue) < 200
+        assert tombstones * 2 <= len(engine._queue)
+
+    def test_compaction_preserves_firing_order(self):
+        engine = Engine()
+        fired = []
+        handles = []
+        for i in range(300):
+            handles.append(engine.schedule(10 + (i % 7) * 5, fired.append, i))
+        for i, handle in enumerate(handles):
+            if i % 3 != 0:
+                handle.cancel()
+        engine.run_until(1_000)
+        expected = sorted(
+            (i for i in range(300) if i % 3 == 0),
+            key=lambda i: (10 + (i % 7) * 5, i),
+        )
+        assert fired == expected
+
+    def test_compaction_is_in_place(self):
+        # ReplaySource.run hoists engine._queue into a local alias; the
+        # compacted heap must stay the *same list object*.
+        engine = Engine()
+        alias = engine._queue
+        handles = [engine.schedule(10 + i, lambda: None) for i in range(128)]
+        for handle in handles[:100]:
+            handle.cancel()
+        assert engine._queue is alias
+        assert len(alias) < 128

@@ -352,6 +352,38 @@ class TestDeterminism:
         )
         assert run_analysis(root, selected_rules=["determinism"]).findings == []
 
+    def test_scheduling_imports_confined_to_repro_parallel(self, tmp_path):
+        # Worker completion order is ambient entropy; only the indexed
+        # merge in repro.parallel may touch process pools.
+        root = write_tree(
+            tmp_path,
+            {
+                "repro/faults/sneaky.py": """
+                import multiprocessing
+                from concurrent.futures import ProcessPoolExecutor
+                """,
+                "repro/parallel/executor.py": """
+                import multiprocessing
+                from concurrent.futures import ProcessPoolExecutor
+                """,
+            },
+        )
+        report = run_analysis(root, selected_rules=["determinism"])
+        assert len(report.findings) == 2
+        assert all(f.path.endswith("sneaky.py") for f in report.findings)
+        assert all("repro.parallel" in f.message for f in report.findings)
+
+    def test_scheduling_import_suppressible_with_pragma(self, tmp_path):
+        root = write_tree(
+            tmp_path,
+            {
+                "repro/hypervisor/pool.py": """
+                import multiprocessing  # hypertap: allow(determinism) — test fixture
+                """,
+            },
+        )
+        assert run_analysis(root, selected_rules=["determinism"]).findings == []
+
 
 # ======================================================================
 # auditor-purity

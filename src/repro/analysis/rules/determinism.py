@@ -11,6 +11,12 @@ and ``repro.replay.mutate`` (seeded fuzzing, one ``random.Random`` per
 (seed, n) pair).  ``time.perf_counter`` is *not* flagged: wall-clock
 throughput reporting never feeds verdicts.
 
+The observability package (``repro.obs``) is held to a stricter bar:
+its exports are *reproducible artifacts* (byte-identical live, replayed
+and at any job count), so inside it even the otherwise-sanctioned
+``time`` module is off limits — no ``perf_counter``, nothing.  The
+virtual clock (``repro.sim.clock``) is its only time source.
+
 Worker scheduling is entropy too: the OS decides which process
 finishes first, so any module that fans work across processes can
 leak completion order into results.  ``multiprocessing`` and
@@ -46,6 +52,14 @@ SCHEDULING_MODULES: FrozenSet[str] = frozenset(
 #: The one package allowed to touch process pools: its executor merges
 #: results by index, making completion order unobservable.
 PARALLEL_PACKAGE = "repro.parallel"
+
+#: The observability package: reproducible artifacts only, so *any*
+#: wall-clock module import is forbidden inside it (``perf_counter``
+#: included — the virtual clock is the only time source).
+OBS_PACKAGE = "repro.obs"
+
+#: Modules that read wall time; forbidden wholesale inside repro.obs.
+WALL_CLOCK_MODULES: FrozenSet[str] = frozenset({"time", "datetime"})
 
 #: ``from <module> import <name>`` pairs that smuggle entropy/wall time.
 FORBIDDEN_FROM_IMPORTS: FrozenSet[str] = frozenset(
@@ -97,6 +111,9 @@ class DeterminismRule(Rule):
         parallel_ok = source.module == PARALLEL_PACKAGE or source.module.startswith(
             PARALLEL_PACKAGE + "."
         )
+        in_obs = source.module == OBS_PACKAGE or source.module.startswith(
+            OBS_PACKAGE + "."
+        )
         for node in ast.walk(source.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
@@ -105,6 +122,10 @@ class DeterminismRule(Rule):
                         yield self._finding(source, node.lineno, f"import {alias.name}")
                     elif root in SCHEDULING_MODULES and not parallel_ok:
                         yield self._scheduling_finding(
+                            source, node.lineno, f"import {alias.name}"
+                        )
+                    elif root in WALL_CLOCK_MODULES and in_obs:
+                        yield self._obs_finding(
                             source, node.lineno, f"import {alias.name}"
                         )
             elif isinstance(node, ast.ImportFrom):
@@ -120,6 +141,11 @@ class DeterminismRule(Rule):
                     and not parallel_ok
                 ):
                     yield self._scheduling_finding(
+                        source, node.lineno, f"from {node.module} import ..."
+                    )
+                    continue
+                if node.module.split(".")[0] in WALL_CLOCK_MODULES and in_obs:
+                    yield self._obs_finding(
                         source, node.lineno, f"from {node.module} import ..."
                     )
                     continue
@@ -143,6 +169,16 @@ class DeterminismRule(Rule):
             f"nondeterministic source '{what}' outside the sanctioned RNG "
             "modules; use the virtual clock (machine.clock / engine.clock) "
             "or a seeded stream from repro.sim.rng.RandomStreams",
+        )
+
+    def _obs_finding(self, source: SourceFile, line: int, what: str) -> Finding:
+        return self.finding(
+            source.rel,
+            line,
+            f"wall-clock module '{what}' inside {OBS_PACKAGE}; metric "
+            "exports are reproducible artifacts, so repro.obs reads time "
+            "only from the virtual clock (repro.sim.clock) — even "
+            "perf_counter is off limits here",
         )
 
     def _scheduling_finding(

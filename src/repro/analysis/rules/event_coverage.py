@@ -20,7 +20,11 @@ that class of gap a commit-time failure by checking, from the ASTs:
    (otherwise the Event Forwarder suppresses those exits for everyone);
 5. **no shadow registries** — no module other than ``repro.core.events``
    may define its own ``EventType -> class`` mapping (a parallel
-   dispatch table is exactly how the pre-PR-1 gap happened).
+   dispatch table is exactly how the pre-PR-1 gap happened);
+6. **stage counters** — every ``EventType`` member keys
+   ``repro.obs.metrics.STAGE_COUNTER_LABELS``, so no event type can flow
+   through the pipeline without an observability stage counter (silent
+   drops of an uncounted type would be invisible to ``repro.obs``).
 
 If ``repro.core.events`` is absent from the analyzed tree (partial
 checkouts, unit-test fixtures) the structural checks are skipped.
@@ -38,11 +42,13 @@ from repro.analysis.rules import Rule, register
 EVENTS_MODULE = "repro.core.events"
 EXITS_MODULE = "repro.hw.exits"
 INTERCEPTION_MODULE = "repro.core.interception"
+OBS_METRICS_MODULE = "repro.obs.metrics"
 
 #: Base classes whose subclasses the codec must register.
 EVENT_BASE = "GuestEvent"
 CODEC_REGISTRY = "EVENT_CLASSES"
 REASONS_TABLE = "REQUIRED_EXIT_REASONS"
+STAGE_TABLE = "STAGE_COUNTER_LABELS"
 
 
 def _enum_members(tree: ast.Module, enum_name: str) -> Tuple[List[str], int]:
@@ -149,6 +155,9 @@ class EventCoverageRule(Rule):
         interception = ctx.module(INTERCEPTION_MODULE)
         if exits is not None and interception is not None:
             yield from self._check_dispatch(exits, interception)
+        obs = ctx.module(OBS_METRICS_MODULE)
+        if events is not None and obs is not None:
+            yield from self._check_stage_counters(events, obs)
 
     # ------------------------------------------------------------------
     def _check_codec(self, events: SourceFile) -> Iterator[Finding]:
@@ -251,6 +260,37 @@ class EventCoverageRule(Rule):
                     f"ExitReason.{member} is dispatched by no interceptor in "
                     f"{INTERCEPTION_MODULE}; the Event Forwarder would "
                     "suppress those exits for every monitor",
+                )
+
+    # ------------------------------------------------------------------
+    def _check_stage_counters(
+        self, events: SourceFile, obs: SourceFile
+    ) -> Iterator[Finding]:
+        event_types, _ = _enum_members(events.tree, "EventType")
+        table, table_line = _find_dict_assign(obs.tree, STAGE_TABLE)
+        if table is None:
+            yield self.finding(
+                obs.rel,
+                1,
+                f"stage-counter table '{STAGE_TABLE}' not found as a "
+                "module-level dict literal; repro.obs cannot account "
+                "published events per type",
+            )
+            return
+        labelled = {
+            m
+            for m in (_event_type_of_key(k) for k in table.keys)
+            if m is not None
+        }
+        for member in event_types:
+            if member not in labelled:
+                yield self.finding(
+                    obs.rel,
+                    table_line,
+                    f"EventType.{member} has no {STAGE_TABLE} entry; it "
+                    "would flow through the pipeline with no stage "
+                    "counter, so a silent drop of that type is invisible "
+                    "to repro.obs",
                 )
 
     # ------------------------------------------------------------------

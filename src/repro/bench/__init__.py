@@ -153,6 +153,59 @@ def measure_campaign(scale: float = 1.0, jobs: int = 1) -> Dict[str, Any]:
     }
 
 
+#: Scenarios whose observability columns enter the ledger.  Exploit and
+#: hang exercise the two latency regimes: an in-delivery verdict
+#: (HT-Ninja blocks on the triggering event) vs. a timer-driven one
+#: (GOSHD alarms seconds after the last event it saw).
+OBS_SCENARIOS: Tuple[str, ...] = ("exploit", "hang")
+
+
+def measure_obs(
+    scenarios: Tuple[str, ...] = OBS_SCENARIOS,
+) -> Dict[str, Any]:
+    """Virtual-clock observability columns (``repro.obs``).
+
+    Unlike every other measurement here these are **deterministic**:
+    exit rate per *simulated* second and mean exit-to-verdict latency
+    are pure functions of ``(scenario, seed)``, so ``--check`` compares
+    them exactly — any drift means pipeline behaviour changed, not that
+    the machine was busy.
+    """
+    from repro.obs.metrics import MetricsRegistry
+    from repro.replay.recorder import record_scenario
+    from repro.sim.clock import SECOND
+
+    exit_rates: Dict[str, float] = {}
+    verdict_means: Dict[str, float] = {}
+    per_scenario: Dict[str, Any] = {}
+    for name in scenarios:
+        run = record_scenario(name, seed=0)
+        registry = MetricsRegistry.from_snapshot(run.metrics)
+        exits = registry.total("exits")
+        end_ns = run.trace.header.end_ns or 0
+        sim_seconds = end_ns / SECOND
+        latency_count = 0
+        latency_sum = 0
+        for row_name, _labels, hist in registry.histogram_rows():
+            if row_name == "latency.exit_to_verdict_ns":
+                latency_count += hist.count
+                latency_sum += hist.sum
+        exit_rates[name] = exits / sim_seconds if sim_seconds > 0 else 0.0
+        verdict_means[name] = (
+            latency_sum / latency_count if latency_count else 0.0
+        )
+        per_scenario[name] = {
+            "exits": exits,
+            "sim_seconds": sim_seconds,
+            "verdicts_observed": latency_count,
+        }
+    return {
+        "exit_rate_per_sim_s": exit_rates,
+        "exit_to_verdict_mean_ns": verdict_means,
+        "scenarios": per_scenario,
+    }
+
+
 def measure_figures(
     figures: Tuple[str, ...] = STANDARD_FIGURES, scale: float = 1.0
 ) -> Dict[str, float]:
@@ -184,6 +237,8 @@ def collect(
     replay = measure_replay(rounds=rounds)
     say("campaign throughput ...")
     campaign = measure_campaign(scale=scale, jobs=jobs)
+    say("observability columns ...")
+    obs = measure_obs()
     say(f"figures {', '.join(figures) or '(none)'} ...")
     figure_walls = measure_figures(figures, scale=scale)
     return {
@@ -201,8 +256,10 @@ def collect(
             ],
             "parallel_speedup": campaign["speedup"],
             "figure_wall_s": figure_walls,
+            "obs_exit_rate_per_sim_s": obs["exit_rate_per_sim_s"],
+            "obs_exit_to_verdict_mean_ns": obs["exit_to_verdict_mean_ns"],
         },
-        "detail": {"replay": replay, "campaign": campaign},
+        "detail": {"replay": replay, "campaign": campaign, "obs": obs},
     }
 
 
@@ -250,6 +307,14 @@ _HIGHER_IS_BETTER = (
     "replay_events_per_s",
     "campaign_trials_per_s_serial",
     "campaign_trials_per_s_parallel",
+)
+
+#: Per-scenario metric maps that are pure functions of the virtual
+#: clock: ``--check`` compares them *exactly* (no threshold) because
+#: machine load cannot move them — only a behaviour change can.
+_DETERMINISTIC_METRIC_MAPS = (
+    "obs_exit_rate_per_sim_s",
+    "obs_exit_to_verdict_mean_ns",
 )
 
 
@@ -301,12 +366,25 @@ def compare_entries(
                 f"{cur_walls[figure]:.2f}s "
                 f"({change:+.1%}, threshold +{threshold:.0%})"
             )
+    for name in _DETERMINISTIC_METRIC_MAPS:
+        prev_map = prev_m.get(name)
+        cur_map = cur_m.get(name)
+        if not isinstance(prev_map, dict) or not isinstance(cur_map, dict):
+            continue
+        for scenario in sorted(set(prev_map) & set(cur_map)):
+            if prev_map[scenario] != cur_map[scenario]:
+                problems.append(
+                    f"{name}[{scenario}]: {prev_map[scenario]:,.1f} -> "
+                    f"{cur_map[scenario]:,.1f} (deterministic metric "
+                    "drifted: pipeline behaviour changed)"
+                )
     return problems
 
 
 __all__ = [
     "DEFAULT_LEDGER_DIR",
     "DEFAULT_THRESHOLD",
+    "OBS_SCENARIOS",
     "SCHEMA_VERSION",
     "STANDARD_FIGURES",
     "collect",
@@ -315,6 +393,7 @@ __all__ = [
     "ledger_entries",
     "measure_campaign",
     "measure_figures",
+    "measure_obs",
     "measure_replay",
     "write_entry",
 ]

@@ -126,6 +126,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     for figure, wall in sorted(metrics["figure_wall_s"].items()):
         print(f"figure {figure}: {wall:.2f}s")
+    for scenario, rate in sorted(metrics["obs_exit_rate_per_sim_s"].items()):
+        mean_ns = metrics["obs_exit_to_verdict_mean_ns"][scenario]
+        print(
+            f"obs {scenario}: {rate:,.0f} exits/sim-s, "
+            f"exit->verdict mean {mean_ns:,.0f} ns"
+        )
     if not entry["detail"]["campaign"]["parallel_identical"]:
         print(
             "ERROR: parallel campaign diverged from the serial run",

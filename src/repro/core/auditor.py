@@ -21,6 +21,7 @@ from repro.core.events import EventType, GuestEvent
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.hypertap import HyperTap
+    from repro.obs.metrics import MetricsRegistry
 
 
 class Auditor:
@@ -37,6 +38,10 @@ class Auditor:
         self.hypertap: Optional["HyperTap"] = None
         self.events_seen: Counter = Counter()
         self.alerts: list = []
+        #: Shared observability registry, adopted from the framework at
+        #: bind time (None when the pipeline runs uninstrumented).
+        self.metrics: Optional["MetricsRegistry"] = None
+        self._last_event_ns: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -44,6 +49,7 @@ class Auditor:
     def bind(self, hypertap: "HyperTap") -> None:
         """Called by the framework when monitoring is attached."""
         self.hypertap = hypertap
+        self.metrics = getattr(hypertap, "metrics", None)
         self.on_attach()
 
     def on_attach(self) -> None:
@@ -58,6 +64,7 @@ class Auditor:
     def on_event(self, event: GuestEvent) -> None:
         """Receive one derived event; subclasses override ``audit``."""
         self.events_seen[event.type] += 1
+        self._last_event_ns = event.time_ns
         self.audit(event)
 
     def audit(self, event: GuestEvent) -> None:
@@ -76,7 +83,17 @@ class Auditor:
     # Conveniences
     # ------------------------------------------------------------------
     def raise_alert(self, kind: str, **details) -> dict:
-        """Record a detection; returns the alert record."""
+        """Record a detection; returns the alert record.
+
+        This is the one place every auditor's verdicts pass through, so
+        it is where the framework accounts them: a ``verdicts`` counter
+        per ``(vm, auditor, kind)``, the exit-to-verdict latency
+        histogram (last triggering event's exit timestamp -> this
+        verdict's timestamp, both virtual-clock — identical live and in
+        replay because the alert timestamps themselves reproduce), and
+        a ``verdict`` hop on the open flow span when the alert is
+        raised while its event is still being delivered.
+        """
         alert = {
             "time_ns": self.hypertap.machine.clock.now if self.hypertap else 0,
             "auditor": self.name,
@@ -84,6 +101,20 @@ class Auditor:
             **details,
         }
         self.alerts.append(alert)
+        metrics = self.metrics
+        if metrics is not None:
+            vm_id = getattr(self.hypertap, "vm_id", "vm0")
+            metrics.inc("verdicts", vm=vm_id, auditor=self.name, kind=kind)
+            if self._last_event_ns is not None:
+                metrics.observe(
+                    "latency.exit_to_verdict_ns",
+                    max(0, alert["time_ns"] - self._last_event_ns),
+                    vm=vm_id,
+                    auditor=self.name,
+                )
+            metrics.span_hop(
+                "verdict", alert["time_ns"], self.name, kind
+            )
         return alert
 
     @property

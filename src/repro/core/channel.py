@@ -11,10 +11,11 @@ derived events.  That sharing is the paper's core performance claim
 from __future__ import annotations
 
 from collections import Counter
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.auditor import Auditor
 from repro.core.events import EventType, GuestEvent
+from repro.obs.metrics import STAGE_COUNTER_LABELS, MetricsRegistry
 from repro.core.interception import (
     FastSyscallInterceptor,
     FineGrainedTracer,
@@ -39,9 +40,18 @@ class EventFanout:
     producer — the live interception pipeline here, or a trace replay
     (``repro.replay.source``) — can deliver derived events to unmodified
     auditors through their containers.
+
+    With a registry attached, every published event is counted under
+    its stage counter (:data:`~repro.obs.metrics.STAGE_COUNTER_LABELS`,
+    per ``(vm, type)``) and opens a flow span that the container and
+    auditor hops append to — the same accounting live and replayed.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        vm_id: str = "vm0",
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         #: (auditor, container) pairs subscribed to derived events.
         self._subscribers: List[Tuple[Auditor, AuditingContainer]] = []
         #: Event type -> interested (auditor, container) pairs, so the
@@ -49,6 +59,9 @@ class EventFanout:
         self._by_type: Dict[EventType, List[Tuple[Auditor, AuditingContainer]]]
         self._by_type = {event_type: [] for event_type in EventType}
         self.events_published: Counter = Counter()
+        self.vm_id = vm_id
+        self.metrics = metrics
+        self._stage_cells: Dict[EventType, Any] = {}
 
     def subscribe(self, auditor: Auditor, container: AuditingContainer) -> None:
         self._subscribers.append((auditor, container))
@@ -73,6 +86,18 @@ class EventFanout:
         """
         event_type = event.type
         self.events_published[event_type] += 1
+        metrics = self.metrics
+        if metrics is not None:
+            cell = self._stage_cells.get(event_type)
+            if cell is None:
+                cell = metrics.counter(
+                    STAGE_COUNTER_LABELS[event_type],
+                    vm=self.vm_id,
+                    type=event_type.value,
+                )
+                self._stage_cells[event_type] = cell
+            cell.value += 1
+            metrics.span_begin(event)
         for auditor, container in self._by_type[event_type]:
             if (
                 blocking_charge is not None
@@ -81,16 +106,23 @@ class EventFanout:
             ):
                 blocking_charge(auditor, event)
             container.deliver(auditor, event)
+        if metrics is not None:
+            metrics.span_end()
 
 
 class UnifiedChannel:
     """Shared logging channel for one VM."""
 
-    def __init__(self, machine: Machine, vm_id: str) -> None:
+    def __init__(
+        self,
+        machine: Machine,
+        vm_id: str,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.machine = machine
         self.vm_id = vm_id
         self.interceptors: List[Interceptor] = []
-        self.fanout = EventFanout()
+        self.fanout = EventFanout(vm_id=vm_id, metrics=metrics)
         # Named handles for interceptors auditors may query directly.
         self.process_switches: Optional[ProcessSwitchInterceptor] = None
         self.thread_switches: Optional[ThreadSwitchInterceptor] = None

@@ -48,7 +48,10 @@ class HyperTap:
         self.vm_id = vm_id
         self.mode = mode
         self.deriver = ArchDeriver(machine)
-        self.container = AuditingContainer(vm_id)
+        #: One registry per pipeline: the EM owns it, every hop shares
+        #: it, auditors adopt it at bind time.
+        self.metrics = self.multiplexer.metrics
+        self.container = AuditingContainer(vm_id, metrics=self.metrics)
         self.auditors: List[Auditor] = []
         self.channels: List[UnifiedChannel] = []
         self.attached = False
@@ -74,7 +77,9 @@ class HyperTap:
             needed = set()
             for auditor in self.auditors:
                 needed |= set(auditor.subscriptions)
-            channel = UnifiedChannel(self.machine, self.vm_id)
+            channel = UnifiedChannel(
+                self.machine, self.vm_id, metrics=self.metrics
+            )
             channel.build_for_event_types(needed)
             for auditor in self.auditors:
                 channel.subscribe(auditor, self.container)
@@ -83,7 +88,9 @@ class HyperTap:
             # One private pipeline per auditor (the ablation baseline).
             self.channels = []
             for auditor in self.auditors:
-                channel = UnifiedChannel(self.machine, self.vm_id)
+                channel = UnifiedChannel(
+                    self.machine, self.vm_id, metrics=self.metrics
+                )
                 channel.build_for_event_types(set(auditor.subscriptions))
                 channel.subscribe(auditor, self.container)
                 self.channels.append(channel)

@@ -59,7 +59,16 @@ class TraceFormatError(MonitorError):
     Raised by the event codecs and the ``repro.replay`` readers on
     malformed input; replay tooling treats it as a *graceful* rejection
     (the record is counted and skipped), never a crash.
+
+    ``records_read`` carries how many records were successfully decoded
+    before the failure, when the raiser knows (stream readers do; the
+    per-record codecs leave it ``None``).  Salvage tooling uses it to
+    account what a truncated stream still yielded.
     """
+
+    def __init__(self, message: str, records_read=None) -> None:
+        super().__init__(message)
+        self.records_read = records_read
 
 
 class VmxError(SimulationError):

@@ -71,6 +71,10 @@ class TrialResult:
     hung_vcpus: Tuple[int, ...]
     full_hang_ns: Optional[int]
     probe_dead: bool
+    #: The trial's pipeline-observability snapshot
+    #: (:meth:`repro.obs.metrics.MetricsRegistry.snapshot`): per-reason
+    #: exit counts, stage counters and verdict latencies for this boot.
+    metrics: Dict = field(default_factory=dict)
 
     @property
     def detection_latency_ns(self) -> Optional[int]:
@@ -148,6 +152,7 @@ def run_trial(site: FaultSite, config: TrialConfig) -> TrialResult:
         hung_vcpus=tuple(sorted(goshd.hung_vcpus)),
         full_hang_ns=full_hang_ns,
         probe_dead=probe.reports_dead,
+        metrics=testbed.metrics.snapshot(),
     )
 
 
@@ -253,6 +258,18 @@ class CampaignSummary:
             if latency is not None:
                 out.append(latency / SECOND)
         return sorted(out)
+
+    # -- Observability ---------------------------------------------------
+    def merged_metrics(self) -> Dict:
+        """Campaign-wide metrics snapshot, folded **in grid order**.
+
+        Because trials merge by their position in the canonical grid
+        (never completion order), the merged snapshot — and any export
+        derived from it — is byte-identical at any ``jobs`` count.
+        """
+        from repro.obs.metrics import merge_snapshots
+
+        return merge_snapshots(r.metrics for r in self.results)
 
 
 def iter_trial_grid(

@@ -18,6 +18,7 @@ from repro.hw.machine import Machine, MachineConfig
 from repro.hypervisor.event_multiplexer import EventMultiplexer
 from repro.hypervisor.kvm import KvmHypervisor
 from repro.hypervisor.rhc import RemoteHealthChecker
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.clock import MILLISECOND, SECOND
 from repro.sim.engine import Engine
 from repro.sim.perturb import SchedulePerturbation
@@ -61,13 +62,17 @@ class Testbed:
             ),
             engine=self.engine,
         )
-        self.kvm = KvmHypervisor(self.machine, vm_id="vm0")
+        #: One observability registry for the whole deployment: the
+        #: hypervisor, the EM, the channels and the auditors all count
+        #: into it (see repro.obs).
+        self.metrics = MetricsRegistry()
+        self.kvm = KvmHypervisor(self.machine, vm_id="vm0", metrics=self.metrics)
         self.rhc: Optional[RemoteHealthChecker] = None
         if self.config.with_rhc:
             self.rhc = RemoteHealthChecker(
                 self.engine, timeout_ns=self.config.rhc_timeout_s * SECOND
             )
-        self.multiplexer = EventMultiplexer(rhc=self.rhc)
+        self.multiplexer = EventMultiplexer(rhc=self.rhc, metrics=self.metrics)
         self.kernel = GuestKernel(
             self.machine,
             KernelConfig(
@@ -96,6 +101,16 @@ class Testbed:
         for auditor in auditors:
             self.hypertap.register_auditor(auditor)
         self.hypertap.attach()
+        if self.rhc is not None:
+            # Silent-stall detection: heartbeats alone cannot tell a
+            # healthy pipeline from one whose event flow flatlined
+            # while something else keeps the heartbeat alive; watching
+            # the EM's submission counter can.
+            registry = self.metrics
+            self.rhc.watch_flow(
+                "vm0.em.submitted",
+                lambda: registry.total("em.submitted", vm="vm0"),
+            )
         return self.hypertap
 
     # ------------------------------------------------------------------
@@ -151,12 +166,13 @@ class SharedHost:
     ) -> None:
         self.config = base_config if base_config is not None else TestbedConfig()
         self.engine = Engine()
+        self.metrics = MetricsRegistry()
         self.rhc: Optional[RemoteHealthChecker] = None
         if with_rhc or self.config.with_rhc:
             self.rhc = RemoteHealthChecker(
                 self.engine, timeout_ns=self.config.rhc_timeout_s * SECOND
             )
-        self.multiplexer = EventMultiplexer(rhc=self.rhc)
+        self.multiplexer = EventMultiplexer(rhc=self.rhc, metrics=self.metrics)
         self.vms: List[VmInstance] = []
         for index in range(num_vms):
             machine = Machine(
@@ -169,7 +185,7 @@ class SharedHost:
                 engine=self.engine,
             )
             vm_id = f"vm{index}"
-            kvm = KvmHypervisor(machine, vm_id=vm_id)
+            kvm = KvmHypervisor(machine, vm_id=vm_id, metrics=self.metrics)
             kernel = GuestKernel(
                 machine,
                 KernelConfig(
@@ -205,6 +221,14 @@ class SharedHost:
             # green (the host-wide heartbeat alone cannot tell).
             self.rhc.watch(vm.vm_id)
             vm.hypertap.container.liveness = self.rhc
+            # And the silent-stall probe: this VM's event flow must
+            # keep moving while the host-wide heartbeat does.
+            registry = self.metrics
+            vm_id = vm.vm_id
+            self.rhc.watch_flow(
+                f"{vm_id}.em.submitted",
+                lambda: registry.total("em.submitted", vm=vm_id),
+            )
         return vm.hypertap
 
     def run_s(self, seconds: float) -> None:

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING
 from repro.errors import ConfigurationError
 from repro.hw.cpu import VCPU
 from repro.hw.exits import VMExit
+from repro.obs.metrics import Counter
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hypervisor.event_multiplexer import EventMultiplexer
@@ -34,12 +35,27 @@ class EventForwarder:
         self.mode = mode
         self.forwarded = 0
         self.suppressed = 0
+        #: Per-(vm, reason) accounting rides the multiplexer's registry;
+        #: handles are cached here (forwarders are recreated per attach,
+        #: so the cache cannot outlive its rows).
+        self._cells: dict = {}
+
+    def _cell(self, name: str, vm_id: str, reason) -> Counter:
+        key = (name, vm_id, reason)
+        cell = self._cells.get(key)
+        if cell is None:
+            cell = self.multiplexer.metrics.counter(
+                name, vm=vm_id, reason=reason.value
+            )
+            self._cells[key] = cell
+        return cell
 
     def on_vm_exit(self, vm_id: str, vcpu: VCPU, exit_event: VMExit) -> None:
         costs = vcpu.machine.costs
         interested = self.multiplexer.interest_count(vm_id, exit_event.reason)
         if interested == 0:
             self.suppressed += 1
+            self._cell("ef.suppressed", vm_id, exit_event.reason).value += 1
             return
         if self.mode == "unified":
             vcpu.charge(costs.ef_forward_ns + costs.em_enqueue_ns)
@@ -53,4 +69,5 @@ class EventForwarder:
                 + extra * costs.vm_exit_roundtrip_ns
             )
         self.forwarded += 1
+        self._cell("ef.forwarded", vm_id, exit_event.reason).value += 1
         self.multiplexer.submit(vm_id, vcpu, exit_event)

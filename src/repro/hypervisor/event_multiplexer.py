@@ -8,6 +8,13 @@ The EM is a host-side module independent of the hypervisor.  It:
   channels, which drive interception algorithms and auditors),
 * samples every Nth event to the Remote Health Checker so an external
   machine can detect death of the monitoring pipeline itself.
+
+Submission and delivery are accounted per ``(vm, reason)`` in the
+shared :class:`~repro.obs.metrics.MetricsRegistry` (``em.submitted`` /
+``em.delivered``); the scalar ``submitted`` / ``delivered`` views are
+sums over those rows.  ``unregister_vm`` resets the departing VM's
+rows, so a re-attached VM starts its accounting from zero instead of
+inheriting the previous run's counts.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 from repro.hw.cpu import VCPU
 from repro.hw.exits import ExitReason, VMExit
 from repro.hypervisor.rhc import RemoteHealthChecker
+from repro.obs.metrics import Counter, MetricsRegistry
 
 #: A consumer declares which exit reasons it wants, then receives
 #: (vcpu, exit) pairs for those reasons.
@@ -34,17 +42,25 @@ class HeartbeatSampler:
     """
 
     def __init__(
-        self, rhc: Optional[RemoteHealthChecker], sample_every: int = 64
+        self,
+        rhc: Optional[RemoteHealthChecker],
+        sample_every: int = 64,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.rhc = rhc
         self.sample_every = max(1, sample_every)
         self.seen = 0
+        self._sampled = (
+            metrics.counter("heartbeat.sampled") if metrics is not None else None
+        )
 
     def observe(self, time_ns: int) -> None:
         """Note one pipeline event; forward every Nth to the RHC."""
         self.seen += 1
         if self.rhc is not None and self.seen % self.sample_every == 0:
             self.rhc.heartbeat(time_ns)
+            if self._sampled is not None:
+                self._sampled.value += 1
 
 
 class EventMultiplexer:
@@ -55,9 +71,13 @@ class EventMultiplexer:
         ring_capacity: int = 4096,
         rhc: Optional[RemoteHealthChecker] = None,
         rhc_sample_every: int = 64,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.ring_capacity = ring_capacity
-        self._sampler = HeartbeatSampler(rhc, rhc_sample_every)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._sampler = HeartbeatSampler(
+            rhc, rhc_sample_every, metrics=self.metrics
+        )
         self._rings: Dict[str, Deque[VMExit]] = {}
         self._consumers: Dict[str, List[Tuple[frozenset, Consumer]]] = {}
         #: Fan-out index: vm_id -> exit reason -> consumers wanting it,
@@ -65,8 +85,10 @@ class EventMultiplexer:
         #: the per-event hot path is a dict hit, not a scan over every
         #: consumer's interest set.
         self._by_reason: Dict[str, Dict[ExitReason, List[Consumer]]] = {}
-        self.delivered = 0
-        self.submitted = 0
+        #: Cached registry handles per (vm, reason); dropped on
+        #: ``unregister_vm`` together with the underlying rows.
+        self._submit_cells: Dict[Tuple[str, ExitReason], Counter] = {}
+        self._deliver_cells: Dict[Tuple[str, ExitReason], Counter] = {}
 
     # ------------------------------------------------------------------
     # RHC sampling (delegated to the shared sampler)
@@ -88,6 +110,33 @@ class EventMultiplexer:
         self._sampler.sample_every = max(1, every)
 
     # ------------------------------------------------------------------
+    # Registry-backed accounting
+    # ------------------------------------------------------------------
+    @property
+    def submitted(self) -> int:
+        """Exits submitted, summed over every (vm, reason) row."""
+        return self.metrics.total("em.submitted")
+
+    @property
+    def delivered(self) -> int:
+        """Per-consumer deliveries, summed over every (vm, reason) row."""
+        return self.metrics.total("em.delivered")
+
+    def _cell(
+        self,
+        cache: Dict[Tuple[str, ExitReason], Counter],
+        name: str,
+        vm_id: str,
+        reason: ExitReason,
+    ) -> Counter:
+        key = (vm_id, reason)
+        cell = cache.get(key)
+        if cell is None:
+            cell = self.metrics.counter(name, vm=vm_id, reason=reason.value)
+            cache[key] = cell
+        return cell
+
+    # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------
     def register_consumer(
@@ -103,20 +152,30 @@ class EventMultiplexer:
         self._consumers.pop(vm_id, None)
         self._by_reason.pop(vm_id, None)
         self._rings.pop(vm_id, None)
+        # A departing VM takes its accounting with it: a later Machine
+        # run re-attaching under the same vm_id starts from zero rather
+        # than inheriting the previous run's counts.  Only em.* rows —
+        # other components sharing the registry keep their history (and
+        # their cached handles stay live).
+        self.metrics.reset(name_prefix="em.", vm=vm_id)
+        for cache in (self._submit_cells, self._deliver_cells):
+            for key in [k for k in cache if k[0] == vm_id]:
+                del cache[key]
 
     def interest_count(self, vm_id: str, reason: ExitReason) -> int:
         """How many consumers want this exit reason (EF filter)."""
-        return sum(
-            1
-            for reasons, _ in self._consumers.get(vm_id, [])
-            if reason in reasons
-        )
+        index = self._by_reason.get(vm_id)
+        if not index:
+            return 0
+        return len(index.get(reason, ()))
 
     # ------------------------------------------------------------------
     # Delivery
     # ------------------------------------------------------------------
     def submit(self, vm_id: str, vcpu: VCPU, exit_event: VMExit) -> None:
-        self.submitted += 1
+        self._cell(
+            self._submit_cells, "em.submitted", vm_id, exit_event.reason
+        ).value += 1
         ring = self._rings.get(vm_id)
         if ring is None:
             ring = deque(maxlen=self.ring_capacity)
@@ -131,7 +190,12 @@ class EventMultiplexer:
             if consumers:
                 for consumer in consumers:
                     consumer(vcpu, exit_event)
-                self.delivered += len(consumers)
+                self._cell(
+                    self._deliver_cells,
+                    "em.delivered",
+                    vm_id,
+                    exit_event.reason,
+                ).value += len(consumers)
 
     def recent_events(self, vm_id: str) -> List[VMExit]:
         return list(self._rings.get(vm_id, ()))

@@ -16,17 +16,27 @@ from repro.hw.cpu import VCPU
 from repro.hw.exits import ExitAction, ExitReason, VMExit
 from repro.hw.machine import Machine
 from repro.hypervisor.event_forwarder import EventForwarder
+from repro.obs.metrics import MetricsRegistry
 
 
 class KvmHypervisor:
     """Hypervisor instance bound to one machine/VM."""
 
-    def __init__(self, machine: Machine, vm_id: str = "vm0") -> None:
+    def __init__(
+        self,
+        machine: Machine,
+        vm_id: str = "vm0",
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.machine = machine
         self.vm_id = vm_id
         self.event_forwarder: Optional[EventForwarder] = None
         self.exit_counts: Counter = Counter()
         self.handled_exits = 0
+        #: Exit-rate accounting (``exits{vm, reason}``) in the shared
+        #: registry; handles cached per reason off the dispatch path.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._exit_cells: dict = {}
         machine.set_exit_dispatcher(self.handle_exit)
 
     def attach_forwarder(self, forwarder: EventForwarder) -> None:
@@ -40,6 +50,13 @@ class KvmHypervisor:
     def handle_exit(self, vcpu: VCPU, exit_event: VMExit) -> ExitAction:
         self.handled_exits += 1
         self.exit_counts[exit_event.reason] += 1
+        cell = self._exit_cells.get(exit_event.reason)
+        if cell is None:
+            cell = self.metrics.counter(
+                "exits", vm=self.vm_id, reason=exit_event.reason.value
+            )
+            self._exit_cells[exit_event.reason] = cell
+        cell.value += 1
         vcpu.charge(self.machine.costs.exit_emulation_ns)
 
         # HyperTap hook: forward before the operation is emulated, so

@@ -15,7 +15,7 @@ green.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.sim.clock import SECOND
 from repro.sim.engine import Engine
@@ -40,6 +40,13 @@ class RemoteHealthChecker:
         self.channel_alerts: List[Tuple[int, str]] = []
         self._channel_last: Dict[str, int] = {}
         self._channel_alarmed: Set[str] = set()
+        #: Silent-stall alerts as ``(t_ns, flow)``: the watched counter
+        #: flatlined while heartbeats kept arriving.
+        self.flow_alerts: List[Tuple[int, str]] = []
+        self._flow_probes: Dict[str, Callable[[], int]] = {}
+        self._flow_value: Dict[str, int] = {}
+        self._flow_changed_ns: Dict[str, int] = {}
+        self._flow_alarmed: Set[str] = set()
         self._started = False
         self._alert_raised = False
 
@@ -56,6 +63,22 @@ class RemoteHealthChecker:
     def watch(self, channel: str) -> None:
         """Register a named heartbeat channel (one auditing container)."""
         self._channel_last.setdefault(channel, self.engine.clock.now)
+
+    def watch_flow(self, name: str, probe: Callable[[], int]) -> None:
+        """Watch a stage counter for *silent* stalls.
+
+        ``probe`` returns a monotonically growing count (an obs stage
+        counter, e.g. the EM's submissions for one VM).  If the count
+        stops growing for longer than the timeout **while heartbeats
+        are still arriving**, a flow alert is raised: the pipeline
+        looks alive but events are no longer moving — the failure mode
+        a heartbeat alone cannot see.  When heartbeats are silent too,
+        the ordinary host-wide alert covers it and the flow stays
+        quiet (no double-reporting one dead pipeline).
+        """
+        self._flow_probes[name] = probe
+        self._flow_value[name] = probe()
+        self._flow_changed_ns[name] = self.engine.clock.now
 
     def heartbeat(self, t_ns: int, channel: Optional[str] = None) -> None:
         self.heartbeats += 1
@@ -80,6 +103,20 @@ class RemoteHealthChecker:
             ):
                 self.channel_alerts.append((now, channel))
                 self._channel_alarmed.add(channel)
+        heartbeats_flowing = now - last <= self.timeout_ns
+        for name, probe in self._flow_probes.items():
+            value = probe()
+            if value != self._flow_value[name]:
+                self._flow_value[name] = value
+                self._flow_changed_ns[name] = now
+                self._flow_alarmed.discard(name)
+            elif (
+                now - self._flow_changed_ns[name] > self.timeout_ns
+                and heartbeats_flowing
+                and name not in self._flow_alarmed
+            ):
+                self.flow_alerts.append((now, name))
+                self._flow_alarmed.add(name)
         self.engine.schedule(self.check_period_ns, self._check, label="rhc-check")
 
     def stop(self) -> None:
@@ -94,3 +131,9 @@ class RemoteHealthChecker:
         """Channels currently past the silence timeout (live view: a
         resumed heartbeat clears the channel)."""
         return set(self._channel_alarmed)
+
+    @property
+    def stalled_flows(self) -> Set[str]:
+        """Flows currently flatlined despite live heartbeats (live
+        view: a resumed counter clears the flow)."""
+        return set(self._flow_alarmed)

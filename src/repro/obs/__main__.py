@@ -1,0 +1,156 @@
+"""``python -m repro.obs`` — report, top and diff over pipeline metrics.
+
+Typical uses::
+
+    # Replay a trace and export its pipeline metrics as JSONL
+    python -m repro.obs report tests/data/golden_exploit.jsonl
+
+    # Same (scenario, seed) measured live vs from its trace — these
+    # two commands emit byte-identical output:
+    python -m repro.obs report --scenario exploit --seed 0 --source live
+    python -m repro.obs report --scenario exploit --seed 0 --source replay
+
+    # Merge several seeds (fans across REPRO_JOBS, merged in seed order)
+    python -m repro.obs report --scenario hang --seeds 0,1,2 --jobs 4
+
+    # Largest counters; differences between two exports (or traces)
+    python -m repro.obs top tests/data/golden_exploit.jsonl
+    python -m repro.obs diff baseline_obs.jsonl mutated_obs.jsonl
+
+``diff`` exits 1 when the exports differ — fuzz triage keys on that.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import TraceFormatError
+from repro.obs.metrics import SCOPES
+from repro.obs.report import (
+    collect_seeds,
+    collect_trace,
+    diff_rows,
+    export_lines,
+    rows_for_path,
+    top_rows,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Deterministic pipeline telemetry: report, top, diff.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser(
+        "report", help="export pipeline metrics as deterministic JSONL"
+    )
+    report.add_argument(
+        "trace", nargs="?", default=None, help="trace file to replay"
+    )
+    report.add_argument("--scenario", default=None, help="named scenario")
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument(
+        "--seeds",
+        default=None,
+        help="comma-separated seeds, merged in order (overrides --seed)",
+    )
+    report.add_argument(
+        "--source",
+        choices=("live", "replay"),
+        default="replay",
+        help="measure the live pipeline or a replay of its trace",
+    )
+    report.add_argument(
+        "--scope",
+        choices=SCOPES,
+        default="pipeline",
+        help="metric scope to export (default: pipeline)",
+    )
+    report.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for --seeds (default: REPRO_JOBS)",
+    )
+
+    top = sub.add_parser("top", help="largest counters in an export/trace")
+    top.add_argument("path", help="metrics export (JSONL) or trace file")
+    top.add_argument("-n", "--limit", type=int, default=10)
+    top.add_argument("--scope", choices=SCOPES, default="pipeline")
+
+    diff = sub.add_parser(
+        "diff", help="compare two exports (or traces); exit 1 on differences"
+    )
+    diff.add_argument("a", help="first export or trace")
+    diff.add_argument("b", help="second export or trace")
+    diff.add_argument("--scope", choices=SCOPES, default="pipeline")
+    return parser
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    if args.trace is not None:
+        snapshot = collect_trace(args.trace)
+    elif args.scenario is not None:
+        seeds = (
+            [int(s) for s in args.seeds.split(",") if s.strip()]
+            if args.seeds is not None
+            else [args.seed]
+        )
+        snapshot = collect_seeds(
+            args.scenario, seeds, source=args.source, jobs=args.jobs
+        )
+    else:
+        print(
+            "report: pass a trace path or --scenario NAME", file=sys.stderr
+        )
+        return 2
+    for line in export_lines(snapshot, scope=args.scope):
+        print(line)
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    rows = rows_for_path(args.path, scope=args.scope)
+    for value, label in top_rows(rows, limit=args.limit):
+        print(f"{value:>12,}  {label}")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    a = rows_for_path(args.a, scope=args.scope)
+    b = rows_for_path(args.b, scope=args.scope)
+    differences = diff_rows(a, b)
+    for line in differences:
+        print(line)
+    if differences:
+        print(f"{len(differences)} difference(s)", file=sys.stderr)
+        return 1
+    print("exports are identical")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "report":
+            return _cmd_report(args)
+        if args.command == "top":
+            return _cmd_top(args)
+        return _cmd_diff(args)
+    except BrokenPipeError:
+        # Downstream consumer (head, grep -q) closed the pipe early.
+        sys.stderr.close()
+        return 0
+    except (TraceFormatError, OSError) as exc:
+        # Same graceful contract as python -m repro.replay: bad input
+        # is a one-line error and exit 2, never a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,354 @@
+"""Deterministic pipeline metrics: counters, histograms, flow spans.
+
+HyperTap monitors guest VMs; ``repro.obs`` monitors HyperTap.  A
+:class:`MetricsRegistry` rides along the whole EF -> EM -> auditor
+pipeline and counts what each hop saw — VM exits per reason, events
+forwarded/suppressed/delivered/dropped, verdicts, and the
+exit-to-verdict latency the paper reports as detection latency.
+
+Everything here is keyed to the **virtual clock**: no wall time, no
+ambient entropy, no process identity.  That is what makes a registry a
+*reproducible artifact* rather than a profiler dump — the same
+(scenario, seed) yields byte-identical exports live, replayed, and at
+any ``REPRO_JOBS`` (the static determinism rule enforces the time-source
+confinement; see ``repro.analysis.rules.determinism``).
+
+Scopes
+------
+Metric names are partitioned into two scopes:
+
+* ``host`` — hypervisor-side hops that only exist live: raw exit
+  dispatch (``exits``), the Event Forwarder (``ef.*``), the Event
+  Multiplexer (``em.*``) and heartbeat sampling (``heartbeat.*``);
+* ``pipeline`` — the derived-event flow both the live channel and
+  ``repro.replay`` drive: ``flow.*``, ``verdicts``, ``latency.*`` and
+  ``trace.*``.
+
+The default export covers the pipeline scope only, which is exactly the
+slice where a trace replay must reproduce the live run bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.events import EventType
+from repro.sim.clock import MICROSECOND, MILLISECOND, SECOND
+
+#: Fixed histogram bucket upper bounds (ns).  Fixed — never derived from
+#: the data — so two registries always merge bucket-for-bucket.
+BUCKET_BOUNDS_NS: Tuple[int, ...] = (
+    1 * MICROSECOND,
+    10 * MICROSECOND,
+    100 * MICROSECOND,
+    1 * MILLISECOND,
+    10 * MILLISECOND,
+    100 * MILLISECOND,
+    1 * SECOND,
+    10 * SECOND,
+)
+
+#: Infrastructure subscribers (the trace recorder, the fuzzer's
+#: coverage probe) are excluded from flow accounting: they ride the
+#: fan-out for the harness, not as monitors, and counting them would
+#: break live-vs-replay metric identity (replay has no recorder).
+INFRA_AUDITORS = frozenset(
+    {"replay-recorder", "trace-recorder", "coverage-probe"}
+)
+
+#: The stage counter under which every event type is accounted when the
+#: unified channel (or a replay source) publishes it.  The
+#: event-coverage static rule cross-checks this table against the
+#: ``EventType`` enum: an event type missing here would flow through
+#: the pipeline without observability, which is how silent drops hide.
+STAGE_COUNTER_LABELS: Dict[EventType, str] = {
+    EventType.PROCESS_SWITCH: "flow.published",
+    EventType.THREAD_SWITCH: "flow.published",
+    EventType.SYSCALL: "flow.published",
+    EventType.IO: "flow.published",
+    EventType.MEM_ACCESS: "flow.published",
+    EventType.TSS_INTEGRITY: "flow.published",
+    EventType.RAW_EXIT: "flow.published",
+}
+
+#: Name prefixes belonging to the hypervisor-side (live-only) scope.
+_HOST_PREFIXES = ("exits", "ef.", "em.", "heartbeat.")
+
+SCOPES = ("pipeline", "host", "all")
+
+
+def metric_scope(name: str) -> str:
+    """``host`` for hypervisor-side hops, ``pipeline`` for the rest."""
+    for prefix in _HOST_PREFIXES:
+        if name == prefix or name.startswith(prefix):
+            return "host"
+    return "pipeline"
+
+
+def _label_key(labels: Dict[str, Any]) -> Tuple[Tuple[str, str], ...]:
+    """Canonical, sortable label identity (values coerced to str)."""
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """One mutable counter cell; holders cache the handle off hot paths."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Histogram:
+    """Fixed-bucket integer histogram (count/sum/min/max + buckets)."""
+
+    __slots__ = ("count", "sum", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+        #: One cell per bound plus the overflow cell.
+        self.buckets = [0] * (len(BUCKET_BOUNDS_NS) + 1)
+
+    def observe(self, value: int) -> None:
+        value = int(value)
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for i, bound in enumerate(BUCKET_BOUNDS_NS):
+            if value <= bound:
+                self.buckets[i] += 1
+                return
+        self.buckets[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Counter/histogram/span store for one pipeline run.
+
+    Instances are cheap and private to a run (a testbed, a replay
+    source, one fuzz iteration); cross-run aggregation goes through
+    :meth:`snapshot` + :meth:`merge`, always in a caller-fixed order
+    (grid index, seed order) so parallel fan-out cannot reorder it.
+    """
+
+    def __init__(self, span_limit: int = 64) -> None:
+        self._counters: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], Counter] = {}
+        self._histograms: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], Histogram] = {}
+        self.span_limit = int(span_limit)
+        #: Captured event-flow spans, in publish order (bounded).
+        self.spans: List[Dict[str, Any]] = []
+        self._open_span: Optional[Dict[str, Any]] = None
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """The counter cell for ``(name, labels)``; created on demand.
+
+        Hot paths should call this once and keep the returned handle —
+        ``handle.inc()`` is then a single integer add.
+        """
+        key = (name, _label_key(labels))
+        cell = self._counters.get(key)
+        if cell is None:
+            cell = Counter()
+            self._counters[key] = cell
+        return cell
+
+    def inc(self, name: str, n: int = 1, **labels: Any) -> None:
+        self.counter(name, **labels).value += n
+
+    def value(self, name: str, **labels: Any) -> int:
+        """Exact-row read; 0 when the row does not exist."""
+        cell = self._counters.get((name, _label_key(labels)))
+        return cell.value if cell is not None else 0
+
+    def total(self, name: str, **labels: Any) -> int:
+        """Sum of every ``name`` row whose labels include ``labels``."""
+        want = set(_label_key(labels))
+        out = 0
+        for (row_name, row_labels), cell in self._counters.items():
+            if row_name == name and want <= set(row_labels):
+                out += cell.value
+        return out
+
+    def rows(self, name: Optional[str] = None) -> List[Tuple[str, Dict[str, str], int]]:
+        """Sorted ``(name, labels, value)`` counter rows."""
+        out = [
+            (row_name, dict(row_labels), cell.value)
+            for (row_name, row_labels), cell in self._counters.items()
+        ]
+        out.sort(key=lambda row: (row[0], sorted(row[1].items())))
+        if name is not None:
+            out = [row for row in out if row[0] == name]
+        return out
+
+    def reset(self, name_prefix: Optional[str] = None, **labels: Any) -> int:
+        """Drop rows whose labels include ``labels`` (and, when given,
+        whose name starts with ``name_prefix``).
+
+        Returns the number of rows removed.  This is how a long-lived
+        host component (the Event Multiplexer) starts a re-attached VM
+        from zero instead of leaking the previous run's counts — the
+        prefix confines the reset to that component's own rows, leaving
+        cached handles held by unrelated components live.
+        """
+        want = set(_label_key(labels))
+        removed = 0
+        for store in (self._counters, self._histograms):
+            stale = [
+                key
+                for key in store
+                if want <= set(key[1])
+                and (name_prefix is None or key[0].startswith(name_prefix))
+            ]
+            for key in stale:
+                del store[key]
+                removed += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # Histograms
+    # ------------------------------------------------------------------
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        key = (name, _label_key(labels))
+        hist = self._histograms.get(key)
+        if hist is None:
+            hist = Histogram()
+            self._histograms[key] = hist
+        return hist
+
+    def observe(self, name: str, value: int, **labels: Any) -> None:
+        self.histogram(name, **labels).observe(value)
+
+    def histogram_rows(self) -> List[Tuple[str, Dict[str, str], Histogram]]:
+        out = [
+            (row_name, dict(row_labels), hist)
+            for (row_name, row_labels), hist in self._histograms.items()
+        ]
+        out.sort(key=lambda row: (row[0], sorted(row[1].items())))
+        return out
+
+    # ------------------------------------------------------------------
+    # Flow spans
+    # ------------------------------------------------------------------
+    def span_begin(self, event: Any) -> None:
+        """Open a span following one published event through the hops.
+
+        Capture is bounded by ``span_limit``; beyond it publishing is
+        unobserved (the counters still count).  The bound is on publish
+        order, so live and replay capture the same prefix.
+        """
+        if len(self.spans) >= self.span_limit:
+            self._open_span = None
+            return
+        span: Dict[str, Any] = {
+            "vm": event.vm_id,
+            "type": event.type.value,
+            "t": event.time_ns,
+            "hops": [],
+        }
+        self.spans.append(span)
+        self._open_span = span
+
+    def span_hop(self, stage: str, t_ns: int, *detail: Any) -> None:
+        """Append one hop to the currently open span (if any)."""
+        span = self._open_span
+        if span is not None:
+            span["hops"].append([stage, int(t_ns), *detail])
+
+    def span_end(self) -> None:
+        self._open_span = None
+
+    # ------------------------------------------------------------------
+    # Snapshot / merge (the parallel-fan-out contract)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-data, JSON-safe, canonically ordered registry image."""
+        counters = [
+            [name, dict(label_key), cell.value]
+            for (name, label_key), cell in self._counters.items()
+        ]
+        counters.sort(key=lambda row: (row[0], sorted(row[1].items())))
+        histograms = [
+            [
+                name,
+                dict(label_key),
+                {
+                    "count": hist.count,
+                    "sum": hist.sum,
+                    "min": hist.min,
+                    "max": hist.max,
+                    "buckets": list(hist.buckets),
+                },
+            ]
+            for (name, label_key), hist in self._histograms.items()
+        ]
+        histograms.sort(key=lambda row: (row[0], sorted(row[1].items())))
+        return {
+            "counters": counters,
+            "histograms": histograms,
+            "spans": [dict(span) for span in self.spans],
+        }
+
+    def merge(self, snapshot: Dict[str, Any]) -> "MetricsRegistry":
+        """Fold a snapshot in: counters add, histograms add cell-wise,
+        spans concatenate (bounded by ``span_limit``).  Merging is
+        commutative on counters/histograms; span order is the merge
+        order, which callers fix by grid index."""
+        for name, labels, value in snapshot.get("counters", ()):
+            self.counter(name, **labels).value += int(value)
+        for name, labels, data in snapshot.get("histograms", ()):
+            hist = self.histogram(name, **labels)
+            hist.count += int(data["count"])
+            hist.sum += int(data["sum"])
+            for bound in ("min", "max"):
+                incoming = data.get(bound)
+                if incoming is None:
+                    continue
+                current = getattr(hist, bound)
+                if current is None:
+                    setattr(hist, bound, int(incoming))
+                elif bound == "min":
+                    hist.min = min(current, int(incoming))
+                else:
+                    hist.max = max(current, int(incoming))
+            for i, cell in enumerate(data.get("buckets", ())):
+                if i < len(hist.buckets):
+                    hist.buckets[i] += int(cell)
+        for span in snapshot.get("spans", ()):
+            if len(self.spans) >= self.span_limit:
+                break
+            self.spans.append(dict(span))
+        return self
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Dict[str, Any]) -> "MetricsRegistry":
+        return cls().merge(snapshot)
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> MetricsRegistry:
+    """Fold many snapshots into one registry, in the given order.
+
+    This is the aggregation point behind ``run_campaign`` and
+    ``fuzz_many``: workers return per-trial snapshots, the parent merges
+    them by grid index, and the result is byte-identical to a serial
+    run at any ``REPRO_JOBS``.
+    """
+    registry = MetricsRegistry()
+    for snapshot in snapshots:
+        if snapshot:
+            registry.merge(snapshot)
+    return registry

@@ -1,0 +1,260 @@
+"""Registry collection and deterministic JSONL export.
+
+The export format is one JSON object per line, ``sort_keys`` encoded,
+rows in the registry's canonical order:
+
+* ``{"kind": "counter", "name": ..., "labels": {...}, "value": N}``
+* ``{"kind": "hist", "name": ..., "labels": {...}, "count": N,
+  "sum": N, "min": N, "max": N, "buckets": [...]}``
+* ``{"kind": "span", "vm": ..., "type": ..., "t": N, "hops": [...]}``
+
+Because every number is virtual-clock-derived, the same (scenario,
+seed) produces byte-identical exports live, replayed from its trace,
+and merged across any ``REPRO_JOBS`` fan-out — which is what makes
+``repro.obs diff`` a triage tool rather than a noise generator.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import TraceFormatError
+from repro.obs.metrics import (
+    MetricsRegistry,
+    merge_snapshots,
+    metric_scope,
+)
+
+_encode = json.JSONEncoder(sort_keys=True).encode
+
+
+# ======================================================================
+# Export
+# ======================================================================
+def export_lines(
+    snapshot: Dict[str, Any], scope: str = "pipeline"
+) -> List[str]:
+    """Render a registry snapshot as canonical JSONL lines."""
+    want_host = scope in ("host", "all")
+    want_pipeline = scope in ("pipeline", "all")
+
+    def wanted(name: str) -> bool:
+        return want_host if metric_scope(name) == "host" else want_pipeline
+
+    lines: List[str] = []
+    for name, labels, value in snapshot.get("counters", ()):
+        if wanted(name):
+            lines.append(
+                _encode(
+                    {
+                        "kind": "counter",
+                        "name": name,
+                        "labels": labels,
+                        "value": value,
+                    }
+                )
+            )
+    for name, labels, data in snapshot.get("histograms", ()):
+        if wanted(name):
+            lines.append(
+                _encode(
+                    {"kind": "hist", "name": name, "labels": labels, **data}
+                )
+            )
+    if want_pipeline:
+        for span in snapshot.get("spans", ()):
+            lines.append(_encode({"kind": "span", **span}))
+    return lines
+
+
+def export_text(snapshot: Dict[str, Any], scope: str = "pipeline") -> str:
+    lines = export_lines(snapshot, scope=scope)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ======================================================================
+# Collection: live run, trace replay, seed fan-out
+# ======================================================================
+def collect_live(scenario: str, seed: int = 0) -> Dict[str, Any]:
+    """Run a scenario live and return its registry snapshot."""
+    from repro.replay.recorder import record_scenario
+
+    return record_scenario(scenario, seed=seed).metrics
+
+
+def collect_replay(trace: Any) -> Dict[str, Any]:
+    """Replay a trace through fresh scenario auditors; snapshot."""
+    from repro.replay.source import ReplaySource
+    from repro.testing.seeds import auditors_for
+
+    registry = MetricsRegistry()
+    ReplaySource(trace, auditors_for(trace), metrics=registry).run()
+    return registry.snapshot()
+
+
+def load_trace_observed(path: str, registry: MetricsRegistry):
+    """Load a trace, counting stream truncation instead of raising.
+
+    A corrupt/truncated stream normally surfaces as a
+    :class:`TraceFormatError`; here the error's ``records_read`` context
+    becomes counted drop evidence — the partial prefix is returned and
+    the registry shows exactly where the stream ended:
+
+    * ``trace.records_salvaged{vm}`` — records recovered before the cut
+    * ``flow.dropped{vm, stage=trace-read, reason=truncated-stream}``
+    """
+    from repro.replay.format import Trace
+    from repro.replay.trace_io import TraceReader
+
+    reader = TraceReader(path)
+    vm_id = reader.header.vm_id
+    records: List[Dict[str, Any]] = []
+    try:
+        for record in reader:
+            records.append(record)
+    except TraceFormatError as exc:
+        salvaged = exc.records_read
+        if salvaged is None:
+            salvaged = len(records)
+        registry.inc("trace.records_salvaged", n=salvaged, vm=vm_id)
+        registry.inc(
+            "flow.dropped",
+            vm=vm_id,
+            stage="trace-read",
+            reason="truncated-stream",
+        )
+    trace = Trace(header=reader.header, records=records)
+    if not trace.header.event_counts:
+        trace.recount()
+    return trace
+
+
+def collect_trace(path: str) -> Dict[str, Any]:
+    """Replay a trace file; truncation becomes counted drops."""
+    from repro.replay.source import ReplaySource
+    from repro.testing.seeds import auditors_for
+
+    registry = MetricsRegistry()
+    trace = load_trace_observed(path, registry)
+    ReplaySource(trace, auditors_for(trace), metrics=registry).run()
+    return registry.snapshot()
+
+
+def _collect_task(task: Tuple[str, int, str]) -> Dict[str, Any]:
+    """Picklable per-seed entry point for the parallel executor."""
+    scenario, seed, source = task
+    if source == "live":
+        return collect_live(scenario, seed=seed)
+    from repro.replay.recorder import record_scenario
+
+    return collect_replay(record_scenario(scenario, seed=seed).trace)
+
+
+def collect_seeds(
+    scenario: str,
+    seeds: Iterable[int],
+    source: str = "replay",
+    jobs: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Collect one registry per seed and merge them **in seed order**.
+
+    The fan-out runs through :func:`repro.parallel.parallel_map`, whose
+    indexed merge makes the result byte-identical at any job count.
+    """
+    from repro.parallel import parallel_map
+
+    tasks = [(scenario, int(seed), source) for seed in seeds]
+    snapshots = parallel_map(_collect_task, tasks, jobs=jobs)
+    return merge_snapshots(snapshots).snapshot()
+
+
+# ======================================================================
+# Parsing exports back (top / diff)
+# ======================================================================
+def parse_export(lines: Iterable[str]) -> List[Dict[str, Any]]:
+    rows = []
+    for n, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"bad export line {n}: {exc}") from exc
+        if not isinstance(row, dict) or "kind" not in row:
+            raise TraceFormatError(f"bad export line {n}: not a metric row")
+        rows.append(row)
+    return rows
+
+
+def rows_for_path(path: str, scope: str = "pipeline") -> List[Dict[str, Any]]:
+    """Metric rows for a path that is either an export or a trace.
+
+    Sniffing is by first line: a trace starts with its in-band header
+    record, an export with a ``counter``/``hist``/``span`` row.  A trace
+    is replayed (through :func:`collect_trace`) to produce its rows.
+    """
+    with open(path, "rb") as fh:
+        head = fh.read(2)
+    if head[:2] == b"\x1f\x8b":  # gzip magic: must be a trace
+        return parse_export(export_lines(collect_trace(path), scope=scope))
+    with open(path, "r", encoding="utf-8") as fh:
+        first = fh.readline()
+    try:
+        record = json.loads(first) if first.strip() else {}
+    except json.JSONDecodeError:
+        record = {}
+    if isinstance(record, dict) and record.get("kind") == "header":
+        return parse_export(export_lines(collect_trace(path), scope=scope))
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_export(fh)
+
+
+def _row_key(row: Dict[str, Any]) -> str:
+    if row.get("kind") == "span":
+        return _encode(
+            {"kind": "span", "vm": row.get("vm"), "type": row.get("type"),
+             "t": row.get("t")}
+        )
+    return _encode(
+        {"kind": row.get("kind"), "name": row.get("name"),
+         "labels": row.get("labels", {})}
+    )
+
+
+def diff_rows(
+    a: List[Dict[str, Any]], b: List[Dict[str, Any]]
+) -> List[str]:
+    """Human-readable differences between two exports; empty = equal."""
+    a_map = {_row_key(row): row for row in a}
+    b_map = {_row_key(row): row for row in b}
+    out: List[str] = []
+    for key in sorted(set(a_map) | set(b_map)):
+        left = a_map.get(key)
+        right = b_map.get(key)
+        if left == right:
+            continue
+        if left is None:
+            out.append(f"only in B: {_encode(right)}")
+        elif right is None:
+            out.append(f"only in A: {_encode(left)}")
+        else:
+            out.append(f"changed: {key}\n  A: {_encode(left)}\n  B: {_encode(right)}")
+    return out
+
+
+def top_rows(
+    rows: List[Dict[str, Any]], limit: int = 10
+) -> List[Tuple[int, str]]:
+    """The ``limit`` largest counter rows as ``(value, label)`` pairs."""
+    counters = [row for row in rows if row.get("kind") == "counter"]
+    counters.sort(
+        key=lambda row: (-int(row.get("value", 0)), _row_key(row))
+    )
+    out = []
+    for row in counters[:limit]:
+        labels = row.get("labels", {})
+        rendered = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        out.append((int(row.get("value", 0)), f"{row['name']}{{{rendered}}}"))
+    return out

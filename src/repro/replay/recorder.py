@@ -255,6 +255,10 @@ class RecordedRun:
     live_alerts: Dict[str, List[dict]] = field(default_factory=dict)
     live_verdicts: List[dict] = field(default_factory=list)
     live_wall_seconds: float = 0.0
+    #: Snapshot of the live pipeline's :class:`MetricsRegistry`
+    #: (``repro.obs``) — counters, histograms and flow spans as of the
+    #: end of the run.
+    metrics: Dict = field(default_factory=dict)
 
     @property
     def live_events_per_second(self) -> float:
@@ -301,9 +305,11 @@ def record_scenario(name: str, seed: int = 0, perturb=None) -> RecordedRun:
     )
     trace = Trace(header=header, records=recorder.records)
     trace.recount()
+    registry = getattr(testbed, "metrics", None)
     return RecordedRun(
         trace=trace,
         live_alerts=alerts,
         live_verdicts=verdicts,
         live_wall_seconds=wall_seconds,
+        metrics=registry.snapshot() if registry is not None else {},
     )

@@ -34,6 +34,7 @@ from repro.errors import TraceFormatError
 from repro.hypervisor.containers import AuditingContainer
 from repro.hypervisor.event_multiplexer import HeartbeatSampler
 from repro.hypervisor.rhc import RemoteHealthChecker
+from repro.obs.metrics import MetricsRegistry
 from repro.replay.format import (
     KIND_EVENT,
     KIND_SCAN,
@@ -118,6 +119,10 @@ class ReplayHyperTap:
         self.engine = engine
         self.deriver = ReplayDeriver()
         self.vm_id = "vm0"
+        #: Observability registry auditors adopt at bind time — the
+        #: same hook the live HyperTap offers, so replayed verdicts
+        #: are accounted identically to live ones.
+        self.metrics: Optional[MetricsRegistry] = None
         self._pdbas: Set[int] = set()
         self.pause_requests = 0
 
@@ -182,10 +187,14 @@ class ReplaySource:
         rhc_sample_every: int = 64,
         perturb=None,
         collect_delivery: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.trace = trace
         self.auditors: List[Auditor] = list(auditors)
         header = trace.header
+        #: The replay pipeline's registry; pipeline-scope rows come out
+        #: byte-identical to the live run that recorded the trace.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         #: Optional seeded SchedulePerturbation: delivery is then routed
         #: through the engine queue (label ``replay-deliver``) so the
         #: policy can reorder same-instant deliveries, delay them, or
@@ -200,12 +209,15 @@ class ReplaySource:
         self.machine = ReplayMachine(header.num_vcpus, self.engine.clock)
         self.hypertap = ReplayHyperTap(self.machine, self.engine)
         self.hypertap.vm_id = header.vm_id
-        self.container = AuditingContainer(header.vm_id)
-        self.fanout = EventFanout()
+        self.hypertap.metrics = self.metrics
+        self.container = AuditingContainer(header.vm_id, metrics=self.metrics)
+        self.fanout = EventFanout(vm_id=header.vm_id, metrics=self.metrics)
         self.rhc: Optional[RemoteHealthChecker] = None
         if rhc_timeout_ns is not None:
             self.rhc = RemoteHealthChecker(self.engine, timeout_ns=rhc_timeout_ns)
-        self._sampler = HeartbeatSampler(self.rhc, rhc_sample_every)
+        self._sampler = HeartbeatSampler(
+            self.rhc, rhc_sample_every, metrics=self.metrics
+        )
         for auditor in self.auditors:
             self.container.add_auditor(auditor)
             self.fanout.subscribe(auditor, self.container)
@@ -234,6 +246,12 @@ class ReplaySource:
             if auditor.name == name and hasattr(auditor, "scan_against"):
                 return auditor
         return None
+
+    def _reject(self, reason: str) -> None:
+        """Account one graceful rejection (malformed/unreplayable)."""
+        self.metrics.inc(
+            "flow.rejected", vm=self.trace.header.vm_id, reason=reason
+        )
 
     # ------------------------------------------------------------------
     def run(self) -> ReplayReport:
@@ -267,11 +285,13 @@ class ReplaySource:
         sampler_observe = self._sampler.observe
         publish = self.fanout.publish
         from_record = GuestEvent.from_record
+        reject = self._reject
         replayed = 0
         rejected = 0
         for record in self.trace.records:
             if type(record) is not dict:
                 rejected += 1
+                reject("not-a-record")
                 continue
             kind = record.get("kind", KIND_EVENT)
             if kind != KIND_EVENT:
@@ -279,6 +299,7 @@ class ReplaySource:
                     self._replay_scan(record, report)
                 else:
                     rejected += 1
+                    reject("unknown-kind")
                 continue
             try:
                 event = from_record(record)
@@ -295,6 +316,7 @@ class ReplaySource:
                     parent = task_from_record(parent)
             except TraceFormatError:
                 rejected += 1
+                reject("decode")
                 continue
             if t_ns > clock.now:
                 if queue and queue[0].when <= t_ns:

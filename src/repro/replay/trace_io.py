@@ -192,7 +192,8 @@ class TraceReader:
                 except _STREAM_ERRORS as exc:
                     raise TraceFormatError(
                         f"{self.path}: corrupt or truncated stream "
-                        f"after record {self.records_read}: {exc}"
+                        f"after record {self.records_read}: {exc}",
+                        records_read=self.records_read,
                     ) from exc
                 if not line:
                     break

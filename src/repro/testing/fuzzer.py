@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.obs.metrics import MetricsRegistry
 from repro.replay.format import Trace
 from repro.replay.mutate import TraceMutator
 from repro.replay.source import ReplaySource
@@ -81,6 +82,10 @@ class FuzzResult:
     crashes: int = 0
     #: Iterations that contributed at least one new coverage feature.
     coverage_events: int = 0
+    #: Campaign-wide :class:`~repro.obs.metrics.MetricsRegistry`
+    #: snapshot: every iteration's replay pipeline counters, merged in
+    #: iteration order (deterministic for a fixed config).
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def unique_keys(self) -> List[str]:
@@ -105,6 +110,7 @@ class Fuzzer:
         self.oracle = DifferentialOracle()
         self._rng = RandomStreams(config.seed).stream("fuzz")
         self._progress = progress
+        self._metrics = MetricsRegistry()
 
     # ------------------------------------------------------------------
     def _replay(
@@ -114,8 +120,12 @@ class Fuzzer:
     ):
         probe = CoverageAuditor()
         auditors = auditors_for(self.base) + [probe]
-        report = ReplaySource(trace, auditors, perturb=perturb).run()
+        registry = MetricsRegistry()
+        report = ReplaySource(
+            trace, auditors, perturb=perturb, metrics=registry
+        ).run()
         probe.absorb_alerts(report.alerts)
+        self._metrics.merge(registry.snapshot())
         return report, probe.map
 
     def _draw_perturb_params(self, iter_seed: int) -> Dict[str, Any]:
@@ -231,6 +241,7 @@ class Fuzzer:
                 self._progress(i, cfg.budget, result)
 
         result.pool_size = len(pool)
+        result.metrics = self._metrics.snapshot()
         return result
 
 

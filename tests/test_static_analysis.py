@@ -289,6 +289,44 @@ class TestEventCoverage:
         assert [f.rule for f in report.findings] == ["event-coverage"]
         assert "shadow event-type registry" in report.findings[0].message
 
+    def test_event_type_without_stage_counter_label(self, tmp_path):
+        # Dropping an EventType from STAGE_COUNTER_LABELS would make its
+        # events invisible to flow accounting — a static failure.
+        root = write_tree(
+            tmp_path,
+            {
+                "repro/core/events.py": PRE_PR1_EVENTS,
+                "repro/obs/metrics.py": """
+                from repro.core.events import EventType
+
+                STAGE_COUNTER_LABELS = {
+                    EventType.SYSCALL: "flow.published",
+                    EventType.IO: "flow.published",
+                }
+                """,
+            },
+        )
+        report = run_analysis(root, selected_rules=["event-coverage"])
+        stage = [f for f in report.findings if f.path.endswith("metrics.py")]
+        messages = "\n".join(f.message for f in stage)
+        for member in ("PROCESS_SWITCH", "THREAD_SWITCH", "RAW_EXIT"):
+            assert member in messages
+        assert "SYSCALL" not in messages
+
+    def test_missing_stage_counter_table(self, tmp_path):
+        root = write_tree(
+            tmp_path,
+            {
+                "repro/core/events.py": PRE_PR1_EVENTS,
+                "repro/obs/metrics.py": "counters = {}\n",
+            },
+        )
+        report = run_analysis(root, selected_rules=["event-coverage"])
+        assert any(
+            "STAGE_COUNTER_LABELS" in f.message and f.path.endswith("metrics.py")
+            for f in report.findings
+        )
+
 
 # ======================================================================
 # determinism
@@ -351,6 +389,25 @@ class TestDeterminism:
             },
         )
         assert run_analysis(root, selected_rules=["determinism"]).findings == []
+
+    def test_wall_clock_banned_inside_repro_obs(self, tmp_path):
+        # Inside repro.obs even perf_counter-grade imports are off
+        # limits: exports must be byte-identical live vs replay, so the
+        # whole module family is flagged at the import, not the call.
+        root = write_tree(
+            tmp_path,
+            {
+                "repro/obs/sampler.py": """
+                import time
+                from datetime import datetime
+                """,
+                "repro/bench/timer.py": "import time\n",
+            },
+        )
+        report = run_analysis(root, selected_rules=["determinism"])
+        assert len(report.findings) == 2
+        assert all(f.path.endswith("sampler.py") for f in report.findings)
+        assert all("repro.obs" in f.message for f in report.findings)
 
     def test_scheduling_imports_confined_to_repro_parallel(self, tmp_path):
         # Worker completion order is ambient entropy; only the indexed

@@ -24,6 +24,13 @@ leak completion order into results.  ``multiprocessing`` and
 whose executor is *built* to erase that order (seeds travel in task
 args, results merge by index).  Anything else wanting parallelism must
 route through it — or carry an audited pragma explaining why not.
+
+Event-loop readiness order is the same hazard one layer up: which
+socket drains first is the kernel's choice, so ``asyncio``/``socket``
+imports are confined to ``repro.serve``, whose transport is built so
+wall-clock pacing stops at the frame boundary (admission and SLOs key
+on virtual ``arrival_ns`` stamps, verdict/export assembly orders by
+stream id, never by completion).
 """
 
 from __future__ import annotations
@@ -52,6 +59,15 @@ SCHEDULING_MODULES: FrozenSet[str] = frozenset(
 #: The one package allowed to touch process pools: its executor merges
 #: results by index, making completion order unobservable.
 PARALLEL_PACKAGE = "repro.parallel"
+
+#: Modules whose import implies event-loop / socket readiness order
+#: (kernel-scheduled, hence ambient entropy for anything downstream).
+ASYNC_MODULES: FrozenSet[str] = frozenset({"asyncio", "socket", "selectors"})
+
+#: The one package allowed to run an event loop: its service keys every
+#: deterministic figure on virtual arrival stamps and orders results by
+#: stream id, so socket readiness order cannot reach an export.
+SERVE_PACKAGE = "repro.serve"
 
 #: The observability package: reproducible artifacts only, so *any*
 #: wall-clock module import is forbidden inside it (``perf_counter``
@@ -111,6 +127,9 @@ class DeterminismRule(Rule):
         parallel_ok = source.module == PARALLEL_PACKAGE or source.module.startswith(
             PARALLEL_PACKAGE + "."
         )
+        serve_ok = source.module == SERVE_PACKAGE or source.module.startswith(
+            SERVE_PACKAGE + "."
+        )
         in_obs = source.module == OBS_PACKAGE or source.module.startswith(
             OBS_PACKAGE + "."
         )
@@ -122,6 +141,10 @@ class DeterminismRule(Rule):
                         yield self._finding(source, node.lineno, f"import {alias.name}")
                     elif root in SCHEDULING_MODULES and not parallel_ok:
                         yield self._scheduling_finding(
+                            source, node.lineno, f"import {alias.name}"
+                        )
+                    elif root in ASYNC_MODULES and not serve_ok:
+                        yield self._async_finding(
                             source, node.lineno, f"import {alias.name}"
                         )
                     elif root in WALL_CLOCK_MODULES and in_obs:
@@ -141,6 +164,11 @@ class DeterminismRule(Rule):
                     and not parallel_ok
                 ):
                     yield self._scheduling_finding(
+                        source, node.lineno, f"from {node.module} import ..."
+                    )
+                    continue
+                if node.module.split(".")[0] in ASYNC_MODULES and not serve_ok:
+                    yield self._async_finding(
                         source, node.lineno, f"from {node.module} import ..."
                     )
                     continue
@@ -191,4 +219,15 @@ class DeterminismRule(Rule):
             "worker completion order is ambient entropy — fan work out "
             "through repro.parallel.parallel_map, which merges results "
             "by index and keeps output byte-identical to a serial run",
+        )
+
+    def _async_finding(self, source: SourceFile, line: int, what: str) -> Finding:
+        return self.finding(
+            source.rel,
+            line,
+            f"event-loop/socket primitive '{what}' outside {SERVE_PACKAGE}; "
+            "socket readiness order is kernel-scheduled entropy — serve "
+            "streams through repro.serve, whose transport keys every "
+            "deterministic figure on virtual arrival stamps and orders "
+            "results by stream id",
         )

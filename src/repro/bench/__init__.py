@@ -7,7 +7,9 @@ appends one ``BENCH_<n>.json`` entry to the ledger directory
 * replay throughput (events/sec through :mod:`repro.replay`),
 * fault-campaign throughput (trials/sec, serial and parallel, plus the
   measured speedup at the requested job count),
-* wall time per experiment figure (the :mod:`repro.experiments` grid).
+* wall time per experiment figure (the :mod:`repro.experiments` grid),
+* service SLOs (:mod:`repro.serve`): sustained events/sec ingested and
+  p99 exit-to-verdict latency under a seeded burst.
 
 Entries are numbered, never overwritten, and comparable: ``--check``
 diffs the fresh measurements against the most recent existing entry and
@@ -206,6 +208,80 @@ def measure_obs(
     }
 
 
+#: The serve SLO workload: spike profile at a fixed seed — the
+#: p99-under-burst column tracks exactly this plan.
+SERVE_PROFILE = "spike"
+SERVE_SEED = 0
+
+
+def measure_serve(scale: float = 1.0) -> Dict[str, Any]:
+    """Service-mode SLO columns (:mod:`repro.serve`).
+
+    Runs a seeded spike-profile load plan through the same whole-stream
+    task the socket service shards
+    (:func:`repro.serve.pipeline.run_stream_spec`), socket-free — the
+    transport paces frame delivery but cannot move these numbers.  Two
+    columns enter the ledger:
+
+    * ``serve_sustained_events_per_s`` — wall-measured ingest rate,
+      thresholded like every other throughput;
+    * ``serve_p99_exit_to_verdict_ns`` — p99 exit-to-verdict latency
+      under the burst.  Like the ``obs_*`` columns this is a pure
+      function of the virtual clocks, so ``--check`` compares it
+      exactly: any drift means admission or pipeline behaviour changed.
+    """
+    from repro.obs.metrics import Histogram, merge_snapshots
+    from repro.serve.load import build_plan
+    from repro.serve.pipeline import run_stream_spec
+
+    streams = max(2, int(round(4 * scale)))
+    plan = build_plan(SERVE_PROFILE, SERVE_SEED, streams)
+    t0 = perf_counter()
+    results = [run_stream_spec(spec) for spec in plan]
+    wall = perf_counter() - t0
+
+    offered = sum(r["payload"]["offered"] for r in results)
+    admitted = sum(r["payload"]["admitted"] for r in results)
+    dropped: Dict[str, int] = {}
+    for result in results:
+        for reason, n in (result["payload"]["dropped"] or {}).items():
+            dropped[reason] = dropped.get(reason, 0) + n
+
+    merged = merge_snapshots(r["snapshot"] for r in results)
+    latency = Histogram()
+    for name, _labels, hist in merged.histogram_rows():
+        if name != "serve.latency.exit_to_verdict_ns":
+            continue
+        latency.count += hist.count
+        latency.sum += hist.sum
+        if hist.min is not None:
+            latency.min = (
+                hist.min if latency.min is None else min(latency.min, hist.min)
+            )
+        if hist.max is not None:
+            latency.max = (
+                hist.max if latency.max is None else max(latency.max, hist.max)
+            )
+        for i, cell in enumerate(hist.buckets):
+            latency.buckets[i] += cell
+
+    return {
+        "profile": SERVE_PROFILE,
+        "seed": SERVE_SEED,
+        "streams": streams,
+        "events": offered,
+        "admitted": admitted,
+        "dropped": dropped,
+        "wall_s": wall,
+        "sustained_events_per_s": offered / wall if wall > 0 else 0.0,
+        "p50_exit_to_verdict_ns": latency.percentile(0.5),
+        "p99_exit_to_verdict_ns": latency.percentile(0.99),
+        "reproduced": all(
+            r["payload"]["reproduced"] is not False for r in results
+        ),
+    }
+
+
 def measure_figures(
     figures: Tuple[str, ...] = STANDARD_FIGURES, scale: float = 1.0
 ) -> Dict[str, float]:
@@ -239,6 +315,8 @@ def collect(
     campaign = measure_campaign(scale=scale, jobs=jobs)
     say("observability columns ...")
     obs = measure_obs()
+    say("serve SLOs ...")
+    serve = measure_serve(scale=scale)
     say(f"figures {', '.join(figures) or '(none)'} ...")
     figure_walls = measure_figures(figures, scale=scale)
     return {
@@ -258,8 +336,15 @@ def collect(
             "figure_wall_s": figure_walls,
             "obs_exit_rate_per_sim_s": obs["exit_rate_per_sim_s"],
             "obs_exit_to_verdict_mean_ns": obs["exit_to_verdict_mean_ns"],
+            "serve_sustained_events_per_s": serve["sustained_events_per_s"],
+            "serve_p99_exit_to_verdict_ns": serve["p99_exit_to_verdict_ns"],
         },
-        "detail": {"replay": replay, "campaign": campaign, "obs": obs},
+        "detail": {
+            "replay": replay,
+            "campaign": campaign,
+            "obs": obs,
+            "serve": serve,
+        },
     }
 
 
@@ -307,6 +392,7 @@ _HIGHER_IS_BETTER = (
     "replay_events_per_s",
     "campaign_trials_per_s_serial",
     "campaign_trials_per_s_parallel",
+    "serve_sustained_events_per_s",
 )
 
 #: Per-scenario metric maps that are pure functions of the virtual
@@ -316,6 +402,11 @@ _DETERMINISTIC_METRIC_MAPS = (
     "obs_exit_rate_per_sim_s",
     "obs_exit_to_verdict_mean_ns",
 )
+
+#: Scalar metrics that are pure functions of the virtual clocks,
+#: compared exactly like the maps above.  Keys missing on either side
+#: are skipped so older entries stay comparable as columns are added.
+_DETERMINISTIC_SCALARS = ("serve_p99_exit_to_verdict_ns",)
 
 
 def _relative_change(previous: float, current: float) -> float:
@@ -378,6 +469,14 @@ def compare_entries(
                     f"{cur_map[scenario]:,.1f} (deterministic metric "
                     "drifted: pipeline behaviour changed)"
                 )
+    for name in _DETERMINISTIC_SCALARS:
+        if name not in prev_m or name not in cur_m:
+            continue
+        if prev_m[name] != cur_m[name]:
+            problems.append(
+                f"{name}: {prev_m[name]} -> {cur_m[name]} "
+                "(deterministic metric drifted: pipeline behaviour changed)"
+            )
     return problems
 
 
@@ -395,5 +494,6 @@ __all__ = [
     "measure_figures",
     "measure_obs",
     "measure_replay",
+    "measure_serve",
     "write_entry",
 ]

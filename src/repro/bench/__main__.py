@@ -132,6 +132,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"obs {scenario}: {rate:,.0f} exits/sim-s, "
             f"exit->verdict mean {mean_ns:,.0f} ns"
         )
+    serve_p99 = metrics["serve_p99_exit_to_verdict_ns"]
+    print(
+        "serve sustained:    "
+        f"{metrics['serve_sustained_events_per_s']:,.0f} events/s ingested, "
+        "burst p99 exit->verdict "
+        + (f"{serve_p99:,.0f} ns" if serve_p99 is not None else "n/a")
+    )
     if not entry["detail"]["campaign"]["parallel_identical"]:
         print(
             "ERROR: parallel campaign diverged from the serial run",

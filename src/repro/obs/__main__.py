@@ -17,6 +17,10 @@ Typical uses::
     python -m repro.obs top tests/data/golden_exploit.jsonl
     python -m repro.obs diff baseline_obs.jsonl mutated_obs.jsonl
 
+    # ``-`` reads stdin (trace or export, plain or gzipped), so serve
+    # output pipes straight into triage without temp files:
+    python -m repro.serve load ... --export | python -m repro.obs top -
+
 ``diff`` exits 1 when the exports differ — fuzz triage keys on that.
 """
 
@@ -49,7 +53,10 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="export pipeline metrics as deterministic JSONL"
     )
     report.add_argument(
-        "trace", nargs="?", default=None, help="trace file to replay"
+        "trace",
+        nargs="?",
+        default=None,
+        help="trace file to replay ('-' reads the trace from stdin)",
     )
     report.add_argument("--scenario", default=None, help="named scenario")
     report.add_argument("--seed", type=int, default=0)
@@ -78,15 +85,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     top = sub.add_parser("top", help="largest counters in an export/trace")
-    top.add_argument("path", help="metrics export (JSONL) or trace file")
+    top.add_argument(
+        "path", help="metrics export (JSONL) or trace file ('-' for stdin)"
+    )
     top.add_argument("-n", "--limit", type=int, default=10)
     top.add_argument("--scope", choices=SCOPES, default="pipeline")
 
     diff = sub.add_parser(
         "diff", help="compare two exports (or traces); exit 1 on differences"
     )
-    diff.add_argument("a", help="first export or trace")
-    diff.add_argument("b", help="second export or trace")
+    diff.add_argument("a", help="first export or trace ('-' for stdin)")
+    diff.add_argument("b", help="second export or trace ('-' for stdin)")
     diff.add_argument("--scope", choices=SCOPES, default="pipeline")
     return parser
 

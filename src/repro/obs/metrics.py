@@ -30,6 +30,7 @@ slice where a trace replay must reproduce the live run bit-for-bit.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.events import EventType
@@ -71,8 +72,27 @@ STAGE_COUNTER_LABELS: Dict[EventType, str] = {
     EventType.RAW_EXIT: "flow.published",
 }
 
+#: Every ``reason`` label a ``flow.dropped`` increment may carry.  The
+#: event-coverage static rule cross-checks this set against the call
+#: sites: a drop reason minted ad hoc would fragment triage queries
+#: (``obs diff`` keys on exact label rows) and dodge the accounting
+#: identity ``delivered + dropped + rejected == published`` that the
+#: serve smoke job asserts.
+DROP_REASONS = frozenset(
+    {
+        "crash",
+        "quarantined",
+        "truncated-stream",
+        "backpressure",
+        "overflow",
+    }
+)
+
 #: Name prefixes belonging to the hypervisor-side (live-only) scope.
-_HOST_PREFIXES = ("exits", "ef.", "em.", "heartbeat.")
+#: ``transport.`` covers the serve socket layer: bytes/frames/credits
+#: are wall-clock-paced and may legitimately differ run to run, so they
+#: must not pollute the reproducible pipeline export.
+_HOST_PREFIXES = ("exits", "ef.", "em.", "heartbeat.", "transport.")
 
 SCOPES = ("pipeline", "host", "all")
 
@@ -132,6 +152,36 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> Optional[int]:
+        """The ``q``-quantile resolved to a bucket upper bound (ns).
+
+        Returns the smallest bucket bound whose cumulative count covers
+        ``ceil(q * count)`` observations, clamped to the recorded
+        ``[min, max]`` range; ``None`` when the histogram is empty.
+        Because buckets are fixed and summation is commutative, the
+        result is identical however per-stream histograms were merged —
+        which is what lets a p99 land in the performance ledger as an
+        exact-compare column.
+        """
+        if not self.count:
+            return None
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q!r}")
+        target = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        for i, bound in enumerate(BUCKET_BOUNDS_NS):
+            cumulative += self.buckets[i]
+            if cumulative >= target:
+                value = bound
+                if self.max is not None:
+                    value = min(value, self.max)
+                if self.min is not None:
+                    value = max(value, self.min)
+                return value
+        # Overflow bucket: every bound is exceeded; the max is the best
+        # (and only deterministic) upper estimate.
+        return self.max
 
 
 class MetricsRegistry:

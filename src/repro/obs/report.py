@@ -16,7 +16,10 @@ and merged across any ``REPRO_JOBS`` fan-out — which is what makes
 
 from __future__ import annotations
 
+import gzip
 import json
+import sys
+import zlib
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import TraceFormatError
@@ -131,14 +134,49 @@ def load_trace_observed(path: str, registry: MetricsRegistry):
 
 
 def collect_trace(path: str) -> Dict[str, Any]:
-    """Replay a trace file; truncation becomes counted drops."""
+    """Replay a trace file; truncation becomes counted drops.
+
+    ``-`` reads the trace from stdin (plain or gzipped JSONL).
+    """
     from repro.replay.source import ReplaySource
     from repro.testing.seeds import auditors_for
 
+    if path == "-":
+        return collect_trace_text(_stdin_text())
     registry = MetricsRegistry()
     trace = load_trace_observed(path, registry)
     ReplaySource(trace, auditors_for(trace), metrics=registry).run()
     return registry.snapshot()
+
+
+def collect_trace_text(text: str) -> Dict[str, Any]:
+    """Replay a trace already held as JSONL text; snapshot."""
+    from repro.replay.source import ReplaySource
+    from repro.replay.trace_io import loads_trace
+    from repro.testing.seeds import auditors_for
+
+    registry = MetricsRegistry()
+    trace = loads_trace(text)
+    ReplaySource(trace, auditors_for(trace), metrics=registry).run()
+    return registry.snapshot()
+
+
+def _stdin_text() -> str:
+    """Stdin as text; transparent gunzip so ``cmd | obs top -`` works
+    on compressed streams too.  Bad bytes surface as the usual typed
+    error (one line, exit 2) rather than a traceback."""
+    data = sys.stdin.buffer.read()
+    if data[:2] == b"\x1f\x8b":
+        try:
+            data = gzip.decompress(data)
+        except (OSError, EOFError, zlib.error) as exc:
+            raise TraceFormatError(
+                f"stdin: corrupt gzip stream: {exc}"
+            ) from exc
+    try:
+        return data.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise TraceFormatError(f"stdin: not utf-8 text: {exc}") from exc
 
 
 def _collect_task(task: Tuple[str, int, str]) -> Dict[str, Any]:
@@ -188,13 +226,36 @@ def parse_export(lines: Iterable[str]) -> List[Dict[str, Any]]:
     return rows
 
 
+def rows_from_text(text: str, scope: str = "pipeline") -> List[Dict[str, Any]]:
+    """Metric rows for in-memory text: a trace is replayed, an export
+    is parsed.  Same first-line sniff as :func:`rows_for_path`."""
+    first = ""
+    for line in text.splitlines():
+        if line.strip():
+            first = line
+            break
+    try:
+        record = json.loads(first) if first.strip() else {}
+    except json.JSONDecodeError:
+        record = {}
+    if isinstance(record, dict) and record.get("kind") == "header":
+        return parse_export(
+            export_lines(collect_trace_text(text), scope=scope)
+        )
+    return parse_export(text.splitlines())
+
+
 def rows_for_path(path: str, scope: str = "pipeline") -> List[Dict[str, Any]]:
     """Metric rows for a path that is either an export or a trace.
 
     Sniffing is by first line: a trace starts with its in-band header
     record, an export with a ``counter``/``hist``/``span`` row.  A trace
     is replayed (through :func:`collect_trace`) to produce its rows.
+    ``-`` reads whichever of the two stdin holds (once — at most one
+    argument per invocation can be ``-``).
     """
+    if path == "-":
+        return rows_from_text(_stdin_text(), scope=scope)
     with open(path, "rb") as fh:
         head = fh.read(2)
     if head[:2] == b"\x1f\x8b":  # gzip magic: must be a trace

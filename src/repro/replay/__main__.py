@@ -194,7 +194,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (TraceFormatError, FileNotFoundError, KeyError) as exc:
+    except (TraceFormatError, OSError, KeyError) as exc:
+        # The documented CLI contract: bad input is a one-line error
+        # and exit 2, never a traceback.  OSError covers the whole
+        # filesystem surface (missing file, directory path, EACCES),
+        # not just FileNotFoundError.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

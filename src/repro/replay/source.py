@@ -221,6 +221,11 @@ class ReplaySource:
         for auditor in self.auditors:
             self.container.add_auditor(auditor)
             self.fanout.subscribe(auditor, self.container)
+        # Incremental-feed state (the repro.serve entry point); armed by
+        # stream_begin, cleared by stream_end.
+        self._stream_report: Optional[ReplayReport] = None
+        self._stream_horizon: Optional[int] = None
+        self._stream_wall = 0.0
 
     # ------------------------------------------------------------------
     def _advance_to(self, t_ns: int) -> None:
@@ -350,6 +355,98 @@ class ReplaySource:
         report.container_failed = self.container.failed
         report.failure_reason = self.container.failure_reason
         report.rhc_alarmed = self.rhc.alarmed if self.rhc is not None else False
+
+    # ------------------------------------------------------------------
+    # Incremental streaming: the repro.serve entry point.  One record
+    # at a time, same per-record semantics as the batch loop in run(),
+    # so a record sequence produces identical verdicts and
+    # pipeline-scope metrics whichever entry point drove it.  The batch
+    # loop keeps its hoisted-locals form because it is the
+    # ledger-gated hot path; this path trades that for incrementality.
+    # ------------------------------------------------------------------
+    def stream_begin(self) -> ReplayReport:
+        """Arm the pipeline for incremental feeding.
+
+        Call once, then :meth:`stream_feed` per record, then
+        :meth:`stream_end`.  Mutually exclusive with :meth:`run` and
+        with schedule perturbation (a perturbed schedule needs the whole
+        record set up front).
+        """
+        if self.perturb is not None:
+            raise TraceFormatError(
+                "streaming replay does not support schedule perturbation"
+            )
+        if self._stream_report is not None:
+            raise TraceFormatError("stream_begin called twice")
+        report = ReplayReport(scenario=self.trace.header.scenario)
+        self._stream_report = report
+        self._stream_wall = time.perf_counter()
+        self._stream_horizon = self._horizon()
+        self._advance_to(self.trace.header.start_ns)
+        if self.rhc is not None:
+            self.rhc.start()
+        for auditor in self.auditors:
+            auditor.bind(self.hypertap)
+        return report
+
+    def stream_feed(self, record: Any) -> bool:
+        """Replay one record; ``False`` means a graceful rejection."""
+        report = self._stream_report
+        if report is None:
+            raise TraceFormatError("stream_feed before stream_begin")
+        if type(record) is not dict:
+            report.events_rejected += 1
+            self._reject("not-a-record")
+            return False
+        kind = record.get("kind", KIND_EVENT)
+        if kind != KIND_EVENT:
+            if kind == KIND_SCAN:
+                self._replay_scan(record, report)
+                return True
+            report.events_rejected += 1
+            self._reject("unknown-kind")
+            return False
+        try:
+            event = GuestEvent.from_record(record)
+            t_ns = event.time_ns
+            horizon = self._stream_horizon
+            if horizon is not None and t_ns > horizon:
+                raise TraceFormatError(
+                    f"timestamp {t_ns} beyond trace horizon"
+                )
+            task = record.get("task")
+            if task is not None:
+                task = task_from_record(task)
+            parent = record.get("parent")
+            if parent is not None:
+                parent = task_from_record(parent)
+        except TraceFormatError:
+            report.events_rejected += 1
+            self._reject("decode")
+            return False
+        self._advance_to(t_ns)
+        self.hypertap.deriver.observe(event, task, parent)
+        self.hypertap.observe(event)
+        self._sampler.observe(t_ns)
+        self.fanout.publish(event)
+        report.events_replayed += 1
+        return True
+
+    def stream_end(self, end_ns: Optional[int] = None) -> ReplayReport:
+        """Close the stream: play out tail silence, finalize verdicts."""
+        report = self._stream_report
+        if report is None:
+            raise TraceFormatError("stream_end before stream_begin")
+        target = end_ns if end_ns is not None else self.trace.header.end_ns
+        if target is not None:
+            horizon = self._stream_horizon
+            if horizon is not None:
+                target = min(target, horizon)
+            self._advance_to(target)
+        report.wall_seconds = time.perf_counter() - self._stream_wall
+        self._finalize(report)
+        self._stream_report = None
+        return report
 
     # ------------------------------------------------------------------
     # Perturbed delivery: every record is routed through the engine

@@ -266,6 +266,62 @@ def load_trace(path: str) -> Trace:
     return trace
 
 
+def loads_trace(text: str) -> Trace:
+    """Parse a JSONL string into a trace (inverse of :func:`dumps_trace`).
+
+    Line semantics match :class:`TraceReader` — malformed body lines
+    are skipped, footer counts fold into the header — but the text is
+    already in memory, so there is no byte stream left to break: only a
+    missing/invalid header raises.  This is what lets ``repro.obs``
+    accept a trace on stdin (``report -``).
+    """
+    lines = iter(text.splitlines())
+    header: Optional[TraceHeader] = None
+    for line in lines:
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(
+                f"<stream>: bad trace header line: {exc}"
+            ) from exc
+        if not isinstance(record, dict):
+            raise TraceFormatError("<stream>: header record is not an object")
+        header = TraceHeader.from_record(record)
+        break
+    if header is None:
+        raise TraceFormatError("<stream>: empty trace input")
+    records: List[Dict[str, Any]] = []
+    for line in lines:
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if not isinstance(record, dict):
+            continue
+        kind = record.get("kind")
+        if kind == KIND_FOOTER:
+            counts = record.get("event_counts")
+            if isinstance(counts, dict) and not header.event_counts:
+                header.event_counts = {
+                    str(k): int(v) for k, v in counts.items()
+                }
+            end_ns = record.get("end_ns")
+            if isinstance(end_ns, int) and header.end_ns is None:
+                header.end_ns = end_ns
+            continue
+        if kind == KIND_HEADER:  # duplicated header: corrupt, skip
+            continue
+        records.append(record)
+    trace = Trace(header=header, records=records)
+    if not trace.header.event_counts:
+        trace.recount()
+    return trace
+
+
 def dumps_trace(trace: Trace) -> str:
     """Serialize a trace to a JSONL string (tests, goldens)."""
     trace.recount()

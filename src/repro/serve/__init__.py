@@ -1,0 +1,61 @@
+"""Streaming monitoring service over the replay pipeline.
+
+``repro.serve`` is the repo's front door for *continuous* monitoring:
+many producers push versioned trace streams over a local socket
+(``python -m repro.serve run``), the service demultiplexes each stream
+into its own EM/auditor pipeline (the exact :class:`ReplaySource` path
+batch replay uses, sharded across ``repro.parallel`` workers), applies
+bounded-queue admission with explicit backpressure, and reports
+per-stream verdicts with exit-to-verdict latency percentiles.
+
+Determinism argument (DESIGN.md 5g has the long form): the asyncio
+transport is wall-clock-paced and therefore nondeterministic, so no
+pipeline-visible number may depend on it.  Every SLO figure — queue
+waits, drops, latency percentiles, verdicts — is computed in a
+*virtual arrival clock* carried inside the frames themselves: the load
+generator stamps seeded arrival times, the
+:class:`~repro.serve.admission.AdmissionModel` evaluates the bounded
+queue as a pure function of that stamped sequence, and per-stream
+pipelines are fully independent, merged in stream-id order at export
+time.  The result: ``serve load --profile spike --seed N`` against a
+running service is byte-reproducible — same verdicts, same obs export —
+however the event loop interleaved the connections.  Transport-level
+counters (``transport.*``) are wall-side and live in the host metric
+scope, outside the reproducible export.
+
+``asyncio``/``socket`` use is confined to this package the same way
+``multiprocessing`` is confined to ``repro.parallel``; the static
+determinism rule enforces the boundary.
+"""
+
+from repro.serve.admission import (
+    DEFAULT_MAX_WAIT_NS,
+    DEFAULT_QUEUE_LIMIT,
+    DEFAULT_SERVICE_NS,
+    POLICIES,
+    AdmissionDecision,
+    AdmissionModel,
+)
+from repro.serve.pipeline import (
+    SERVE_STAGE,
+    StreamConfig,
+    StreamPipeline,
+    StreamResult,
+    merged_export_lines,
+    run_stream_spec,
+)
+
+__all__ = [
+    "AdmissionDecision",
+    "AdmissionModel",
+    "DEFAULT_MAX_WAIT_NS",
+    "DEFAULT_QUEUE_LIMIT",
+    "DEFAULT_SERVICE_NS",
+    "POLICIES",
+    "SERVE_STAGE",
+    "StreamConfig",
+    "StreamPipeline",
+    "StreamResult",
+    "merged_export_lines",
+    "run_stream_spec",
+]

@@ -1,0 +1,211 @@
+"""CLI: ``python -m repro.serve {run,load}``.
+
+* ``run``  — serve trace streams on a local socket until a producer
+  sends ``shutdown`` (or Ctrl-C); optionally write the merged
+  deterministic export at exit;
+* ``load`` — push a seeded burst profile at a running service, print
+  one verdict JSON per stream (sorted by stream id), optionally the
+  merged export, and gate on the accounting identity with ``--check``.
+
+Byte-reproducibility contract: for a fixed ``(--profile, --seed,
+--streams, --rate, jobs)`` the verdict lines and the pipeline-scope
+export are identical bytes run after run — the transport's wall-clock
+pacing cannot reach them.
+
+Exit codes follow the repo-wide CLI contract: bad input (unreachable
+socket, malformed frames, unknown scenario) is a one-line ``error:``
+message and exit 2, never a traceback; ``--check`` failures exit 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from typing import List, Optional
+
+from repro.errors import TraceFormatError
+from repro.obs.metrics import SCOPES
+from repro.parallel import job_count
+from repro.replay.recorder import SCENARIOS
+from repro.serve.load import (
+    DEFAULT_RATE,
+    PROFILES,
+    build_plan,
+    check_payloads,
+    run_load,
+)
+from repro.serve.pipeline import StreamConfig
+from repro.serve.service import StreamService
+
+_encode = json.JSONEncoder(sort_keys=True).encode
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Streaming monitoring service with deterministic SLOs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="serve trace streams on a local socket")
+    run.add_argument("--socket", default="serve.sock",
+                     help="UNIX socket path to listen on")
+    run.add_argument("--jobs", type=int, default=None,
+                     help="pipeline worker shards (default: REPRO_JOBS)")
+    run.add_argument("--queue-limit", type=int, default=None,
+                     help="bounded per-stream admission queue depth")
+    run.add_argument("--service-ns", type=int, default=None,
+                     help="modelled per-event service cost (ns)")
+    run.add_argument("--max-wait-ns", type=int, default=None,
+                     help="pace policy: max queue wait before shedding")
+    run.add_argument("--policy", choices=("pace", "drop"), default=None,
+                     help="admission policy (default: pace)")
+    run.add_argument("--export", default=None,
+                     help="write merged export JSONL here at shutdown "
+                          "('-' for stdout)")
+    run.add_argument("--scope", choices=SCOPES, default="pipeline",
+                     help="scope for --export (default: pipeline)")
+
+    load = sub.add_parser("load", help="drive a seeded burst profile")
+    load.add_argument("--socket", default="serve.sock",
+                      help="UNIX socket path of a running service")
+    load.add_argument("--profile", choices=PROFILES, default="spike")
+    load.add_argument("--seed", type=int, default=0)
+    load.add_argument("--streams", type=int, default=4,
+                      help="concurrent producer streams")
+    load.add_argument("--scenarios", default="exploit",
+                      help="comma-separated scenario names to cycle")
+    load.add_argument("--rate", type=float, default=DEFAULT_RATE,
+                      help="base arrival rate (events/s, virtual time)")
+    load.add_argument("--queue-limit", type=int, default=None,
+                      help="override the service's queue depth")
+    load.add_argument("--service-ns", type=int, default=None)
+    load.add_argument("--max-wait-ns", type=int, default=None)
+    load.add_argument("--policy", choices=("pace", "drop"), default=None)
+    load.add_argument("--export", default=None,
+                      help="write the merged pipeline export here "
+                           "('-' for stdout)")
+    load.add_argument("--scope", choices=SCOPES, default="pipeline")
+    load.add_argument("--check", action="store_true",
+                      help="exit 1 unless every drop is accounted and "
+                           "lossless streams reproduced their verdicts")
+    load.add_argument("--shutdown", action="store_true",
+                      help="send shutdown to the service afterwards")
+    load.add_argument("--no-slowdown", action="store_true",
+                      help="ignore slowdown frames (transport-side only)")
+    return parser
+
+
+def _config_overrides(args: argparse.Namespace) -> dict:
+    overrides = {}
+    if args.queue_limit is not None:
+        overrides["queue_limit"] = args.queue_limit
+    if args.service_ns is not None:
+        overrides["service_ns"] = args.service_ns
+    if args.max_wait_ns is not None:
+        overrides["max_wait_ns"] = args.max_wait_ns
+    if args.policy is not None:
+        overrides["policy"] = args.policy
+    return overrides
+
+
+def _write_lines(path: str, lines: List[str]) -> None:
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if path == "-":
+        sys.stdout.write(text)
+    else:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+
+
+async def _cmd_run(args: argparse.Namespace) -> int:
+    config = StreamConfig.from_payload(
+        {**StreamConfig().to_payload(), **_config_overrides(args)}
+    )
+    jobs = args.jobs if args.jobs is not None else job_count()
+    service = StreamService(args.socket, jobs=jobs, config=config)
+    await service.start()
+    print(
+        f"serving on {args.socket} (jobs={service.jobs}, "
+        f"policy={config.policy}, queue_limit={config.queue_limit})",
+        flush=True,
+    )
+    try:
+        await service.wait_shutdown()
+    finally:
+        await service.stop()
+    print(
+        f"served {len(service.payloads)} stream(s); shutting down",
+        file=sys.stderr,
+    )
+    if args.export is not None:
+        _write_lines(args.export, service.export(args.scope))
+    return 0
+
+
+async def _cmd_load(args: argparse.Namespace) -> int:
+    scenarios = [s.strip() for s in args.scenarios.split(",") if s.strip()]
+    for scenario in scenarios:
+        if scenario not in SCENARIOS:
+            raise TraceFormatError(
+                f"unknown scenario {scenario!r} "
+                f"(recordable: {', '.join(sorted(SCENARIOS))})"
+            )
+    if not scenarios:
+        raise TraceFormatError("no scenarios given")
+    plan = build_plan(
+        args.profile,
+        args.seed,
+        args.streams,
+        scenarios=scenarios,
+        rate=args.rate,
+        config=_config_overrides(args) or None,
+    )
+    result = await run_load(
+        args.socket,
+        plan,
+        export_scope=args.scope if args.export is not None else None,
+        shutdown=args.shutdown,
+        honor_slowdown=not args.no_slowdown,
+    )
+    # With --export - the export owns stdout (so it pipes straight
+    # into `python -m repro.obs top -`); verdicts move to stderr.
+    verdict_out = sys.stderr if args.export == "-" else sys.stdout
+    for payload in result["verdicts"]:
+        print(_encode(payload), file=verdict_out)
+    if args.export is not None and result["export"] is not None:
+        _write_lines(args.export, result["export"])
+    print(
+        f"load complete: {len(result['verdicts'])} stream(s), "
+        f"{result['slowdowns']} slowdown signal(s)",
+        file=sys.stderr,
+    )
+    if args.check:
+        problems = check_payloads(result["verdicts"])
+        for problem in problems:
+            print(f"CHECK FAILED: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print("check passed: all drops accounted for", file=sys.stderr)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return asyncio.run(_cmd_run(args))
+        return asyncio.run(_cmd_load(args))
+    except KeyboardInterrupt:
+        return 0
+    except (TraceFormatError, OSError, ValueError) as exc:
+        # The repo-wide CLI contract: bad input is a one-line error
+        # and exit 2, never a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,328 @@
+"""Seeded load generation: deterministic burst profiles + the client.
+
+The generator answers "what does the monitoring service do under
+heavy traffic?" reproducibly.  A *plan* is built offline: each stream
+gets a recorded scenario trace as its event source and a seeded
+arrival schedule — virtual timestamps produced by
+:class:`~repro.sim.rng.RandomStreams`, so the same ``(profile, seed,
+streams, rate)`` always stamps the same arrivals.  The client then
+pushes the plan over the socket at whatever pace the wall clock and
+credit window allow; pacing affects only *when* frames move, never
+what the service computes, because every SLO figure keys on the
+stamped arrivals.
+
+Profiles
+--------
+* ``sustained`` — steady ``rate`` events/s with ±10 % jitter;
+* ``ramp``     — rate climbing linearly from 0.25× to 2× ``rate``;
+* ``spike``    — 0.5× ``rate`` background with a 40× burst through the
+  middle fifth of the stream (the p99-under-burst workload the
+  performance ledger tracks).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.replay.format import Trace
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    expect,
+)
+from repro.sim.rng import RandomStreams
+
+PROFILES = ("sustained", "ramp", "spike")
+
+DEFAULT_RATE = 2000.0
+DEFAULT_SCENARIOS = ("exploit",)
+
+#: How long a producer backs off after a ``slowdown`` frame (wall
+#: seconds; transport-side only).
+SLOWDOWN_SLEEP_S = 0.002
+
+
+# ======================================================================
+# Seeded arrival schedules
+# ======================================================================
+def _profile_rate(profile: str, rate: float, i: int, count: int) -> float:
+    frac = i / max(1, count - 1)
+    if profile == "sustained":
+        return rate
+    if profile == "ramp":
+        return rate * (0.25 + 1.75 * frac)
+    if profile == "spike":
+        return rate * (40.0 if 0.4 <= frac < 0.6 else 0.5)
+    raise ValueError(f"unknown profile {profile!r} (want one of {PROFILES})")
+
+
+def arrival_offsets(
+    profile: str, seed: int, stream_id: str, count: int, rate: float
+) -> List[int]:
+    """``count`` non-decreasing virtual arrival offsets (ns from 0)."""
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate!r}")
+    streams = RandomStreams(seed)
+    name = f"serve-load:{profile}:{stream_id}"
+    offsets: List[int] = []
+    t = 0
+    for i in range(count):
+        gap_ns = int(1e9 / _profile_rate(profile, rate, i, count))
+        t += streams.jitter_ns(name, gap_ns, 0.1)
+        offsets.append(t)
+    return offsets
+
+
+def build_plan(
+    profile: str,
+    seed: int,
+    streams: int,
+    scenarios: Sequence[str] = DEFAULT_SCENARIOS,
+    rate: float = DEFAULT_RATE,
+    config: Optional[Dict[str, Any]] = None,
+) -> List[Dict[str, Any]]:
+    """Build the per-stream specs a load run will push.
+
+    Each spec is exactly the :func:`repro.serve.pipeline.run_stream_spec`
+    input, so benchmarks can run a plan socket-free through the same
+    code path the service drives.
+    """
+    from repro.replay.recorder import record_scenario
+
+    if profile not in PROFILES:
+        raise ValueError(f"unknown profile {profile!r} (want one of {PROFILES})")
+    if streams < 1:
+        raise ValueError(f"streams must be >= 1, got {streams}")
+    traces: Dict[str, Trace] = {}
+    plan: List[Dict[str, Any]] = []
+    for k in range(streams):
+        scenario = scenarios[k % len(scenarios)]
+        if scenario not in traces:
+            traces[scenario] = record_scenario(scenario, seed=0).trace
+        trace = traces[scenario]
+        stream_id = f"{profile}-s{seed}-{k:03d}-{scenario}"
+        offsets = arrival_offsets(
+            profile, seed, stream_id, len(trace.records), rate
+        )
+        start_ns = trace.header.start_ns
+        plan.append(
+            {
+                "stream": stream_id,
+                "header": trace.header.to_record(),
+                "records": trace.records,
+                "arrivals": [start_ns + off for off in offsets],
+                "end_ns": trace.header.end_ns,
+                "config": dict(config) if config else None,
+            }
+        )
+    return plan
+
+
+# ======================================================================
+# Result checking (the serve-smoke gate)
+# ======================================================================
+def check_payloads(payloads: List[Dict[str, Any]]) -> List[str]:
+    """Assert the accounting identity on verdict payloads.
+
+    Every offered event must be accounted for — admitted or dropped
+    under a named reason (``offered == admitted + sum(dropped)``); a
+    lossless stream must have reproduced its recorded live verdicts;
+    and the latency summary must be populated.  Returns problems
+    (empty = pass).
+    """
+    problems: List[str] = []
+    for payload in payloads:
+        stream = payload.get("stream", "?")
+        offered = payload.get("offered", 0)
+        admitted = payload.get("admitted", 0)
+        dropped = payload.get("dropped") or {}
+        explained = admitted + sum(dropped.values())
+        if offered != explained:
+            problems.append(
+                f"{stream}: {offered - explained} unexplained drop(s) "
+                f"(offered={offered} admitted={admitted} dropped={dropped})"
+            )
+        if payload.get("reproduced") is False:
+            problems.append(
+                f"{stream}: verdicts diverged from the recorded live run "
+                f"with no drops to explain it"
+            )
+        latency = payload.get("latency") or {}
+        if admitted > 0 and latency.get("p99_ns") is None:
+            problems.append(f"{stream}: missing p99 latency")
+    return problems
+
+
+# ======================================================================
+# The asyncio client
+# ======================================================================
+class _ClientStream:
+    __slots__ = ("sem", "acked", "slow")
+
+    def __init__(self) -> None:
+        self.sem = asyncio.Semaphore(0)
+        self.acked = asyncio.Event()
+        self.slow = False
+
+    def grant(self, n: int) -> None:
+        # asyncio.Semaphore.release() takes no count argument.
+        for _ in range(max(0, int(n))):
+            self.sem.release()
+
+
+async def run_load(
+    socket_path: str,
+    plan: List[Dict[str, Any]],
+    export_scope: Optional[str] = None,
+    shutdown: bool = False,
+    honor_slowdown: bool = True,
+) -> Dict[str, Any]:
+    """Push a plan to a running service; gather verdicts (and export).
+
+    Returns ``{"verdicts": [...sorted by stream id...],
+    "export": [...] or None, "slowdowns": n}``.
+    """
+    reader, writer = await asyncio.open_unix_connection(
+        socket_path, limit=MAX_FRAME_BYTES
+    )
+    write_lock = asyncio.Lock()
+
+    async def send(frame: Dict[str, Any]) -> None:
+        async with write_lock:
+            writer.write(encode_frame(frame))
+            await writer.drain()
+
+    states: Dict[str, _ClientStream] = {
+        spec["stream"]: _ClientStream() for spec in plan
+    }
+    verdicts: Dict[str, Dict[str, Any]] = {}
+    export_result: List[Optional[List[str]]] = [None]
+    slowdowns_seen = [0]
+    error: List[str] = []
+    all_verdicts = asyncio.Event()
+    export_done = asyncio.Event()
+    bye = asyncio.Event()
+
+    await send({"kind": "hello", "version": PROTOCOL_VERSION})
+    expect(decode_frame(await reader.readline()), "welcome")
+
+    async def route() -> None:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            frame = decode_frame(line)
+            kind = frame.get("kind")
+            if kind == "stream-ack":
+                state = states[frame["stream"]]
+                state.grant(frame.get("credit", 1))
+                state.acked.set()
+            elif kind == "credit":
+                states[frame["stream"]].grant(frame.get("n", 1))
+            elif kind == "slowdown":
+                slowdowns_seen[0] += 1
+                states[frame["stream"]].slow = True
+            elif kind == "verdict":
+                payload = {k: v for k, v in frame.items() if k != "kind"}
+                verdicts[frame["stream"]] = payload
+                if len(verdicts) == len(plan):
+                    all_verdicts.set()
+            elif kind == "export-result":
+                export_result[0] = list(frame.get("lines") or [])
+                export_done.set()
+            elif kind == "bye":
+                bye.set()
+                break
+            elif kind == "error":
+                error.append(str(frame.get("message")))
+                break
+            else:
+                error.append(f"unexpected frame kind {kind!r}")
+                break
+        # Unblock any waiter; errors are re-raised below.
+        all_verdicts.set()
+        export_done.set()
+        bye.set()
+        for state in states.values():
+            state.acked.set()
+            state.grant(1 << 16)
+
+    async def produce(spec: Dict[str, Any]) -> None:
+        stream_id = spec["stream"]
+        state = states[stream_id]
+        open_frame: Dict[str, Any] = {
+            "kind": "stream-open",
+            "stream": stream_id,
+            "header": spec["header"],
+        }
+        if spec.get("config"):
+            open_frame["config"] = spec["config"]
+        await send(open_frame)
+        await state.acked.wait()
+        arrivals = spec.get("arrivals")
+        for i, record in enumerate(spec["records"]):
+            if error:
+                return
+            await state.sem.acquire()
+            if honor_slowdown and state.slow:
+                state.slow = False
+                await asyncio.sleep(SLOWDOWN_SLEEP_S)
+            frame: Dict[str, Any] = {
+                "kind": "rec",
+                "stream": stream_id,
+                "body": record,
+            }
+            if arrivals is not None and i < len(arrivals):
+                frame["arrival_ns"] = arrivals[i]
+            await send(frame)
+        close_frame: Dict[str, Any] = {
+            "kind": "stream-close",
+            "stream": stream_id,
+            "sent": len(spec["records"]),
+        }
+        if spec.get("end_ns") is not None:
+            close_frame["end_ns"] = spec["end_ns"]
+        await send(close_frame)
+
+    router = asyncio.ensure_future(route())
+    try:
+        await asyncio.gather(*(produce(spec) for spec in plan))
+        await all_verdicts.wait()
+        if not error and export_scope is not None:
+            await send({"kind": "export", "scope": export_scope})
+            await export_done.wait()
+        if not error and shutdown:
+            await send({"kind": "shutdown"})
+            await bye.wait()
+    except ConnectionError:
+        # A peer hangup mid-load falls through to the accounting below:
+        # either the router captured an error frame, or the unreported
+        # stream count says what was lost.
+        pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except OSError:
+            pass
+        router.cancel()
+        try:
+            await router
+        except (asyncio.CancelledError, Exception):  # noqa: BLE001
+            pass
+    if error:
+        raise ProtocolError(error[0])
+    if len(verdicts) != len(plan):
+        raise ProtocolError(
+            f"connection closed with {len(plan) - len(verdicts)} "
+            f"stream(s) unreported"
+        )
+    return {
+        "verdicts": [verdicts[s] for s in sorted(verdicts)],
+        "export": export_result[0],
+        "slowdowns": slowdowns_seen[0],
+    }

@@ -1,0 +1,80 @@
+"""Versioned JSONL wire protocol between producers and the service.
+
+One frame per line, ``sort_keys``-encoded JSON objects, over a local
+stream socket.  The catalogue:
+
+Producer -> service
+    ``hello{version}``                      — handshake, first frame
+    ``stream-open{stream, header, config?, arrival_clock?}``
+    ``rec{stream, body, arrival_ns?}``      — one trace record
+    ``stream-close{stream, sent, end_ns?}`` — end of stream
+    ``export{scope?}``                      — request the merged export
+    ``shutdown{}``                          — stop the service
+
+Service -> producer
+    ``welcome{version, jobs}``
+    ``stream-ack{stream, credit}``          — credit = send window
+    ``credit{stream, n}``                   — window replenishment
+    ``slowdown{stream, wait_ns}``           — backpressure rising edge
+    ``verdict{...}``                        — per-stream result payload
+    ``export-result{scope, lines}``
+    ``error{message}``                      — then the connection closes
+    ``bye{}``
+
+Flow control is credit-based: ``stream-ack`` grants an initial window,
+each ``credit`` frame restores ``n`` sends.  That bounds service-side
+buffering in *bytes* (transport concern, wall-clock-paced, counted
+under host-scope ``transport.*``).  The deterministic drop/SLO
+accounting lives one layer down, in the admission model, driven only
+by the virtual ``arrival_ns`` stamps inside the frames.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.errors import TraceFormatError
+
+PROTOCOL_VERSION = 1
+
+#: Initial per-stream credit window (frames in flight).
+DEFAULT_CREDIT = 512
+
+#: Replenish after this many consumed credits.
+CREDIT_BATCH = DEFAULT_CREDIT // 2
+
+#: Longest accepted wire line; a trace record is well under this.
+MAX_FRAME_BYTES = 1 << 20
+
+
+class ProtocolError(TraceFormatError):
+    """Malformed or out-of-contract frame."""
+
+
+_encode = json.JSONEncoder(sort_keys=True).encode
+
+
+def encode_frame(frame: Dict[str, Any]) -> bytes:
+    return (_encode(frame) + "\n").encode("utf-8")
+
+
+def decode_frame(line: bytes) -> Dict[str, Any]:
+    try:
+        frame = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"bad frame (not JSON): {exc}") from exc
+    if not isinstance(frame, dict) or not isinstance(frame.get("kind"), str):
+        raise ProtocolError(f"bad frame (no kind): {frame!r}")
+    return frame
+
+
+def expect(frame: Dict[str, Any], kind: str) -> Dict[str, Any]:
+    """Assert a frame's kind; ``error`` frames surface their message."""
+    if frame.get("kind") == "error":
+        raise ProtocolError(f"peer error: {frame.get('message')}")
+    if frame.get("kind") != kind:
+        raise ProtocolError(
+            f"expected {kind!r} frame, got {frame.get('kind')!r}"
+        )
+    return frame

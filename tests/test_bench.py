@@ -27,6 +27,8 @@ def _entry(**overrides):
             "campaign_trials_per_s_parallel": 14.0,
             "parallel_speedup": 1.75,
             "figure_wall_s": {"table3": 10.0, "fig7": 20.0},
+            "serve_sustained_events_per_s": 60_000.0,
+            "serve_p99_exit_to_verdict_ns": 676_607,
         },
         "detail": {},
     }
@@ -104,6 +106,32 @@ class TestCompare:
         del current["metrics"]["figure_wall_s"]["fig7"]
         current["metrics"]["figure_wall_s"]["ninjas"] = 5.0
         assert compare_entries(previous, current) == []
+
+    def test_serve_ingest_regression_flagged(self):
+        current = copy.deepcopy(_entry())
+        current["metrics"]["serve_sustained_events_per_s"] = 40_000.0  # -33%
+        problems = compare_entries(_entry(), current, threshold=0.20)
+        assert len(problems) == 1
+        assert "serve_sustained_events_per_s" in problems[0]
+
+    def test_serve_p99_is_compared_exactly(self):
+        # The p99 column is virtual-clock-deterministic: any drift at
+        # all is a behaviour change, threshold notwithstanding.
+        current = copy.deepcopy(_entry())
+        current["metrics"]["serve_p99_exit_to_verdict_ns"] = 676_608  # +1ns
+        problems = compare_entries(_entry(), current, threshold=0.99)
+        assert len(problems) == 1
+        assert "serve_p99_exit_to_verdict_ns" in problems[0]
+        assert "deterministic" in problems[0]
+
+    def test_entries_without_serve_columns_stay_comparable(self):
+        # Ledger entries written before the serve columns existed must
+        # not fail the gate on the missing keys.
+        previous = _entry()
+        del previous["metrics"]["serve_sustained_events_per_s"]
+        del previous["metrics"]["serve_p99_exit_to_verdict_ns"]
+        assert compare_entries(previous, _entry()) == []
+        assert compare_entries(_entry(), previous) == []
 
 
 class TestCli:

@@ -1,0 +1,129 @@
+"""The repo-wide CLI error contract, enforced as a regression test.
+
+Every user-facing CLI (``repro.obs``, ``repro.replay``, ``repro.serve``)
+must turn bad input — missing files, malformed traces, dead sockets,
+unknown names — into a **one-line** ``error:`` message on stderr and
+exit code 2.  Tracebacks are for bugs, not for typos.
+
+Also covers the stdin conveniences: ``obs report``/``top``/``diff``
+accept ``-`` (plain or gzipped), so serve and replay output pipes
+straight into triage without temp files.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import sys
+
+import pytest
+
+from repro.obs.__main__ import main as obs_main
+from repro.replay.__main__ import main as replay_main
+from repro.serve.__main__ import main as serve_main
+
+MAINS = {"obs": obs_main, "replay": replay_main, "serve": serve_main}
+
+BAD_INVOCATIONS = [
+    ("obs", ["report", "no/such/trace.jsonl"]),
+    ("obs", ["top", "no/such/export.jsonl"]),
+    ("obs", ["diff", "no/such/a.jsonl", "no/such/b.jsonl"]),
+    ("replay", ["replay", "no/such/trace.jsonl"]),
+    ("serve", ["load", "--socket", "no/such/serve.sock"]),
+    ("serve", ["load", "--scenarios", "not-a-scenario"]),
+]
+
+
+def run_cli(which, argv, capsys):
+    code = MAINS[which](argv)
+    captured = capsys.readouterr()
+    return code, captured
+
+
+def feed_stdin(monkeypatch, data: bytes) -> None:
+    stream = io.TextIOWrapper(io.BytesIO(data), encoding="utf-8")
+    monkeypatch.setattr(sys, "stdin", stream)
+
+
+@pytest.fixture(scope="module")
+def golden_trace_text():
+    with open("tests/data/golden_exploit.jsonl", encoding="utf-8") as fh:
+        return fh.read()
+
+
+class TestErrorContract:
+    @pytest.mark.parametrize("which,argv", BAD_INVOCATIONS)
+    def test_bad_input_is_one_line_and_exit_2(self, which, argv, capsys):
+        code, captured = run_cli(which, argv, capsys)
+        assert code == 2
+        err_lines = [ln for ln in captured.err.splitlines() if ln.strip()]
+        assert len(err_lines) == 1
+        assert err_lines[0].startswith("error:")
+        assert "Traceback" not in captured.err
+
+    def test_malformed_trace_not_just_missing_file(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.jsonl"
+        bogus.write_text("this is not a trace\n", encoding="utf-8")
+        for which, argv in (
+            ("replay", ["replay", str(bogus)]),
+            ("obs", ["report", str(bogus)]),
+        ):
+            code, captured = run_cli(which, argv, capsys)
+            assert code == 2, f"{which} {argv}"
+            assert captured.err.startswith("error:")
+            assert "Traceback" not in captured.err
+
+    def test_malformed_stdin_honors_the_same_contract(self, monkeypatch, capsys):
+        feed_stdin(monkeypatch, b"not a trace, not an export\n")
+        code, captured = run_cli("obs", ["top", "-"], capsys)
+        assert code == 2
+        assert captured.err.startswith("error:")
+
+
+class TestStdinSupport:
+    def test_report_from_stdin_matches_report_from_path(
+        self, monkeypatch, capsys, golden_trace_text
+    ):
+        _, from_path = run_cli(
+            "obs", ["report", "tests/data/golden_exploit.jsonl"], capsys
+        )
+        feed_stdin(monkeypatch, golden_trace_text.encode("utf-8"))
+        code, from_stdin = run_cli("obs", ["report", "-"], capsys)
+        assert code == 0
+        assert from_stdin.out == from_path.out
+
+    def test_gzipped_stdin_is_sniffed(
+        self, monkeypatch, capsys, golden_trace_text
+    ):
+        _, from_path = run_cli(
+            "obs", ["report", "tests/data/golden_exploit.jsonl"], capsys
+        )
+        feed_stdin(monkeypatch, gzip.compress(golden_trace_text.encode("utf-8")))
+        code, from_stdin = run_cli("obs", ["report", "-"], capsys)
+        assert code == 0
+        assert from_stdin.out == from_path.out
+
+    def test_top_reads_an_export_from_stdin(self, monkeypatch, capsys):
+        with open("tests/data/golden_exploit_obs.jsonl", "rb") as fh:
+            feed_stdin(monkeypatch, fh.read())
+        code, captured = run_cli("obs", ["top", "-"], capsys)
+        assert code == 0
+        assert "flow.published" in captured.out
+
+    def test_top_reads_a_trace_from_stdin(
+        self, monkeypatch, capsys, golden_trace_text
+    ):
+        # First-line sniffing: a trace header means "replay it first".
+        feed_stdin(monkeypatch, golden_trace_text.encode("utf-8"))
+        code, captured = run_cli("obs", ["top", "-"], capsys)
+        assert code == 0
+        assert "flow.published" in captured.out
+
+    def test_diff_accepts_stdin_for_one_side(self, monkeypatch, capsys):
+        with open("tests/data/golden_exploit_obs.jsonl", "rb") as fh:
+            feed_stdin(monkeypatch, fh.read())
+        code, captured = run_cli(
+            "obs", ["diff", "tests/data/golden_exploit_obs.jsonl", "-"], capsys
+        )
+        assert code == 0
+        assert "identical" in captured.out

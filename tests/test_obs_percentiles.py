@@ -1,0 +1,144 @@
+"""Percentile math on the fixed-bucket latency histograms.
+
+The serve SLO columns (p50/p99 exit-to-verdict, the exact-compare
+ledger column) ride on ``Histogram.percentile``: it must be exact on
+seeded distributions — the smallest bucket bound covering the target
+rank, clamped to the observed min/max — and stable under any snapshot
+merge order, because merged exports are assembled from per-stream
+snapshots whose arrival order the transport does not control.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    BUCKET_BOUNDS_NS,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
+from repro.sim.rng import RandomStreams
+
+
+def reference_percentile(values, q):
+    """Independent oracle: rank the raw values, bucket the rank-th one.
+
+    ``percentile`` walks cumulative bucket counts; this walks the
+    sorted raw values.  They must agree on every distribution.
+    """
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    v = ordered[rank - 1]
+    for bound in BUCKET_BOUNDS_NS:
+        if v <= bound:
+            return max(min(bound, max(ordered)), min(ordered))
+    return max(ordered)
+
+
+def seeded_values(seed, n, base_ns=80_000, fraction=0.9):
+    streams = RandomStreams(seed)
+    return [streams.jitter_ns("percentiles", base_ns, fraction) for _ in range(n)]
+
+
+class TestPercentileExactness:
+    def test_empty_histogram_has_no_percentile(self):
+        hist = Histogram()
+        assert hist.percentile(0.5) is None
+        assert hist.percentile(0.99) is None
+
+    @pytest.mark.parametrize("q", [0.0, -0.1, 1.01, 2.0])
+    def test_out_of_range_quantile_rejected(self, q):
+        hist = Histogram()
+        hist.observe(5)
+        with pytest.raises(ValueError):
+            hist.percentile(q)
+
+    @pytest.mark.parametrize("value", [1, 999, 1_000, 55_555, 10**9, 3 * 10**10])
+    def test_single_value_is_its_own_percentile(self, value):
+        # min/max clamping collapses the bucket bound onto the single
+        # observation, including values past the top bucket bound.
+        hist = Histogram()
+        hist.observe(value)
+        for q in (0.01, 0.5, 0.99, 1.0):
+            assert hist.percentile(q) == value
+
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42])
+    @pytest.mark.parametrize("q", [0.5, 0.9, 0.99, 1.0])
+    def test_matches_rank_oracle_on_seeded_distributions(self, seed, q):
+        values = seeded_values(seed, 500)
+        hist = Histogram()
+        for v in values:
+            hist.observe(v)
+        assert hist.percentile(q) == reference_percentile(values, q)
+
+    def test_wide_distribution_spanning_all_buckets(self):
+        # One value per decade, plus overflow: exercises every bucket
+        # and the overflow fall-through (returns the observed max).
+        values = [bound for bound in BUCKET_BOUNDS_NS] + [7 * 10**10]
+        hist = Histogram()
+        for v in values:
+            hist.observe(v)
+        for q in (0.25, 0.5, 0.75, 0.99, 1.0):
+            assert hist.percentile(q) == reference_percentile(values, q)
+        assert hist.percentile(1.0) == 7 * 10**10
+
+    def test_p99_separates_burst_tail_from_median(self):
+        # 99 fast events and 1 slow one: p50 stays in the fast bucket,
+        # p99 does too (rank 99 of 100); add one more slow event and
+        # p99 crosses into the slow bucket.
+        hist = Histogram()
+        for _ in range(99):
+            hist.observe(50_000)
+        hist.observe(900_000_000)
+        assert hist.percentile(0.5) == 100_000
+        assert hist.percentile(0.99) == 100_000
+        hist.observe(900_000_000)
+        assert hist.percentile(0.99) == 900_000_000
+
+
+class TestMergeOrderStability:
+    def _sharded_snapshots(self, shards=5, per_shard=200):
+        snapshots = []
+        all_values = []
+        for shard in range(shards):
+            registry = MetricsRegistry()
+            hist = registry.histogram("serve.latency.exit_to_verdict_ns")
+            # Distinct per-shard distributions so order *could* matter
+            # if merging were not commutative.
+            values = seeded_values(shard, per_shard, base_ns=10_000 * (shard + 1))
+            for v in values:
+                hist.observe(v)
+            all_values.extend(values)
+            snapshots.append(registry.snapshot())
+        return snapshots, all_values
+
+    def _percentiles(self, snapshots):
+        merged = merge_snapshots(snapshots)
+        for name, _labels, hist in merged.histogram_rows():
+            if name == "serve.latency.exit_to_verdict_ns":
+                return (hist.percentile(0.5), hist.percentile(0.99))
+        raise AssertionError("merged histogram row missing")
+
+    def test_any_merge_order_gives_identical_percentiles(self):
+        snapshots, all_values = self._sharded_snapshots()
+        baseline = self._percentiles(snapshots)
+        assert baseline == self._percentiles(list(reversed(snapshots)))
+        rotated = snapshots[2:] + snapshots[:2]
+        assert baseline == self._percentiles(rotated)
+
+    def test_merged_percentiles_equal_unsharded_observation(self):
+        snapshots, all_values = self._sharded_snapshots()
+        hist = Histogram()
+        for v in all_values:
+            hist.observe(v)
+        assert self._percentiles(snapshots) == (
+            hist.percentile(0.5),
+            hist.percentile(0.99),
+        )
+        assert self._percentiles(snapshots) == (
+            reference_percentile(all_values, 0.5),
+            reference_percentile(all_values, 0.99),
+        )

@@ -1,0 +1,153 @@
+"""The deterministic admission model (repro.serve.admission).
+
+A single-server FIFO queue evaluated purely in the virtual arrival
+clock: same arrival sequence in, same drop decisions and waits out —
+regardless of how the transport paced the frames.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.admission import (
+    DEFAULT_MAX_WAIT_NS,
+    DEFAULT_QUEUE_LIMIT,
+    AdmissionDecision,
+    AdmissionModel,
+)
+
+
+class TestValidation:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            AdmissionModel(policy="yolo")
+
+    @pytest.mark.parametrize("kwargs", [{"queue_limit": 0}, {"service_ns": 0}])
+    def test_degenerate_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AdmissionModel(**kwargs)
+
+
+class TestQueueModel:
+    def test_idle_arrival_admitted_with_zero_wait(self):
+        model = AdmissionModel(service_ns=1_000)
+        decision = model.arrive(10_000)
+        assert decision == AdmissionDecision(
+            admitted=True,
+            reason=None,
+            wait_ns=0,
+            latency_ns=1_000,
+            depth=1,
+            slowdown=False,
+        )
+
+    def test_back_to_back_arrivals_accumulate_wait(self):
+        # Three arrivals at t=0 against a 1µs service cost: the queue
+        # serialises them, so waits are 0, 1µs, 2µs.
+        model = AdmissionModel(service_ns=1_000)
+        waits = [model.arrive(0).wait_ns for _ in range(3)]
+        assert waits == [0, 1_000, 2_000]
+        assert model.admitted == 3
+
+    def test_queue_drains_in_virtual_time(self):
+        model = AdmissionModel(service_ns=1_000)
+        for _ in range(3):
+            model.arrive(0)
+        assert model.depth_at(0) == 3
+        assert model.depth_at(1_000) == 2
+        assert model.depth_at(10_000) == 0
+        # A later arrival starts fresh: no residual wait.
+        assert model.arrive(10_000).wait_ns == 0
+
+    def test_overflow_drop_at_queue_limit(self):
+        model = AdmissionModel(
+            queue_limit=2, service_ns=1_000, max_wait_ns=10**9
+        )
+        assert model.arrive(0).admitted
+        assert model.arrive(0).admitted
+        decision = model.arrive(0)
+        assert not decision.admitted
+        assert decision.reason == "overflow"
+        assert decision.slowdown
+        assert decision.latency_ns == 0
+        assert model.dropped_overflow == 1
+        # The bounded buffer is enforced under *both* policies.
+        drop_model = AdmissionModel(
+            queue_limit=2, service_ns=1_000, policy="drop"
+        )
+        drop_model.arrive(0), drop_model.arrive(0)
+        assert drop_model.arrive(0).reason == "overflow"
+
+    def test_backpressure_drop_past_max_wait_under_pace(self):
+        model = AdmissionModel(
+            queue_limit=1_000, service_ns=1_000, max_wait_ns=1_500
+        )
+        for _ in range(2):
+            assert model.arrive(0).admitted
+        decision = model.arrive(0)  # would wait 2µs > 1.5µs
+        assert decision.reason == "backpressure"
+        assert decision.wait_ns == 2_000
+        assert model.dropped_backpressure == 1
+        assert model.dropped == 1
+
+    def test_drop_policy_never_sheds_on_wait(self):
+        model = AdmissionModel(
+            queue_limit=1_000, service_ns=1_000, max_wait_ns=0, policy="drop"
+        )
+        decisions = [model.arrive(0) for _ in range(10)]
+        assert all(d.admitted for d in decisions)
+        assert model.dropped == 0
+
+    def test_slowdown_signal_rises_at_quarter_depth(self):
+        model = AdmissionModel(
+            queue_limit=8, service_ns=1_000, max_wait_ns=10**9
+        )
+        assert model.slowdown_depth == 2
+        first = model.arrive(0)
+        second = model.arrive(0)
+        assert not first.slowdown
+        assert second.slowdown  # depth reached queue_limit // 4
+
+    def test_defaults_are_sane(self):
+        model = AdmissionModel()
+        assert model.queue_limit == DEFAULT_QUEUE_LIMIT
+        assert model.max_wait_ns == DEFAULT_MAX_WAIT_NS
+        assert model.arrive(0).admitted
+
+
+class TestDeterminism:
+    def test_same_arrival_sequence_same_decisions(self):
+        # The wall clock is not an input: replaying the identical
+        # arrival sequence reproduces every decision field.
+        arrivals = [i * 700 for i in range(200)]
+
+        def run():
+            model = AdmissionModel(
+                queue_limit=16, service_ns=1_000, max_wait_ns=3_000
+            )
+            return [model.arrive(t) for t in arrivals]
+
+        assert run() == run()
+
+    def test_accounting_identity_in_both_shedding_regimes(self):
+        # Under pace the wait deadline sheds first and keeps the queue
+        # shallow (overflow is unreachable); under drop only the depth
+        # bound sheds.  Either way every arrival is accounted.
+        offered = 500
+        pace = AdmissionModel(
+            queue_limit=1_000, service_ns=10_000, max_wait_ns=15_000
+        )
+        for i in range(offered):
+            pace.arrive(i * 1_000)
+        assert pace.admitted + pace.dropped == offered
+        assert pace.dropped_backpressure > 0
+        assert pace.dropped_overflow == 0
+
+        drop = AdmissionModel(
+            queue_limit=4, service_ns=10_000, max_wait_ns=15_000, policy="drop"
+        )
+        for i in range(offered):
+            drop.arrive(i * 1_000)
+        assert drop.admitted + drop.dropped == offered
+        assert drop.dropped_overflow > 0
+        assert drop.dropped_backpressure == 0

@@ -1,0 +1,128 @@
+"""Seeded load plans and the accounting gate (repro.serve.load).
+
+Plans are pure functions of (profile, seed, streams, rate): same
+inputs, same stamped arrivals, byte for byte.  check_payloads is the
+serve-smoke gate: every drop accounted, lossless streams reproduced,
+latency summarized.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.load import (
+    PROFILES,
+    arrival_offsets,
+    build_plan,
+    check_payloads,
+)
+
+
+class TestArrivalOffsets:
+    def test_deterministic_per_seed_and_stream(self):
+        a = arrival_offsets("spike", 7, "s-000", 100, 2000.0)
+        b = arrival_offsets("spike", 7, "s-000", 100, 2000.0)
+        assert a == b
+        assert arrival_offsets("spike", 8, "s-000", 100, 2000.0) != a
+        assert arrival_offsets("spike", 7, "s-001", 100, 2000.0) != a
+
+    def test_non_decreasing_virtual_time(self):
+        for profile in PROFILES:
+            offsets = arrival_offsets(profile, 0, "s", 200, 5000.0)
+            assert offsets == sorted(offsets)
+            assert all(off >= 0 for off in offsets)
+
+    def test_spike_compresses_the_middle_fifth(self):
+        # The burst window (40x rate) must pack arrivals much tighter
+        # than the background (0.5x rate).
+        offsets = arrival_offsets("spike", 0, "s", 500, 2000.0)
+        gaps = [b - a for a, b in zip(offsets, offsets[1:])]
+        burst = gaps[int(500 * 0.45) : int(500 * 0.55)]
+        background = gaps[: int(500 * 0.3)]
+        assert max(burst) < min(background)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            arrival_offsets("spike", 0, "s", 10, 0.0)
+
+
+class TestBuildPlan:
+    def test_plan_is_deterministic(self):
+        # Everything that feeds admission and verdicts reproduces
+        # exactly.  (The header's live_wall_seconds provenance field is
+        # a wall measurement and is not part of that surface.)
+        a, b = build_plan("spike", 5, 3), build_plan("spike", 5, 3)
+        for sa, sb in zip(a, b):
+            assert sa["stream"] == sb["stream"]
+            assert sa["records"] == sb["records"]
+            assert sa["arrivals"] == sb["arrivals"]
+            assert sa["end_ns"] == sb["end_ns"]
+
+    def test_plan_shape(self):
+        plan = build_plan("ramp", 2, 3, scenarios=("exploit",))
+        assert len(plan) == 3
+        ids = [spec["stream"] for spec in plan]
+        assert len(set(ids)) == 3
+        for spec in plan:
+            assert len(spec["arrivals"]) == len(spec["records"])
+            assert spec["arrivals"] == sorted(spec["arrivals"])
+            assert spec["config"] is None
+
+    def test_config_rides_into_every_spec(self):
+        plan = build_plan("sustained", 0, 2, config={"policy": "drop"})
+        assert all(spec["config"] == {"policy": "drop"} for spec in plan)
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="profile"):
+            build_plan("tsunami", 0, 1)
+
+    def test_stream_count_validated(self):
+        with pytest.raises(ValueError, match="streams"):
+            build_plan("spike", 0, 0)
+
+
+class TestCheckPayloads:
+    def _good(self):
+        return {
+            "stream": "s-000",
+            "offered": 10,
+            "admitted": 8,
+            "dropped": {"backpressure": 2, "overflow": 0},
+            "reproduced": None,
+            "latency": {"p99_ns": 123},
+        }
+
+    def test_accounted_payload_passes(self):
+        assert check_payloads([self._good()]) == []
+
+    def test_unexplained_drop_flagged(self):
+        bad = self._good()
+        bad["admitted"] = 7  # 10 != 7 + 2
+        problems = check_payloads([bad])
+        assert len(problems) == 1
+        assert "unexplained drop" in problems[0]
+        assert "s-000" in problems[0]
+
+    def test_diverged_lossless_stream_flagged(self):
+        bad = self._good()
+        bad["admitted"], bad["dropped"] = 10, {}
+        bad["reproduced"] = False
+        problems = check_payloads([bad])
+        assert any("diverged" in p for p in problems)
+
+    def test_missing_latency_summary_flagged(self):
+        bad = self._good()
+        bad["latency"] = {}
+        problems = check_payloads([bad])
+        assert any("p99" in p for p in problems)
+
+    def test_zero_admissions_need_no_latency(self):
+        quiet = {
+            "stream": "s",
+            "offered": 0,
+            "admitted": 0,
+            "dropped": {},
+            "reproduced": None,
+            "latency": {},
+        }
+        assert check_payloads([quiet]) == []

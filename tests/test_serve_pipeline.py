@@ -1,0 +1,176 @@
+"""StreamPipeline and the whole-stream shard task (repro.serve.pipeline).
+
+One stream = one admission model + one streaming ReplaySource; the
+inline-fed and spec-run paths must be interchangeable, lossless streams
+must reproduce their recorded live verdicts, and merged exports must
+order by stream id, never by completion.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.replay.recorder import record_scenario
+from repro.serve.pipeline import (
+    SERVE_STAGE,
+    StreamConfig,
+    StreamPipeline,
+    merged_export_lines,
+    run_stream_spec,
+)
+
+
+@pytest.fixture(scope="module")
+def exploit_run():
+    return record_scenario("exploit", seed=0)
+
+
+def spec_for(run, stream_id, config=None, arrivals=None):
+    return {
+        "stream": stream_id,
+        "header": run.trace.header.to_record(),
+        "records": run.trace.records,
+        "arrivals": arrivals,
+        "end_ns": run.trace.header.end_ns,
+        "config": config,
+    }
+
+
+class TestStreamConfig:
+    def test_payload_round_trip(self):
+        config = StreamConfig(queue_limit=7, policy="drop")
+        assert StreamConfig.from_payload(config.to_payload()) == config
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(TraceFormatError, match="unknown stream config"):
+            StreamConfig.from_payload({"queue_limit": 7, "turbo": True})
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(TraceFormatError, match="policy"):
+            StreamConfig.from_payload({"policy": "yolo"})
+
+    def test_empty_payload_is_defaults(self):
+        assert StreamConfig.from_payload(None) == StreamConfig()
+        assert StreamConfig.from_payload({}) == StreamConfig()
+
+
+class TestInlineFeeding:
+    def test_lossless_stream_reproduces_live_verdicts(self, exploit_run):
+        run = exploit_run
+        pipeline = StreamPipeline("vm-a", run.trace.header)
+        for record in run.trace.records:
+            pipeline.feed(record)
+        result = pipeline.close(run.trace.header.end_ns)
+        assert result.offered == result.admitted
+        assert result.dropped == {"backpressure": 0, "overflow": 0}
+        assert result.rejected == 0
+        assert result.reproduced is True
+        assert result.verdicts == run.live_verdicts
+        assert result.latency["count"] == result.admitted
+        assert result.latency["p99_ns"] is not None
+
+    def test_stream_identity_overrides_header_vm(self, exploit_run):
+        # Metric rows are labelled by the serving stream id, so merged
+        # exports stay per-stream attributable even when every producer
+        # recorded under the same vm id.
+        pipeline = StreamPipeline("stream-7", exploit_run.trace.header)
+        for record in exploit_run.trace.records:
+            pipeline.feed(record)
+        result = pipeline.close()
+        vms = {
+            labels.get("vm")
+            for _name, labels, _value in result.snapshot["counters"]
+            if "vm" in labels
+        }
+        assert "stream-7" in vms
+        assert exploit_run.trace.header.vm_id not in vms
+
+    def test_feed_after_close_rejected(self, exploit_run):
+        pipeline = StreamPipeline("vm-a", exploit_run.trace.header)
+        pipeline.close()
+        with pytest.raises(TraceFormatError, match="already closed"):
+            pipeline.feed(exploit_run.trace.records[0])
+        fresh = StreamPipeline("vm-b", exploit_run.trace.header)
+        fresh.close()
+        with pytest.raises(TraceFormatError, match="already closed"):
+            fresh.close()
+
+    def test_overload_drops_are_accounted_not_silent(self, exploit_run):
+        run = exploit_run
+        config = StreamConfig(service_ns=20_000, max_wait_ns=1_000_000)
+        pipeline = StreamPipeline("vm-hot", run.trace.header, config=config)
+        # Slam every record in at 5ns spacing: far past the modelled
+        # service rate, so the pace policy must shed.
+        t0 = run.trace.header.start_ns
+        for i, record in enumerate(run.trace.records):
+            pipeline.feed(record, arrival_ns=t0 + 5 * i)
+        result = pipeline.close(run.trace.header.end_ns)
+        total_dropped = sum(result.dropped.values())
+        assert total_dropped > 0
+        assert result.offered == result.admitted + total_dropped
+        # A lossy stream is not comparable against the live run.
+        assert result.reproduced is None
+        assert result.slowdowns > 0
+
+    def test_arrivals_clamped_non_decreasing(self, exploit_run):
+        run = exploit_run
+        pipeline = StreamPipeline("vm-a", run.trace.header)
+        records = [r for r in run.trace.records if r.get("kind", "event") == "event"]
+        pipeline.feed(records[0], arrival_ns=run.trace.header.start_ns + 10**6)
+        # A rewinding arrival cannot rewind the queue model.
+        decision = pipeline.feed(records[1], arrival_ns=0)
+        assert decision is not None and decision.admitted
+        assert pipeline._last_arrival_ns == run.trace.header.start_ns + 10**6
+
+
+class TestSpecPath:
+    def test_spec_path_matches_inline_path(self, exploit_run):
+        run = exploit_run
+        pipeline = StreamPipeline("vm-a", run.trace.header)
+        for record in run.trace.records:
+            pipeline.feed(record)
+        inline = pipeline.close(run.trace.header.end_ns)
+
+        sharded = run_stream_spec(spec_for(run, "vm-a"))
+        assert sharded["payload"] == inline.verdict_payload()
+        assert sharded["snapshot"] == inline.snapshot
+
+    def test_spec_run_is_deterministic(self, exploit_run):
+        spec = spec_for(exploit_run, "vm-a")
+        assert run_stream_spec(spec) == run_stream_spec(spec)
+
+    def test_drop_rows_carry_serve_stage(self, exploit_run):
+        run = exploit_run
+        t0 = run.trace.header.start_ns
+        spec = spec_for(
+            run,
+            "vm-hot",
+            config={"service_ns": 20_000, "max_wait_ns": 1_000_000},
+            arrivals=[t0 + 5 * i for i in range(len(run.trace.records))],
+        )
+        result = run_stream_spec(spec)
+        lines = merged_export_lines({"vm-hot": result["snapshot"]})
+        drops = [
+            line
+            for line in lines
+            if '"flow.dropped"' in line and SERVE_STAGE in line
+        ]
+        assert drops, "expected serve-admission drop rows in the export"
+        assert any('"reason": "backpressure"' in line or
+                   '"reason":"backpressure"' in line for line in drops)
+
+
+class TestMergedExport:
+    def test_export_orders_by_stream_id_not_completion(self, exploit_run):
+        run = exploit_run
+        results = {
+            sid: run_stream_spec(spec_for(run, sid))
+            for sid in ("vm-b", "vm-a", "vm-c")
+        }
+        snapshots = {sid: r["snapshot"] for sid, r in results.items()}
+        insertion_order = merged_export_lines(snapshots)
+        reversed_order = merged_export_lines(
+            dict(sorted(snapshots.items(), reverse=True))
+        )
+        assert insertion_order == reversed_order

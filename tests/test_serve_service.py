@@ -1,0 +1,225 @@
+"""The asyncio socket service end to end (repro.serve.service).
+
+Everything here drives a real UNIX socket — the point is that the
+wall-clock transport cannot reach the deterministic results: jobs=1
+vs jobs=2 byte-identical, repeat runs byte-identical, errors contained
+to one connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.replay.recorder import record_scenario
+from repro.serve.load import build_plan, run_load
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
+from repro.serve.service import StreamService
+
+
+def serve_and(client_coro_factory, jobs=1, config=None, tmp_path=None):
+    """Start a service on a tmp socket, run the client, stop cleanly."""
+    socket_path = str(tmp_path / "serve.sock")
+
+    async def scenario():
+        service = StreamService(socket_path, jobs=jobs, config=config)
+        await service.start()
+        try:
+            result = await client_coro_factory(socket_path)
+        finally:
+            await service.stop()
+        return service, result
+
+    return asyncio.run(scenario())
+
+
+def small_plan(seed=3, streams=2):
+    return build_plan("spike", seed=seed, streams=streams)
+
+
+class TestEndToEnd:
+    def test_load_reports_every_stream_with_reproduced_verdicts(self, tmp_path):
+        plan = small_plan()
+
+        async def client(socket_path):
+            return await run_load(socket_path, plan, export_scope="pipeline")
+
+        service, result = serve_and(client, tmp_path=tmp_path)
+        assert [v["stream"] for v in result["verdicts"]] == sorted(
+            spec["stream"] for spec in plan
+        )
+        for verdict in result["verdicts"]:
+            assert verdict["offered"] == verdict["admitted"] + sum(
+                verdict["dropped"].values()
+            )
+            assert verdict["reproduced"] is True
+        assert result["export"]
+        assert len(service.payloads) == len(plan)
+
+    def test_jobs_do_not_change_verdicts_or_export(self, tmp_path):
+        plan = small_plan()
+
+        async def client(socket_path):
+            return await run_load(socket_path, plan, export_scope="pipeline")
+
+        _, serial = serve_and(client, jobs=1, tmp_path=tmp_path)
+        _, sharded = serve_and(client, jobs=2, tmp_path=tmp_path)
+        assert serial["verdicts"] == sharded["verdicts"]
+        assert serial["export"] == sharded["export"]
+
+    def test_repeat_runs_against_one_service_are_byte_identical(self, tmp_path):
+        # Closed stream ids are reusable: re-running the same seeded
+        # load against a long-lived service overwrites its results and
+        # reproduces them exactly.
+        plan = small_plan()
+
+        async def client(socket_path):
+            first = await run_load(socket_path, plan, export_scope="pipeline")
+            second = await run_load(socket_path, plan, export_scope="pipeline")
+            return first, second
+
+        _, (first, second) = serve_and(client, tmp_path=tmp_path)
+        assert first["verdicts"] == second["verdicts"]
+        assert first["export"] == second["export"]
+
+    def test_transport_counters_stay_out_of_pipeline_export(self, tmp_path):
+        plan = small_plan()
+
+        async def client(socket_path):
+            pipeline = await run_load(socket_path, plan, export_scope="pipeline")
+            host = await run_load(socket_path, plan, export_scope="all")
+            return pipeline, host
+
+        _, (pipeline, host) = serve_and(client, tmp_path=tmp_path)
+        assert not any("transport." in line for line in pipeline["export"])
+        assert any("transport." in line for line in host["export"])
+
+    def test_overload_sheds_with_visible_slowdown_and_accounting(self, tmp_path):
+        plan = build_plan(
+            "spike",
+            seed=3,
+            streams=2,
+            rate=200_000.0,
+            config={"max_wait_ns": 1_000_000},
+        )
+
+        async def client(socket_path):
+            return await run_load(socket_path, plan)
+
+        _, result = serve_and(client, tmp_path=tmp_path)
+        total_dropped = sum(
+            sum(v["dropped"].values()) for v in result["verdicts"]
+        )
+        assert total_dropped > 0
+        assert result["slowdowns"] > 0
+        for verdict in result["verdicts"]:
+            assert verdict["offered"] == verdict["admitted"] + sum(
+                verdict["dropped"].values()
+            )
+
+
+class TestProtocolContract:
+    def test_version_mismatch_is_one_error_frame(self, tmp_path):
+        async def client(socket_path):
+            reader, writer = await asyncio.open_unix_connection(socket_path)
+            writer.write(encode_frame({"kind": "hello", "version": 999}))
+            await writer.drain()
+            frame = decode_frame(await reader.readline())
+            writer.close()
+            return frame
+
+        _, frame = serve_and(client, tmp_path=tmp_path)
+        assert frame["kind"] == "error"
+        assert "version" in frame["message"]
+
+    def test_error_poisons_one_connection_not_the_service(self, tmp_path):
+        plan = small_plan()
+
+        async def client(socket_path):
+            reader, writer = await asyncio.open_unix_connection(socket_path)
+            writer.write(
+                encode_frame({"kind": "hello", "version": PROTOCOL_VERSION})
+            )
+            await writer.drain()
+            await reader.readline()  # welcome
+            writer.write(
+                encode_frame({"kind": "rec", "stream": "ghost", "body": {}})
+            )
+            await writer.drain()
+            error = decode_frame(await reader.readline())
+            writer.close()
+            # The service must still serve a fresh connection.
+            result = await run_load(socket_path, plan)
+            return error, result
+
+        _, (error, result) = serve_and(client, tmp_path=tmp_path)
+        assert error["kind"] == "error"
+        assert "unopened stream" in error["message"]
+        assert len(result["verdicts"]) == len(plan)
+
+    def test_concurrently_open_duplicate_stream_id_rejected(self, tmp_path):
+        run = record_scenario("exploit", seed=0)
+        header = run.trace.header.to_record()
+
+        async def client(socket_path):
+            reader, writer = await asyncio.open_unix_connection(socket_path)
+            writer.write(
+                encode_frame({"kind": "hello", "version": PROTOCOL_VERSION})
+            )
+            await writer.drain()
+            await reader.readline()  # welcome
+            for _ in range(2):
+                writer.write(
+                    encode_frame(
+                        {"kind": "stream-open", "stream": "dup", "header": header}
+                    )
+                )
+                await writer.drain()
+            ack = decode_frame(await reader.readline())
+            second = decode_frame(await reader.readline())
+            writer.close()
+            return ack, second
+
+        _, (ack, second) = serve_and(client, tmp_path=tmp_path)
+        assert ack["kind"] == "stream-ack"
+        assert second["kind"] == "error"
+        assert "already open" in second["message"]
+
+    def test_client_raises_on_unreported_streams(self, tmp_path):
+        # A server that hangs up mid-stream must surface as an error to
+        # the load client, not as a hang or a silent partial result.
+        plan = small_plan()
+        socket_path = str(tmp_path / "fake.sock")
+
+        async def rude_server(reader, writer):
+            await reader.readline()  # hello
+            writer.write(
+                encode_frame({"kind": "welcome", "version": PROTOCOL_VERSION, "jobs": 1})
+            )
+            await writer.drain()
+            line = await reader.readline()  # first stream-open
+            frame = decode_frame(line)
+            writer.write(
+                encode_frame(
+                    {"kind": "stream-ack", "stream": frame["stream"], "credit": 4}
+                )
+            )
+            await writer.drain()
+            writer.close()  # hang up with every stream unreported
+
+        async def scenario():
+            server = await asyncio.start_unix_server(rude_server, path=socket_path)
+            try:
+                with pytest.raises(ProtocolError, match="unreported"):
+                    await run_load(socket_path, plan)
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(scenario())

@@ -327,6 +327,66 @@ class TestEventCoverage:
             for f in report.findings
         )
 
+    def test_ad_hoc_drop_reason_flagged(self, tmp_path):
+        # A shedding path minting its own reason would fragment triage
+        # queries and dodge the serve accounting identity.
+        root = write_tree(
+            tmp_path,
+            {
+                "repro/obs/metrics.py": """
+                DROP_REASONS = frozenset({"crash", "overflow"})
+                """,
+                "repro/serve/shedder.py": """
+                def shed(registry, vm):
+                    registry.inc("flow.dropped", vm=vm, reason="mystery")
+                """,
+            },
+        )
+        report = run_analysis(root, selected_rules=["event-coverage"])
+        assert [f.rule for f in report.findings] == ["event-coverage"]
+        assert "mystery" in report.findings[0].message
+        assert "DROP_REASONS" in report.findings[0].message
+        assert report.findings[0].path.endswith("shedder.py")
+
+    def test_listed_literal_drop_reasons_pass(self, tmp_path):
+        root = write_tree(
+            tmp_path,
+            {
+                "repro/obs/metrics.py": """
+                DROP_REASONS = frozenset({"crash", "overflow"})
+                """,
+                "repro/serve/shedder.py": """
+                def shed(registry, vm):
+                    registry.inc("flow.dropped", vm=vm, reason="overflow")
+                    cell = registry.counter("flow.dropped", reason="crash")
+                    cell.inc()
+                """,
+            },
+        )
+        assert run_analysis(root, selected_rules=["event-coverage"]).findings == []
+
+    def test_computed_or_missing_drop_reason_flagged(self, tmp_path):
+        # The rule audits reasons from the AST, so a computed reason is
+        # as much a finding as a missing one.
+        root = write_tree(
+            tmp_path,
+            {
+                "repro/obs/metrics.py": """
+                DROP_REASONS = frozenset({"crash"})
+                """,
+                "repro/serve/shedder.py": """
+                def shed(registry, vm, why):
+                    registry.inc("flow.dropped", vm=vm, reason=why)
+                    registry.inc("flow.dropped", vm=vm)
+                """,
+            },
+        )
+        report = run_analysis(root, selected_rules=["event-coverage"])
+        messages = "\n".join(f.message for f in report.findings)
+        assert len(report.findings) == 2
+        assert "not a string literal" in messages
+        assert "without a reason= label" in messages
+
 
 # ======================================================================
 # determinism
@@ -440,6 +500,29 @@ class TestDeterminism:
             },
         )
         assert run_analysis(root, selected_rules=["determinism"]).findings == []
+
+    def test_async_imports_confined_to_repro_serve(self, tmp_path):
+        # Socket readiness order is kernel-scheduled entropy; only the
+        # serving layer (virtual arrival stamps, id-ordered results)
+        # may run an event loop.
+        root = write_tree(
+            tmp_path,
+            {
+                "repro/obs/pusher.py": """
+                import asyncio
+                from socket import socketpair
+                """,
+                "repro/serve/service.py": """
+                import asyncio
+                import socket
+                import selectors
+                """,
+            },
+        )
+        report = run_analysis(root, selected_rules=["determinism"])
+        assert len(report.findings) == 2
+        assert all(f.path.endswith("pusher.py") for f in report.findings)
+        assert all("repro.serve" in f.message for f in report.findings)
 
 
 # ======================================================================

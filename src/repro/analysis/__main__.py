@@ -20,7 +20,12 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.baseline import write_baseline
-from repro.analysis.runner import render_json, render_text, run_analysis
+from repro.analysis.runner import (
+    render_json,
+    render_sarif,
+    render_text,
+    run_analysis,
+)
 from repro.analysis.rules import all_rules
 from repro.errors import ConfigurationError
 
@@ -54,11 +59,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--rules",
         default=None,
-        help="comma-separated rule ids to run (default: all; disables the "
-        "pragma-hygiene audit)",
+        help="comma-separated rule ids or glob patterns (e.g. 'flow.*') to "
+        "run (default: all; disables the pragma-hygiene audit)",
     )
     parser.add_argument(
         "--json", action="store_true", help="emit a JSON report instead of text"
+    )
+    parser.add_argument(
+        "--sarif",
+        action="store_true",
+        help="emit a SARIF 2.1.0 report instead of text",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="fan rules across N worker processes via repro.parallel "
+        "(output is byte-identical to --jobs 1)",
     )
     parser.add_argument(
         "--baseline",
@@ -94,7 +111,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         else None
     )
     try:
-        report = run_analysis(root, selected_rules=selected, baseline=args.baseline)
+        report = run_analysis(
+            root,
+            selected_rules=selected,
+            baseline=args.baseline,
+            jobs=max(1, args.jobs),
+        )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -107,7 +129,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 0
 
-    print(render_json(report) if args.json else render_text(report))
+    if args.sarif:
+        print(render_sarif(report))
+    elif args.json:
+        print(render_json(report))
+    else:
+        print(render_text(report))
     return report.exit_code
 
 

@@ -1,0 +1,270 @@
+"""``flow.async-blocking`` — no blocking work on the event loop.
+
+The serve layer's SLO argument assumes the asyncio loop thread only
+ever parks on awaitables: one ``time.sleep`` or synchronous ``open()``
+inside a coroutine stalls *every* connection, which the runtime will
+not tell you until a latency ledger column regresses.  This rule walks
+each ``async def`` and, via the call graph, the synchronous helpers it
+invokes on the loop thread, flagging:
+
+* direct blocking primitives — ``time.sleep``, builtin ``open``,
+  ``os`` file operations, ``subprocess`` entry points, ``os.system``,
+  and ``parallel_map`` (a process-pool fan-out is the *definition* of
+  blocking);
+* the same primitives reached transitively through resolvable sync
+  callees (reported at the coroutine's call site, naming the chain);
+* un-awaited coroutine calls — a call resolving to an ``async def``
+  that is neither awaited nor handed to a sanctioned scheduler
+  (``asyncio.gather``/``create_task``/``ensure_future``/…).
+
+Work explicitly moved off-loop via ``asyncio.to_thread`` or
+``loop.run_in_executor`` is exempt, including everything in the wrapped
+callable's body — that is the sanctioned escape hatch the fixes in
+``repro.serve`` use.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.flow import FlowIndex
+from repro.analysis.flow.callgraph import (
+    CallGraph,
+    FunctionInfo,
+    FunctionScope,
+    iter_function_scopes,
+)
+from repro.analysis.repo import AnalysisContext, dotted_name
+from repro.analysis.rules import Rule, register
+
+#: Dotted call targets that block the calling thread.
+_BLOCKING_DOTTED = {
+    "time.sleep": "time.sleep() blocks the event loop",
+    "os.system": "os.system() blocks the event loop",
+    "os.unlink": "os.unlink() is blocking filesystem IO",
+    "os.remove": "os.remove() is blocking filesystem IO",
+    "os.rename": "os.rename() is blocking filesystem IO",
+    "os.replace": "os.replace() is blocking filesystem IO",
+    "os.makedirs": "os.makedirs() is blocking filesystem IO",
+    "os.rmdir": "os.rmdir() is blocking filesystem IO",
+    "subprocess.run": "subprocess.run() blocks the event loop",
+    "subprocess.call": "subprocess.call() blocks the event loop",
+    "subprocess.check_call": "subprocess.check_call() blocks the event loop",
+    "subprocess.check_output": "subprocess.check_output() blocks the event loop",
+    "subprocess.Popen": "subprocess.Popen() forks under the event loop",
+    "io.open": "open() is blocking file IO",
+}
+
+#: Builtins that block when called as bare names.
+_BLOCKING_NAMES = {
+    "open": "open() is blocking file IO",
+}
+
+#: ``asyncio`` consumers that legitimately take a coroutine object.
+_SCHEDULERS = {
+    "gather",
+    "create_task",
+    "ensure_future",
+    "wait",
+    "wait_for",
+    "shield",
+    "run",
+    "run_coroutine_threadsafe",
+    "as_completed",
+}
+
+#: Call targets that move their callable argument off the loop thread.
+_OFFLOADERS = {"to_thread", "run_in_executor"}
+
+#: Transitive traversal depth through sync helpers.
+_MAX_DEPTH = 5
+
+
+def _call_attr(call: ast.Call) -> Optional[str]:
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return None
+
+
+def _is_offloader(call: ast.Call) -> bool:
+    return _call_attr(call) in _OFFLOADERS
+
+
+def _blocking_reason(call: ast.Call, graph: CallGraph, scope: FunctionScope
+                     ) -> Optional[str]:
+    """Why this call blocks, if it is a direct blocking primitive."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        reason = _BLOCKING_NAMES.get(func.id)
+        if reason is not None:
+            return reason
+    dotted = dotted_name(func)
+    if dotted is not None:
+        reason = _BLOCKING_DOTTED.get(dotted)
+        if reason is not None:
+            return reason
+    resolved = graph.resolve_call(
+        call, scope.source, scope.class_name, scope.local_defs(graph),
+        scope.local_types(graph), scope.local_aliases(),
+    )
+    if resolved is not None and resolved.name == "parallel_map" and (
+        resolved.module.startswith("repro.parallel")
+    ):
+        return "parallel_map() fans out a process pool synchronously"
+    return None
+
+
+class _OffloadedCalls:
+    """Call nodes whose evaluation happens off the loop thread."""
+
+    def __init__(self, scope: FunctionScope) -> None:
+        self.exempt: Set[int] = set()
+        for node in scope.walk_own():
+            if isinstance(node, ast.Call) and _is_offloader(node):
+                self.exempt.add(id(node))
+                for sub in ast.walk(node):
+                    self.exempt.add(id(sub))
+
+    def covers(self, node: ast.AST) -> bool:
+        return id(node) in self.exempt
+
+
+def _sync_callee_blocks(
+    info: FunctionInfo,
+    graph: CallGraph,
+    ctx: AnalysisContext,
+    visited: Set[Tuple[str, str]],
+    depth: int,
+) -> Optional[str]:
+    """A chain description if this sync function (transitively) blocks."""
+    key = (info.module, info.qualname)
+    if key in visited or depth > _MAX_DEPTH or info.is_async:
+        return None
+    visited.add(key)
+    source = ctx.module(info.module)
+    if source is None:
+        return None
+    scope = FunctionScope(source, info.node, info.qualname, info.class_name)
+    for node in scope.walk_own():
+        if not isinstance(node, ast.Call):
+            continue
+        reason = _blocking_reason(node, graph, scope)
+        if reason is not None:
+            return f"{info.name}(): {reason}"
+        resolved = graph.resolve_call(
+            node, source, scope.class_name, scope.local_defs(graph),
+            scope.local_types(graph), scope.local_aliases(),
+        )
+        if resolved is not None and not resolved.is_async:
+            chain = _sync_callee_blocks(
+                resolved, graph, ctx, visited, depth + 1
+            )
+            if chain is not None:
+                return f"{info.name}() -> {chain}"
+    return None
+
+
+@register
+class AsyncBlockingRule(Rule):
+    id = "flow.async-blocking"
+    summary = (
+        "coroutines must not block the event loop: no time.sleep/file "
+        "IO/parallel_map on the loop thread, no un-awaited coroutines"
+    )
+
+    def check(self, ctx: AnalysisContext) -> Iterator[Finding]:
+        index = FlowIndex.for_context(ctx)
+        graph = index.callgraph
+        for source in ctx.files:
+            for scope in iter_function_scopes(source):
+                if not scope.is_async:
+                    continue
+                yield from self._check_coroutine(ctx, graph, scope)
+
+    # ------------------------------------------------------------------
+    def _check_coroutine(
+        self, ctx: AnalysisContext, graph: CallGraph, scope: FunctionScope
+    ) -> Iterator[Finding]:
+        offloaded = _OffloadedCalls(scope)
+        parents = _parent_map(scope)
+        for node in scope.walk_own():
+            if not isinstance(node, ast.Call) or offloaded.covers(node):
+                continue
+            reason = _blocking_reason(node, graph, scope)
+            if reason is not None:
+                yield self.finding(
+                    scope.source.rel,
+                    node.lineno,
+                    f"coroutine {scope.qualname}() blocks the event loop: "
+                    f"{reason}; wrap it in asyncio.to_thread or move it "
+                    f"out of the coroutine",
+                )
+                continue
+            resolved = graph.resolve_call(
+                node, scope.source, scope.class_name,
+                scope.local_defs(graph), scope.local_types(graph),
+                scope.local_aliases(),
+            )
+            if resolved is None:
+                continue
+            if resolved.is_async:
+                if not _consumed(node, parents):
+                    yield self.finding(
+                        scope.source.rel,
+                        node.lineno,
+                        f"coroutine {scope.qualname}() calls async "
+                        f"{resolved.name}() without awaiting or "
+                        f"scheduling it (the call builds a coroutine "
+                        f"object and discards it)",
+                    )
+                continue
+            chain = _sync_callee_blocks(resolved, graph, ctx, set(), 1)
+            if chain is not None:
+                yield self.finding(
+                    scope.source.rel,
+                    node.lineno,
+                    f"coroutine {scope.qualname}() blocks the event loop "
+                    f"via {chain}; wrap the call in asyncio.to_thread",
+                )
+
+
+def _parent_map(scope: FunctionScope) -> Dict[int, ast.AST]:
+    parents: Dict[int, ast.AST] = {}
+    stack: List[ast.AST] = [scope.node]
+    while stack:
+        node = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+            if not isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                stack.append(child)
+    return parents
+
+
+def _consumed(call: ast.Call, parents: Dict[int, ast.AST]) -> bool:
+    """True when the coroutine object this call builds is awaited,
+    scheduled, stored, or returned (storage is conservatively fine —
+    ``coro = f(); await coro`` is legal)."""
+    node: ast.AST = call
+    while True:
+        parent = parents.get(id(node))
+        if parent is None:
+            return False
+        if isinstance(parent, ast.Await):
+            return True
+        if isinstance(parent, (ast.Return, ast.Assign, ast.AnnAssign,
+                               ast.NamedExpr, ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(parent, ast.Call) and parent is not call:
+            attr = _call_attr(parent)
+            if attr in _SCHEDULERS or attr in _OFFLOADERS:
+                return True
+            return False
+        if isinstance(parent, ast.Expr):
+            return False
+        node = parent

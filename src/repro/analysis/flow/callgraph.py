@@ -1,0 +1,420 @@
+"""Repo-wide call graph: every def/method, resolved through imports.
+
+Resolution is *static and honest*: a call site resolves only when the
+chain of names actually pins it down — a module-level def in scope, a
+method on ``self``/a base class, a local variable whose constructor
+class is known, an ``import``/``from … import … as …`` alias, or a
+package re-export (``from .executor import parallel_map`` in an
+``__init__``).  Everything else returns ``None`` and the rules decide
+whether "unresolvable" is a finding (pool tasks) or a shrug
+(duck-typed transport objects).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.repo import AnalysisContext, SourceFile, dotted_name
+
+#: Re-export chains longer than this are a cycle or pathology.
+_MAX_CHASE = 16
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition, anywhere in the tree."""
+
+    module: str
+    qualname: str  #: ``func``, ``Class.method`` or ``outer.<locals>.inner``.
+    name: str
+    node: ast.AST  #: The ``FunctionDef`` / ``AsyncFunctionDef``.
+    rel: str
+    lineno: int
+    is_async: bool
+    is_method: bool
+    class_name: Optional[str]
+    is_nested: bool
+
+
+class CallGraph:
+    """Function index + import-aware name resolution."""
+
+    def __init__(self, ctx: AnalysisContext) -> None:
+        self.ctx = ctx
+        #: (module, qualname) -> info, every def in the tree.
+        self.functions: Dict[Tuple[str, str], FunctionInfo] = {}
+        #: module -> {name: info} for *top-level* defs only.
+        self._module_defs: Dict[str, Dict[str, FunctionInfo]] = {}
+        #: (module, class) -> {method: info}.
+        self._methods: Dict[Tuple[str, str], Dict[str, FunctionInfo]] = {}
+        #: (module, class) -> base-class name expressions.
+        self._bases: Dict[Tuple[str, str], List[ast.expr]] = {}
+        #: module -> {class name} for classes defined at top level.
+        self._classes: Dict[str, Set[str]] = {}
+        #: module -> {local name: absolute dotted target}.
+        self._imports: Dict[str, Dict[str, str]] = {}
+        for source in ctx.files:
+            self._index_file(source)
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+    def _index_file(self, source: SourceFile) -> None:
+        module = source.module
+        defs = self._module_defs.setdefault(module, {})
+        self._classes.setdefault(module, set())
+        imports = self._imports.setdefault(module, {})
+        package = module if source.rel.endswith("__init__.py") else (
+            module.rpartition(".")[0]
+        )
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        imports[alias.asname] = alias.name
+                    else:
+                        root = alias.name.split(".")[0]
+                        imports[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    hops = package.split(".") if package else []
+                    if node.level > 1:
+                        hops = hops[: len(hops) - (node.level - 1)]
+                    base = ".".join(hops + ([node.module] if node.module else []))
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    imports[local] = f"{base}.{alias.name}" if base else alias.name
+
+        def visit(node: ast.AST, qual: str, class_name: Optional[str],
+                  nested: bool) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qualname = f"{qual}{child.name}"
+                    info = FunctionInfo(
+                        module=module,
+                        qualname=qualname,
+                        name=child.name,
+                        node=child,
+                        rel=source.rel,
+                        lineno=child.lineno,
+                        is_async=isinstance(child, ast.AsyncFunctionDef),
+                        is_method=class_name is not None and not nested,
+                        class_name=class_name,
+                        is_nested=nested,
+                    )
+                    self.functions[(module, qualname)] = info
+                    if not nested and class_name is None:
+                        defs[child.name] = info
+                    elif not nested and class_name is not None:
+                        self._methods.setdefault(
+                            (module, class_name), {}
+                        )[child.name] = info
+                    visit(child, f"{qualname}.<locals>.", class_name, True)
+                elif isinstance(child, ast.ClassDef):
+                    if not nested and class_name is None:
+                        self._classes[module].add(child.name)
+                        self._bases[(module, child.name)] = list(child.bases)
+                        visit(child, f"{child.name}.", child.name, False)
+                    else:
+                        visit(child, f"{qual}{child.name}.", child.name, nested)
+                else:
+                    visit(child, qual, class_name, nested)
+
+        visit(source.tree, "", None, False)
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def resolve(self, module: str, dotted: str) -> Optional[FunctionInfo]:
+        """Resolve a (possibly dotted) name as seen from ``module``."""
+        return self._resolve(module, dotted, 0)
+
+    def _resolve(self, module: str, dotted: str, depth: int
+                 ) -> Optional[FunctionInfo]:
+        if depth > _MAX_CHASE or not dotted:
+            return None
+        head, _, rest = dotted.partition(".")
+        local = self._module_defs.get(module, {}).get(head)
+        if local is not None:
+            return local if not rest else None
+        if head in self._classes.get(module, ()):
+            return self._method_on(module, head, rest, depth) if rest else None
+        target = self._imports.get(module, {}).get(head)
+        if target is not None:
+            absolute = f"{target}.{rest}" if rest else target
+            return self._resolve_absolute(absolute, depth + 1)
+        return self._resolve_absolute(dotted, depth + 1)
+
+    def _resolve_absolute(self, dotted: str, depth: int
+                          ) -> Optional[FunctionInfo]:
+        """Resolve ``pkg.mod.attr…`` from the root namespace."""
+        if depth > _MAX_CHASE:
+            return None
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:cut])
+            if self.ctx.module(module) is None:
+                continue
+            return self._resolve(module, ".".join(parts[cut:]), depth + 1)
+        return None
+
+    def _method_on(self, module: str, class_name: str, rest: str, depth: int
+                   ) -> Optional[FunctionInfo]:
+        if "." in rest:
+            return None
+        return self.method(module, class_name, rest, depth)
+
+    def method(self, module: str, class_name: str, name: str, depth: int = 0
+               ) -> Optional[FunctionInfo]:
+        """``name`` on ``class_name`` (walking known base classes)."""
+        if depth > _MAX_CHASE:
+            return None
+        info = self._methods.get((module, class_name), {}).get(name)
+        if info is not None:
+            return info
+        for base in self._bases.get((module, class_name), ()):
+            base_dotted = dotted_name(base)
+            if base_dotted is None:
+                continue
+            base_class = self._locate_class(module, base_dotted)
+            if base_class is None:
+                continue
+            found = self.method(base_class[0], base_class[1], name, depth + 1)
+            if found is not None:
+                return found
+        return None
+
+    def _locate_class(self, module: str, dotted: str
+                      ) -> Optional[Tuple[str, str]]:
+        """(defining module, class name) for a class reference."""
+        head, _, rest = dotted.partition(".")
+        if not rest and head in self._classes.get(module, ()):
+            return (module, head)
+        target = self._imports.get(module, {}).get(head)
+        if target is not None:
+            absolute = f"{target}.{rest}" if rest else target
+            owner, _, cls = absolute.rpartition(".")
+            while owner:
+                if cls in self._classes.get(owner, ()):
+                    return (owner, cls)
+                # Chase a re-export of the class name itself.
+                alias = self._imports.get(owner, {}).get(cls)
+                if alias is None:
+                    break
+                owner, _, cls = alias.rpartition(".")
+        return None
+
+    # ------------------------------------------------------------------
+    def resolve_call(
+        self,
+        call: ast.Call,
+        source: SourceFile,
+        enclosing_class: Optional[str] = None,
+        local_defs: Optional[Dict[str, FunctionInfo]] = None,
+        local_types: Optional[Dict[str, Tuple[str, str]]] = None,
+        local_aliases: Optional[Dict[str, ast.expr]] = None,
+    ) -> Optional[FunctionInfo]:
+        """Resolve a call site to the function it invokes, if the names
+        pin it down.
+
+        ``local_defs`` maps names of nested defs visible at the call
+        site; ``local_types`` maps local variables to the (module,
+        class) of the constructor that produced them; ``local_aliases``
+        maps simple local rebinds (``reject = self._reject``).
+        """
+        return self._resolve_callable(
+            call.func, source, enclosing_class, local_defs, local_types,
+            local_aliases, 0,
+        )
+
+    def _resolve_callable(
+        self,
+        func: ast.expr,
+        source: SourceFile,
+        enclosing_class: Optional[str],
+        local_defs: Optional[Dict[str, FunctionInfo]],
+        local_types: Optional[Dict[str, Tuple[str, str]]],
+        local_aliases: Optional[Dict[str, ast.expr]],
+        depth: int,
+    ) -> Optional[FunctionInfo]:
+        if depth > _MAX_CHASE:
+            return None
+        if isinstance(func, ast.Name):
+            if local_defs and func.id in local_defs:
+                return local_defs[func.id]
+            if local_aliases and func.id in local_aliases:
+                return self._resolve_callable(
+                    local_aliases[func.id], source, enclosing_class,
+                    local_defs, local_types, None, depth + 1,
+                )
+            return self.resolve(source.module, func.id)
+        if isinstance(func, ast.Attribute):
+            value = func.value
+            if isinstance(value, ast.Name):
+                if value.id == "self" and enclosing_class is not None:
+                    return self.method(
+                        source.module, enclosing_class, func.attr
+                    )
+                if local_types and value.id in local_types:
+                    mod, cls = local_types[value.id]
+                    return self.method(mod, cls, func.attr)
+            dotted = dotted_name(func)
+            if dotted is not None:
+                return self.resolve(source.module, dotted)
+        return None
+
+    # ------------------------------------------------------------------
+    def call_sites_of(self, target: FunctionInfo
+                      ) -> List[Tuple[SourceFile, "FunctionScope", ast.Call]]:
+        """Every resolvable call site of ``target`` across the tree."""
+        sites: List[Tuple[SourceFile, FunctionScope, ast.Call]] = []
+        for source in self.ctx.files:
+            for scope in iter_function_scopes(source):
+                for node in scope.walk_own():
+                    if not isinstance(node, ast.Call):
+                        continue
+                    resolved = self.resolve_call(
+                        node, source, scope.class_name,
+                        scope.local_defs(self), scope.local_types(self),
+                        scope.local_aliases(),
+                    )
+                    if resolved is target:
+                        sites.append((source, scope, node))
+        return sites
+
+
+# ======================================================================
+# Function scopes — the unit every flow rule iterates over
+# ======================================================================
+class FunctionScope:
+    """One function body plus the local context rules resolve against."""
+
+    def __init__(
+        self,
+        source: SourceFile,
+        node: ast.AST,
+        qualname: str,
+        class_name: Optional[str],
+        parents: Tuple["FunctionScope", ...] = (),
+    ) -> None:
+        self.source = source
+        self.node = node
+        self.qualname = qualname
+        self.class_name = class_name
+        self.parents = parents
+        self._own: Optional[List[ast.AST]] = None
+        self._aliases: Optional[Dict[str, ast.expr]] = None
+        self._types: Optional[Dict[str, Tuple[str, str]]] = None
+        self._defs: Optional[Dict[str, FunctionInfo]] = None
+
+    @property
+    def is_async(self) -> bool:
+        return isinstance(self.node, ast.AsyncFunctionDef)
+
+    def walk_own(self) -> List[ast.AST]:
+        """Every node of this function, *excluding* nested defs
+        (they get their own scope)."""
+        if self._own is None:
+            collected: List[ast.AST] = []
+            stack: List[ast.AST] = list(
+                ast.iter_child_nodes(self.node)
+            )
+            while stack:
+                node = stack.pop()
+                collected.append(node)
+                if isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+                ):
+                    continue
+                stack.extend(ast.iter_child_nodes(node))
+            self._own = collected
+        return self._own
+
+    def local_aliases(self) -> Dict[str, ast.expr]:
+        """``name -> expr`` for simple, single-assignment local rebinds
+        (``reject = self._reject``); multiply-assigned names drop out."""
+        if self._aliases is None:
+            seen: Dict[str, List[ast.expr]] = {}
+            for node in self.walk_own():
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target = node.targets[0]
+                    if isinstance(target, ast.Name):
+                        seen.setdefault(target.id, []).append(node.value)
+            self._aliases = {
+                name: values[0]
+                for name, values in seen.items()
+                if len(values) == 1
+                and isinstance(values[0], (ast.Name, ast.Attribute))
+            }
+        return self._aliases
+
+    def local_types(self, graph: CallGraph) -> Dict[str, Tuple[str, str]]:
+        """``var -> (module, class)`` for ``var = ClassName(...)``."""
+        if self._types is None:
+            types: Dict[str, Tuple[str, str]] = {}
+            for node in self.walk_own():
+                if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                    continue
+                target = node.targets[0]
+                if not (isinstance(target, ast.Name)
+                        and isinstance(node.value, ast.Call)):
+                    continue
+                dotted = dotted_name(node.value.func)
+                if dotted is None:
+                    continue
+                located = graph._locate_class(self.source.module, dotted)
+                if located is not None:
+                    types[target.id] = located
+            self._types = types
+        return self._types
+
+    def local_defs(self, graph: CallGraph) -> Dict[str, FunctionInfo]:
+        """Nested defs visible here: own children plus enclosing
+        scopes' (closure lookup order: innermost wins)."""
+        if self._defs is None:
+            defs: Dict[str, FunctionInfo] = {}
+            for scope in self.parents + (self,):
+                for child in ast.iter_child_nodes(scope.node):
+                    if isinstance(
+                        child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        info = graph.functions.get(
+                            (self.source.module,
+                             f"{scope.qualname}.<locals>.{child.name}")
+                        )
+                        if info is not None:
+                            defs[child.name] = info
+            self._defs = defs
+        return self._defs
+
+
+def iter_function_scopes(source: SourceFile) -> List[FunctionScope]:
+    """Every function/method/nested-def scope of one file, outermost
+    first."""
+    scopes: List[FunctionScope] = []
+
+    def visit(node: ast.AST, qual: str, class_name: Optional[str],
+              parents: Tuple[FunctionScope, ...]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = (
+                    f"{qual}.<locals>.{child.name}" if parents
+                    else (f"{qual}{child.name}")
+                )
+                scope = FunctionScope(
+                    source, child, qualname, class_name, parents
+                )
+                scopes.append(scope)
+                visit(child, qualname, class_name, parents + (scope,))
+            elif isinstance(child, ast.ClassDef):
+                visit(child, f"{child.name}.", child.name, parents)
+            else:
+                visit(child, qual, class_name, parents)
+
+    visit(source.tree, "", None, ())
+    return scopes

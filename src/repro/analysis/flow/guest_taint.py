@@ -1,0 +1,91 @@
+"""``flow.guest-taint`` — guest data must not steer hypervisor control.
+
+HyperTap's trust argument (paper §III, Fig 3) is that the monitor never
+*believes* the guest: everything it acts on is derived from hardware
+architectural invariants (``TR.base -> TSS.RSP0 -> task_struct``), not
+from values the guest wrote.  The event payload a VM exit carries —
+qualification words, guest registers, MSR write values — is exactly the
+state a compromised guest controls, so a payload value that reaches an
+EPT permission write, an interrupt injection, or a VM pause/resume
+decision is a trust-boundary crossing.
+
+This rule taints every parameter annotated as a ``GuestEvent`` subclass
+or ``VMExit`` (harvested from ``repro.core.events``) and drives the
+dataflow engine over the function's CFG, following calls through the
+repo-wide call graph via summaries.  Taint is laundered only by a
+**declared sanitizer** (``repro.core.derive.TAINT_SANITIZERS``) — a
+function whose return value is re-rooted in EPT-protected architectural
+state — or by an audited ``# hypertap: allow(flow.guest-taint)``
+pragma at the crossing, which is how the handful of paper-sanctioned
+crossings (e.g. Fig 3E: execute-protecting the page the guest's own
+``SYSENTER_EIP`` write names) are recorded.
+
+``repro.auditors.*`` is excluded: auditors *exist* to turn event
+contents into pause/resume verdicts, and the purity rule already pins
+them to that sanctioned, isolated API surface.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.flow import FlowIndex
+from repro.analysis.flow.callgraph import FunctionScope, iter_function_scopes
+from repro.analysis.flow.taint import TaintEngine, annotation_names
+from repro.analysis.repo import AnalysisContext
+from repro.analysis.rules import Rule, register
+
+#: Modules whose functions are *expected* to act on event contents:
+#: the auditor verdict path is the sanctioned crossing, policed by the
+#: purity rule instead.
+_EXCLUDED_PREFIXES = ("repro.auditors",)
+
+
+def _event_params(scope: FunctionScope, event_types) -> Dict[str, str]:
+    """param name -> source description for event-typed parameters."""
+    args = getattr(scope.node, "args", None)
+    if args is None or not hasattr(args, "args"):
+        return {}
+    sources: Dict[str, str] = {}
+    for arg in args.posonlyargs + args.args + args.kwonlyargs:
+        if arg.arg == "self":
+            continue
+        named = annotation_names(arg.annotation) & event_types
+        if named:
+            kind = sorted(named)[0]
+            sources[arg.arg] = f"{arg.arg}: {kind}"
+    return sources
+
+
+@register
+class GuestTaintRule(Rule):
+    id = "flow.guest-taint"
+    summary = (
+        "guest event payloads must not reach EPT/interrupt/VM-control "
+        "sinks without a declared repro.core.derive sanitizer"
+    )
+
+    def check(self, ctx: AnalysisContext) -> Iterator[Finding]:
+        index = FlowIndex.for_context(ctx)
+        engine = TaintEngine(index)
+        for source in ctx.files:
+            if source.module.startswith(_EXCLUDED_PREFIXES):
+                continue
+            for scope in iter_function_scopes(source):
+                sources = _event_params(scope, index.event_types)
+                if not sources:
+                    continue
+                collected: List[Tuple[int, str]] = []
+
+                def report(line: int, message: str) -> None:
+                    collected.append((line, message))
+
+                tainted = {
+                    name: frozenset({desc})
+                    for name, desc in sources.items()
+                }
+                engine.analyze(scope, tainted, report)
+                for line, message in sorted(collected):
+                    yield self.finding(source.rel, line, message)

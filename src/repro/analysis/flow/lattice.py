@@ -1,0 +1,54 @@
+"""Generic forward dataflow over :mod:`repro.analysis.flow.cfg` CFGs.
+
+A client supplies the lattice as three callables — ``initial`` state at
+the entry block, ``transfer(block, state) -> state``, and
+``join(a, b) -> state`` — plus equality by ``==``.  The driver runs a
+worklist to fixpoint and returns the *in-state* of every block, from
+which clients do one final reporting pass (running ``transfer`` again
+with finding collection enabled).
+
+States must be immutable values (frozensets, tuples, mapping proxies
+via dict copies); ``transfer`` must not mutate its input.  Termination
+is guaranteed for finite lattices; a generous iteration cap guards
+against a client with a broken ``join``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, TypeVar
+
+from repro.analysis.flow.cfg import CFG, Block
+
+S = TypeVar("S")
+
+#: Hard cap on worklist pops per CFG: |blocks| * this factor.
+_MAX_VISITS_PER_BLOCK = 16
+
+
+def forward(
+    cfg: CFG,
+    initial: S,
+    transfer: Callable[[Block, S], S],
+    join: Callable[[S, S], S],
+) -> Dict[int, S]:
+    """In-state of every reachable block at fixpoint.
+
+    Unreachable blocks (orphaned dead code) are absent from the result;
+    clients treat "no state" as bottom and skip them.
+    """
+    in_states: Dict[int, S] = {cfg.entry: initial}
+    worklist = [cfg.entry]
+    budget = max(1, len(cfg.blocks)) * _MAX_VISITS_PER_BLOCK
+    while worklist and budget > 0:
+        budget -= 1
+        block_id = worklist.pop()
+        block = cfg.blocks[block_id]
+        out_state = transfer(block, in_states[block_id])
+        for succ in block.succs:
+            known: Optional[S] = in_states.get(succ)
+            merged = out_state if known is None else join(known, out_state)
+            if known is None or merged != known:
+                in_states[succ] = merged
+                if succ not in worklist:
+                    worklist.append(succ)
+    return in_states

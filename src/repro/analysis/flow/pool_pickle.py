@@ -1,0 +1,229 @@
+"""``flow.pool-picklability`` — pool tasks must survive pickling.
+
+``repro.parallel.parallel_map`` ships its callable to worker processes,
+so the callable must be importable by reference: a module-level ``def``
+with picklable defaults.  A lambda, a nested def (closure), or a bound
+method of a local object dies at submission time — but only when
+``REPRO_JOBS > 1``, which is exactly when CI isn't looking.  PR 4
+maintained this as a written convention; this rule makes it a
+commit-time failure.
+
+Checked call sites (resolved through the call graph, so aliases and
+package re-exports count):
+
+* ``parallel_map(task, …)`` — the first positional (or ``fn=``)
+  argument;
+* ``asyncio.to_thread(parallel_map, task, …)`` — the serve layer's
+  off-loop fan-out pattern: the task is the *second* positional;
+* ``<pool>.submit(task, …)`` inside modules that import
+  ``concurrent.futures`` (the executor internals themselves).
+
+A task expression the resolver cannot pin to a module-level def is a
+finding too: "probably fine at jobs=1" is not a contract.  The one
+legitimate unresolvable shape — forwarding a function *parameter*, as
+``parallel_map`` itself does into ``pool.submit`` — is recognized and
+skipped when the parameter is visibly the enclosing function's own
+argument.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.flow import FlowIndex
+from repro.analysis.flow.callgraph import (
+    CallGraph,
+    FunctionScope,
+    iter_function_scopes,
+)
+from repro.analysis.repo import AnalysisContext
+from repro.analysis.rules import Rule, register
+
+
+def _is_parallel_map(call: ast.Call, graph: CallGraph, scope: FunctionScope
+                     ) -> bool:
+    resolved = graph.resolve_call(
+        call, scope.source, scope.class_name, scope.local_defs(graph),
+        scope.local_types(graph), scope.local_aliases(),
+    )
+    return (
+        resolved is not None
+        and resolved.name == "parallel_map"
+        and resolved.module.startswith("repro.parallel")
+    )
+
+
+def _task_expr(call: ast.Call, graph: CallGraph, scope: FunctionScope
+               ) -> Optional[Tuple[ast.expr, str]]:
+    """(task expression, site description) when this is a submit site."""
+    func = call.func
+    # parallel_map(task, items, ...)
+    if _is_parallel_map(call, graph, scope):
+        for kw in call.keywords:
+            if kw.arg == "fn":
+                return kw.value, "parallel_map()"
+        if call.args:
+            return call.args[0], "parallel_map()"
+        return None
+    # asyncio.to_thread(parallel_map, task, items, ...)
+    if isinstance(func, ast.Attribute) and func.attr == "to_thread":
+        if call.args and isinstance(call.args[0], (ast.Name, ast.Attribute)):
+            probe = ast.Call(func=call.args[0], args=[], keywords=[])
+            ast.copy_location(probe, call)
+            if _is_parallel_map(probe, graph, scope) and len(call.args) >= 2:
+                return call.args[1], "asyncio.to_thread(parallel_map, ...)"
+        return None
+    # pool.submit(task, ...) inside the executor implementation.
+    if isinstance(func, ast.Attribute) and func.attr == "submit":
+        if _imports_concurrent(scope.source.tree) and call.args:
+            return call.args[0], "executor submit()"
+    return None
+
+
+def _imports_concurrent(tree: ast.Module) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            if any(a.name.startswith("concurrent") for a in node.names):
+                return True
+        elif isinstance(node, ast.ImportFrom):
+            if (node.module or "").startswith("concurrent"):
+                return True
+    return False
+
+
+_PICKLABLE_DEFAULT = (
+    ast.Constant, ast.Name, ast.Attribute, ast.Tuple, ast.UnaryOp,
+)
+
+
+def _unpicklable_defaults(node: ast.AST) -> List[str]:
+    args = node.args
+    bad: List[str] = []
+    defaults = list(args.defaults) + [
+        d for d in args.kw_defaults if d is not None
+    ]
+    for default in defaults:
+        if isinstance(default, ast.Lambda):
+            bad.append("a lambda default")
+        elif not isinstance(default, _PICKLABLE_DEFAULT):
+            bad.append(
+                f"a computed default ({default.__class__.__name__})"
+            )
+    return bad
+
+
+@register
+class PoolPicklabilityRule(Rule):
+    id = "flow.pool-picklability"
+    summary = (
+        "callables handed to parallel_map/executor submit must resolve "
+        "to module-level defs with picklable defaults"
+    )
+
+    def check(self, ctx: AnalysisContext) -> Iterator[Finding]:
+        index = FlowIndex.for_context(ctx)
+        graph = index.callgraph
+        for source in ctx.files:
+            for scope in iter_function_scopes(source):
+                yield from self._check_scope(graph, scope)
+            # Module-level submit sites (rare but possible).
+            module_scope = FunctionScope(source, source.tree, "<module>", None)
+            yield from self._check_scope(graph, module_scope)
+
+    def _check_scope(self, graph: CallGraph, scope: FunctionScope
+                     ) -> Iterator[Finding]:
+        own_params = _param_name_set(scope.node)
+        for node in scope.walk_own():
+            if not isinstance(node, ast.Call):
+                continue
+            site = _task_expr(node, graph, scope)
+            if site is None:
+                continue
+            task, where = site
+            yield from self._check_task(graph, scope, node, task, where,
+                                        own_params)
+
+    def _check_task(self, graph, scope, call, task, where, own_params
+                    ) -> Iterator[Finding]:
+        rel = scope.source.rel
+        if isinstance(task, ast.Lambda):
+            yield self.finding(
+                rel, call.lineno,
+                f"lambda passed to {where}: lambdas cannot be pickled to "
+                f"worker processes; use a module-level def",
+            )
+            return
+        # functools.partial(fn, ...) — check the wrapped callable.
+        if isinstance(task, ast.Call):
+            attr = (
+                task.func.attr if isinstance(task.func, ast.Attribute)
+                else task.func.id if isinstance(task.func, ast.Name)
+                else None
+            )
+            if attr == "partial" and task.args:
+                yield from self._check_task(
+                    graph, scope, call, task.args[0], where, own_params
+                )
+                return
+            yield self.finding(
+                rel, call.lineno,
+                f"computed callable passed to {where}: the task must "
+                f"resolve statically to a module-level def",
+            )
+            return
+        if isinstance(task, ast.Name) and task.id in own_params:
+            # Forwarding the enclosing function's own callable parameter
+            # (the executor internals): the contract holds at the outer
+            # call site, which this rule checks separately.
+            return
+        resolved = None
+        if isinstance(task, (ast.Name, ast.Attribute)):
+            probe = ast.Call(func=task, args=[], keywords=[])
+            ast.copy_location(probe, call)
+            resolved = graph.resolve_call(
+                probe, scope.source, scope.class_name,
+                scope.local_defs(graph), scope.local_types(graph),
+                scope.local_aliases(),
+            )
+        if resolved is None:
+            yield self.finding(
+                rel, call.lineno,
+                f"cannot statically resolve the callable passed to "
+                f"{where}; pool tasks must be module-level defs "
+                f"(closures and bound locals break pickling)",
+            )
+            return
+        if resolved.is_nested:
+            yield self.finding(
+                rel, call.lineno,
+                f"nested def {resolved.name}() passed to {where}: "
+                f"closures cannot be pickled to worker processes; hoist "
+                f"it to module level",
+            )
+            return
+        if resolved.is_method:
+            yield self.finding(
+                rel, call.lineno,
+                f"bound method {resolved.class_name}.{resolved.name} "
+                f"passed to {where}: instance state does not ship to "
+                f"workers reliably; use a module-level def",
+            )
+            return
+        for problem in _unpicklable_defaults(resolved.node):
+            yield self.finding(
+                rel, call.lineno,
+                f"task {resolved.name}() passed to {where} has "
+                f"{problem}; defaults must be picklable literals",
+            )
+
+
+def _param_name_set(node: ast.AST) -> Set[str]:
+    args = getattr(node, "args", None)
+    if args is None or not hasattr(args, "args"):
+        return set()
+    return {
+        a.arg
+        for a in args.posonlyargs + args.args + args.kwonlyargs
+    }

@@ -1,0 +1,86 @@
+"""The declared-sanitizer registry for guest-taint analysis.
+
+A *sanitizer* is a function whose return value is trusted even when its
+arguments were guest-controlled, because it re-roots the value in
+hardware architectural state — the paper's derivation chains (Fig 3):
+``TR.base -> TSS.RSP0 -> task_struct`` walks read through EPT-protected
+kernel structures, not through anything the guest merely *claims*.
+
+The registry is **declared in the code under analysis**, not in the
+analyzer: ``repro.core.derive`` exports a ``TAINT_SANITIZERS`` tuple of
+``"func"`` / ``"Class.method"`` strings, and this module harvests it
+from the AST.  Adding a sanitizer is therefore a reviewed change to the
+derive layer (where the trust argument lives), and synthetic test trees
+can declare their own.  When the tree has no ``repro.core.derive`` (or
+no table), :data:`DEFAULT_SANITIZERS` — the shipped derive chain —
+applies, so fixture trees exercise realistic defaults.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import FrozenSet
+
+from repro.analysis.repo import AnalysisContext
+
+#: Module expected to declare the registry.
+SANITIZER_HOME = "repro.core.derive"
+SANITIZER_TABLE = "TAINT_SANITIZERS"
+
+#: Fallback mirroring the real ``repro.core.derive.TAINT_SANITIZERS``.
+DEFAULT_SANITIZERS = (
+    "ArchDeriver.task_gva_from_rsp0",
+    "ArchDeriver.task_info_at",
+    "ArchDeriver.task_info_from_rsp0",
+    "ArchDeriver.current_task_info",
+)
+
+
+@dataclass(frozen=True)
+class SanitizerSet:
+    """Names a call may match to launder taint."""
+
+    #: Bare callable names (``task_info_at``): matched against the
+    #: final attribute/name of a call target.  Receiver types are not
+    #: tracked, so a method sanitizer matches by method name — the
+    #: registry should therefore avoid generic names.
+    names: FrozenSet[str]
+    #: The declarations as written (``Class.method``), for messages.
+    declared: FrozenSet[str]
+
+    def matches(self, call: ast.Call) -> bool:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            return func.attr in self.names
+        if isinstance(func, ast.Name):
+            return func.id in self.names
+        return False
+
+
+def harvest_sanitizers(ctx: AnalysisContext) -> SanitizerSet:
+    """Read ``TAINT_SANITIZERS`` out of the tree's derive module."""
+    declared = None
+    source = ctx.module(SANITIZER_HOME)
+    if source is not None:
+        for node in source.tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            if not any(
+                isinstance(t, ast.Name) and t.id == SANITIZER_TABLE
+                for t in node.targets
+            ):
+                continue
+            if isinstance(node.value, (ast.Tuple, ast.List, ast.Set)):
+                declared = tuple(
+                    elt.value
+                    for elt in node.value.elts
+                    if isinstance(elt, ast.Constant)
+                    and isinstance(elt.value, str)
+                )
+    if declared is None:
+        declared = DEFAULT_SANITIZERS
+    return SanitizerSet(
+        names=frozenset(entry.rpartition(".")[2] for entry in declared),
+        declared=frozenset(declared),
+    )

@@ -63,3 +63,9 @@ def _ensure_loaded() -> None:
         purity,
         trust_boundary,
     )
+    from repro.analysis.flow import (  # noqa: F401
+        async_blocking,
+        guest_taint,
+        pool_pickle,
+        span_pairing,
+    )

@@ -11,14 +11,15 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.baseline import apply_baseline, load_baseline
 from repro.analysis.findings import Finding
 from repro.analysis.pragmas import PRAGMA_RULE
 from repro.analysis.repo import AnalysisContext
-from repro.analysis.rules import all_rules, rule_ids
+from repro.analysis.rules import REGISTRY, all_rules, rule_ids
 from repro.errors import ConfigurationError
 
 #: Schema version of the ``--json`` output.
@@ -51,20 +52,70 @@ class Report:
         return counts
 
 
+def expand_rule_patterns(patterns: Sequence[str]) -> List[str]:
+    """Resolve ``--rules`` entries to concrete rule ids.
+
+    An entry containing a glob metacharacter (``flow.*``) expands
+    against the registry; plain entries must name a rule exactly.  A
+    pattern matching nothing is a configuration error — a silently
+    empty selection would report "clean" without checking anything.
+    """
+    known = rule_ids()
+    selected: List[str] = []
+    for pattern in patterns:
+        if any(ch in pattern for ch in "*?["):
+            matched = [r for r in known if fnmatchcase(r, pattern)]
+            if not matched:
+                raise ConfigurationError(
+                    f"rule pattern {pattern!r} matches no rules "
+                    f"(known: {', '.join(known)})"
+                )
+            selected.extend(matched)
+        elif pattern not in known:
+            raise ConfigurationError(
+                f"unknown rule(s): {pattern} (known: {', '.join(known)})"
+            )
+        else:
+            selected.append(pattern)
+    return sorted(set(selected))
+
+
+#: Per-process context cache for ``--jobs`` workers, keyed by root.
+#: The parent primes its own entry before fanning out; forked workers
+#: inherit the parsed tree zero-copy, spawn-started workers (or a tree
+#: whose entry is missing for any reason) rebuild it on first use.
+_WORKER_CTX: Dict[str, AnalysisContext] = {}
+
+
+def _rule_task(task: Tuple[str, str]) -> List[Finding]:
+    """Run one rule over the (cached) context — the ``parallel_map``
+    unit of work.  Findings are frozen dataclasses, so the result
+    pickles back to the parent unchanged."""
+    root, rule_id = task
+    ctx = _WORKER_CTX.get(root)
+    if ctx is None:
+        ctx = AnalysisContext(Path(root), known_rules=set(rule_ids()))
+        _WORKER_CTX[root] = ctx
+    rule = REGISTRY[rule_id]()
+    return list(rule.check(ctx))
+
+
 def run_analysis(
     root: Path,
     selected_rules: Optional[Sequence[str]] = None,
     baseline: Optional[Path] = None,
+    jobs: int = 1,
 ) -> Report:
-    """Run the pass over the tree rooted at ``root``."""
+    """Run the pass over the tree rooted at ``root``.
+
+    ``jobs > 1`` fans rules across worker processes via
+    ``repro.parallel.parallel_map``; suppression, pragma audit and
+    baseline application stay in the parent, so the report is
+    byte-identical to a serial run.
+    """
     known = set(rule_ids())
     if selected_rules is not None:
-        unknown = sorted(set(selected_rules) - known)
-        if unknown:
-            raise ConfigurationError(
-                f"unknown rule(s): {', '.join(unknown)} "
-                f"(known: {', '.join(sorted(known))})"
-            )
+        selected_rules = expand_rule_patterns(selected_rules)
     ctx = AnalysisContext(root, known_rules=known)
 
     rules = [
@@ -73,8 +124,22 @@ def run_analysis(
         if selected_rules is None or rule.id in selected_rules
     ]
     raw: List[Finding] = list(ctx.parse_errors)
-    for rule in rules:
-        raw.extend(rule.check(ctx))
+    if jobs > 1 and len(rules) > 1:
+        from repro.parallel import parallel_map
+
+        key = str(root)
+        _WORKER_CTX[key] = ctx
+        try:
+            batches = parallel_map(
+                _rule_task, [(key, rule.id) for rule in rules], jobs=jobs
+            )
+        finally:
+            _WORKER_CTX.pop(key, None)
+        for batch in batches:
+            raw.extend(batch)
+    else:
+        for rule in rules:
+            raw.extend(rule.check(ctx))
 
     # Inline suppressions (marks pragmas used as a side effect).
     sheets = {source.rel: source.pragmas for source in ctx.files}
@@ -142,5 +207,71 @@ def render_json(report: Report) -> str:
         "suppressed": report.suppressed,
         "baselined": report.baselined,
         "clean": report.clean,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+#: Description for the synthetic pragma-hygiene rule in SARIF output.
+_PRAGMA_SUMMARY = "every hypertap pragma must be used and justified"
+
+
+def render_sarif(report: Report) -> str:
+    """SARIF 2.1.0 — the interchange format code-scanning UIs ingest.
+
+    Deterministic like the other renderers: rules sorted by id,
+    results in the report's canonical finding order, no timestamps.
+    """
+    summaries = {rule.id: rule.summary for rule in all_rules()}
+    summaries[PRAGMA_RULE] = _PRAGMA_SUMMARY
+    sarif_rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {
+                "text": summaries.get(rule_id, rule_id)
+            },
+        }
+        for rule_id in sorted(report.rules)
+    ]
+    results = [
+        {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {
+                            "startLine": max(1, finding.line),
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in report.findings
+    ]
+    payload = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "version": str(REPORT_VERSION),
+                        "informationUri": (
+                            "https://example.invalid/repro/analysis"
+                        ),
+                        "rules": sarif_rules,
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -296,6 +296,30 @@ def measure_figures(
     return walls
 
 
+def measure_analysis(jobs: int = 1) -> Dict[str, Any]:
+    """Wall seconds for a full ``repro.analysis`` sweep of this tree.
+
+    The flow rules made the analyzer interprocedural (call graph, CFGs,
+    taint summaries); this column keeps that cost visible so a rule
+    change that blows up the fixpoint shows up in ``--check`` instead
+    of in everyone's pre-commit latency.
+    """
+    from repro.analysis.__main__ import default_root
+    from repro.analysis.runner import run_analysis
+
+    root = default_root()
+    t0 = perf_counter()
+    report = run_analysis(root, jobs=jobs)
+    wall = perf_counter() - t0
+    return {
+        "wall_s": wall,
+        "files_scanned": report.files_scanned,
+        "findings": len(report.findings),
+        "rules": len(report.rules),
+        "jobs": jobs,
+    }
+
+
 def collect(
     scale: float = 1.0,
     jobs: int = 1,
@@ -319,6 +343,8 @@ def collect(
     serve = measure_serve(scale=scale)
     say(f"figures {', '.join(figures) or '(none)'} ...")
     figure_walls = measure_figures(figures, scale=scale)
+    say("static analysis wall ...")
+    analysis = measure_analysis()
     return {
         "schema": SCHEMA_VERSION,
         # hypertap: allow(determinism) — ledger provenance timestamp, never feeds a verdict
@@ -338,12 +364,14 @@ def collect(
             "obs_exit_to_verdict_mean_ns": obs["exit_to_verdict_mean_ns"],
             "serve_sustained_events_per_s": serve["sustained_events_per_s"],
             "serve_p99_exit_to_verdict_ns": serve["p99_exit_to_verdict_ns"],
+            "analysis_wall_s": analysis["wall_s"],
         },
         "detail": {
             "replay": replay,
             "campaign": campaign,
             "obs": obs,
             "serve": serve,
+            "analysis": analysis,
         },
     }
 
@@ -408,6 +436,11 @@ _DETERMINISTIC_METRIC_MAPS = (
 #: are skipped so older entries stay comparable as columns are added.
 _DETERMINISTIC_SCALARS = ("serve_p99_exit_to_verdict_ns",)
 
+#: Scalar wall-clock metrics where *higher* current values are
+#: regressions (same direction as ``figure_wall_s``).  Skip-if-missing
+#: keeps pre-column ledger entries comparable.
+_WALL_SCALARS = ("analysis_wall_s",)
+
 
 def _relative_change(previous: float, current: float) -> float:
     if previous <= 0:
@@ -457,6 +490,15 @@ def compare_entries(
                 f"{cur_walls[figure]:.2f}s "
                 f"({change:+.1%}, threshold +{threshold:.0%})"
             )
+    for name in _WALL_SCALARS:
+        if name not in prev_m or name not in cur_m:
+            continue
+        change = _relative_change(prev_m[name], cur_m[name])
+        if change > threshold:
+            problems.append(
+                f"{name}: {prev_m[name]:.2f}s -> {cur_m[name]:.2f}s "
+                f"({change:+.1%}, threshold +{threshold:.0%})"
+            )
     for name in _DETERMINISTIC_METRIC_MAPS:
         prev_map = prev_m.get(name)
         cur_map = cur_m.get(name)
@@ -490,6 +532,7 @@ __all__ = [
     "compare_entries",
     "latest_entry",
     "ledger_entries",
+    "measure_analysis",
     "measure_campaign",
     "measure_figures",
     "measure_obs",

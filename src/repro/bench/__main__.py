@@ -139,6 +139,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "burst p99 exit->verdict "
         + (f"{serve_p99:,.0f} ns" if serve_p99 is not None else "n/a")
     )
+    print(
+        f"analysis sweep:     {metrics['analysis_wall_s']:.2f}s "
+        f"({entry['detail']['analysis']['files_scanned']} files, "
+        f"{entry['detail']['analysis']['rules']} rules)"
+    )
     if not entry["detail"]["campaign"]["parallel_identical"]:
         print(
             "ERROR: parallel campaign diverged from the serial run",

@@ -87,17 +87,32 @@ class EventFanout:
         event_type = event.type
         self.events_published[event_type] += 1
         metrics = self.metrics
-        if metrics is not None:
-            cell = self._stage_cells.get(event_type)
-            if cell is None:
-                cell = metrics.counter(
-                    STAGE_COUNTER_LABELS[event_type],
-                    vm=self.vm_id,
-                    type=event_type.value,
-                )
-                self._stage_cells[event_type] = cell
-            cell.value += 1
-            metrics.span_begin(event)
+        if metrics is None:
+            self._deliver(event_type, event, blocking_charge)
+            return
+        cell = self._stage_cells.get(event_type)
+        if cell is None:
+            cell = metrics.counter(
+                STAGE_COUNTER_LABELS[event_type],
+                vm=self.vm_id,
+                type=event_type.value,
+            )
+            self._stage_cells[event_type] = cell
+        cell.value += 1
+        metrics.span_begin(event)
+        try:
+            self._deliver(event_type, event, blocking_charge)
+        finally:
+            # Close the span even when an auditor raises: a leaked span
+            # would silently swallow the next publish's hops.
+            metrics.span_end()
+
+    def _deliver(
+        self,
+        event_type: EventType,
+        event: GuestEvent,
+        blocking_charge: Optional[Callable[[Auditor, GuestEvent], None]],
+    ) -> None:
         for auditor, container in self._by_type[event_type]:
             if (
                 blocking_charge is not None
@@ -106,8 +121,6 @@ class EventFanout:
             ):
                 blocking_charge(auditor, event)
             container.deliver(auditor, event)
-        if metrics is not None:
-            metrics.span_end()
 
 
 class UnifiedChannel:

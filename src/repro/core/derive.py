@@ -35,7 +35,28 @@ from repro.hw.machine import Machine
 #: (Section IV-B's "layout knowledge"), not runtime guest state — so the
 #: deriver re-exports them and the trust-boundary rule keeps auditors
 #: from importing ``repro.guest.*`` directly.
-__all__ = ["ArchDeriver", "DerivedTaskInfo", "PF_KTHREAD", "TASK_STRUCT"]
+__all__ = [
+    "ArchDeriver",
+    "DerivedTaskInfo",
+    "PF_KTHREAD",
+    "TAINT_SANITIZERS",
+    "TASK_STRUCT",
+]
+
+#: Declared taint sanitizers for ``flow.guest-taint``: calls whose
+#: return value is trusted even when an argument was guest-controlled,
+#: because the result is re-rooted in EPT-protected architectural state
+#: (the ``TR.base -> TSS.RSP0 -> task_struct`` chain of Fig 3 walks
+#: hardware-anchored structures; it never *believes* its input, only
+#: uses it as a starting address for protected reads).  Adding an entry
+#: is a reviewed change to this module — the trust argument must live
+#: next to the derivation it blesses.
+TAINT_SANITIZERS = (
+    "ArchDeriver.task_gva_from_rsp0",
+    "ArchDeriver.task_info_at",
+    "ArchDeriver.task_info_from_rsp0",
+    "ArchDeriver.current_task_info",
+)
 
 
 @dataclass(frozen=True)

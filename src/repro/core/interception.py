@@ -337,6 +337,11 @@ class FastSyscallInterceptor(Interceptor):
     def on_exit(self, vcpu: VCPU, exit_event: VMExit) -> None:
         if exit_event.reason is ExitReason.WRMSR:
             if exit_event.qual("msr") == IA32_SYSENTER_EIP:
+                # Fig 3E: the guest's own SYSENTER_EIP write names the
+                # page to execute-protect; acting on it only ever
+                # *narrows* EPT permissions, so a lying guest can at
+                # worst trap its own syscall entry (fail-safe).
+                # hypertap: allow(flow.guest-taint) — fail-safe Fig 3E crossing, see above
                 self._protect_entry(exit_event.qual("value"))
             return
         if exit_event.qual("access") != "x":

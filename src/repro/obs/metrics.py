@@ -88,6 +88,20 @@ DROP_REASONS = frozenset(
     }
 )
 
+#: Every ``reason`` label a ``flow.rejected`` increment may carry.
+#: Rejections are the replay decoder's malformed-input bucket; the
+#: ``flow.span-pairing`` rule checks each ``flow.rejected`` call site —
+#: including ones that forward a reason through a helper like
+#: ``ReplaySource._reject`` — against this set, for the same
+#: accounting-identity reasons as :data:`DROP_REASONS`.
+REJECT_REASONS = frozenset(
+    {
+        "not-a-record",
+        "unknown-kind",
+        "decode",
+    }
+)
+
 #: Name prefixes belonging to the hypervisor-side (live-only) scope.
 #: ``transport.`` covers the serve socket layer: bytes/frames/credits
 #: are wall-clock-paced and may legitimately differ run to run, so they

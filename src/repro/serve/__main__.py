@@ -141,7 +141,7 @@ async def _cmd_run(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     if args.export is not None:
-        _write_lines(args.export, service.export(args.scope))
+        await asyncio.to_thread(_write_lines, args.export, service.export(args.scope))
     return 0
 
 
@@ -176,7 +176,7 @@ async def _cmd_load(args: argparse.Namespace) -> int:
     for payload in result["verdicts"]:
         print(_encode(payload), file=verdict_out)
     if args.export is not None and result["export"] is not None:
-        _write_lines(args.export, result["export"])
+        await asyncio.to_thread(_write_lines, args.export, result["export"])
     print(
         f"load complete: {len(result['verdicts'])} stream(s), "
         f"{result['slowdowns']} slowdown signal(s)",

@@ -119,7 +119,9 @@ class StreamService:
             await self._server.wait_closed()
             self._server = None
         try:
-            os.unlink(self.socket_path)
+            # Off-loop: unlink touches the filesystem and this runs on
+            # the loop thread during shutdown.
+            await asyncio.to_thread(os.unlink, self.socket_path)
         except OSError:
             pass
 

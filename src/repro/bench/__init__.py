@@ -9,7 +9,9 @@ appends one ``BENCH_<n>.json`` entry to the ledger directory
   measured speedup at the requested job count),
 * wall time per experiment figure (the :mod:`repro.experiments` grid),
 * service SLOs (:mod:`repro.serve`): sustained events/sec ingested and
-  p99 exit-to-verdict latency under a seeded burst.
+  p99 exit-to-verdict latency under a seeded burst,
+* hut differential throughput (:mod:`repro.testing.hut` fuzz
+  executions/sec through the real-stack + reference-model pair).
 
 Entries are numbered, never overwritten, and comparable: ``--check``
 diffs the fresh measurements against the most recent existing entry and
@@ -296,6 +298,46 @@ def measure_figures(
     return walls
 
 
+def measure_hut(scale: float = 1.0) -> Dict[str, Any]:
+    """hut-fuzz candidate throughput (executions/sec, wall-measured).
+
+    Runs one small fixed-seed clean campaign per target through the
+    full differential pair (real stack + reference model + oracle);
+    the resulting ``hut_execs_per_s`` column keeps the cost of one
+    fuzz execution visible — an emulation or oracle change that makes
+    candidates drastically slower shows up in ``--check``, not in the
+    nightly job's runtime.  Clean campaigns must stay silent; a finding
+    here is a correctness failure, reported in the detail block.
+    """
+    from repro.testing.hut import HutFuzzConfig, TARGETS, fuzz_hut
+
+    budget = max(4, int(round(8 * scale)))
+    per_target: Dict[str, Any] = {}
+    executions = 0
+    findings = 0
+    t0 = perf_counter()
+    for target in TARGETS:
+        result = fuzz_hut(
+            HutFuzzConfig(target=target, seed=2026, budget=budget)
+        )
+        executions += result.executions
+        findings += len(result.findings)
+        per_target[target] = {
+            "executions": result.executions,
+            "findings": len(result.findings),
+            "coverage_features": len(result.coverage),
+        }
+    wall = perf_counter() - t0
+    return {
+        "wall_s": wall,
+        "executions": executions,
+        "execs_per_s": executions / wall if wall > 0 else 0.0,
+        "budget_per_target": budget,
+        "clean": findings == 0,
+        "targets": per_target,
+    }
+
+
 def measure_analysis(jobs: int = 1) -> Dict[str, Any]:
     """Wall seconds for a full ``repro.analysis`` sweep of this tree.
 
@@ -343,6 +385,8 @@ def collect(
     serve = measure_serve(scale=scale)
     say(f"figures {', '.join(figures) or '(none)'} ...")
     figure_walls = measure_figures(figures, scale=scale)
+    say("hut differential throughput ...")
+    hut = measure_hut(scale=scale)
     say("static analysis wall ...")
     analysis = measure_analysis()
     return {
@@ -365,6 +409,7 @@ def collect(
             "serve_sustained_events_per_s": serve["sustained_events_per_s"],
             "serve_p99_exit_to_verdict_ns": serve["p99_exit_to_verdict_ns"],
             "analysis_wall_s": analysis["wall_s"],
+            "hut_execs_per_s": hut["execs_per_s"],
         },
         "detail": {
             "replay": replay,
@@ -372,6 +417,7 @@ def collect(
             "obs": obs,
             "serve": serve,
             "analysis": analysis,
+            "hut": hut,
         },
     }
 
@@ -421,6 +467,7 @@ _HIGHER_IS_BETTER = (
     "campaign_trials_per_s_serial",
     "campaign_trials_per_s_parallel",
     "serve_sustained_events_per_s",
+    "hut_execs_per_s",
 )
 
 #: Per-scenario metric maps that are pure functions of the virtual

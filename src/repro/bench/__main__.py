@@ -139,6 +139,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "burst p99 exit->verdict "
         + (f"{serve_p99:,.0f} ns" if serve_p99 is not None else "n/a")
     )
+    hut = entry["detail"]["hut"]
+    print(
+        f"hut differential:   {metrics['hut_execs_per_s']:,.1f} execs/s "
+        f"({hut['executions']} executions"
+        + ("" if hut["clean"] else ", FINDINGS ON CLEAN EMULATOR")
+        + ")"
+    )
     print(
         f"analysis sweep:     {metrics['analysis_wall_s']:.2f}s "
         f"({entry['detail']['analysis']['files_scanned']} files, "

@@ -10,7 +10,7 @@ an EPT violation that the vCPU turns into an ``EPT_VIOLATION`` VM Exit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.hw.exits import MemAccess
@@ -92,6 +92,65 @@ class ExtendedPageTable:
         if hfn < 0:
             raise SimulationError("negative host frame")
         self._entry(page_number(gpa)).hfn = hfn
+
+    # ------------------------------------------------------------------
+    # Introspection (used by self-consistency oracles, never by the
+    # guest path: nothing here counts violations or materializes state)
+    # ------------------------------------------------------------------
+    def entries(self) -> List[Tuple[int, int, bool, bool, bool]]:
+        """Sorted ``(gfn, hfn, r, w, x)`` snapshot of materialized entries."""
+        return sorted(
+            (gfn, e.hfn, e.read, e.write, e.execute)
+            for gfn, e in self._entries.items()
+        )
+
+    def probe(self, gpa: int, access: MemAccess) -> Tuple[bool, int]:
+        """Non-mutating walk: ``(allowed, hpa)``.
+
+        Unlike :meth:`translate` this neither increments ``violations``
+        nor lazily materializes an entry, so an oracle can re-walk the
+        table without perturbing the state it is checking.
+        """
+        entry = self._entries.get(page_number(gpa))
+        if entry is None:
+            return True, gpa
+        return entry.allows(access), (entry.hfn << PAGE_SHIFT) | page_offset(gpa)
+
+    def check_consistency(self) -> List[str]:
+        """Cross-check the walker against the permission map.
+
+        For every materialized entry the permission-map view
+        (:meth:`permissions`) and the walker view (:meth:`probe`,
+        :meth:`translate_nofault`) must agree — two independent paths
+        over the same state.  Returns human-readable problem strings;
+        empty means consistent.
+        """
+        problems: List[str] = []
+        for gfn in sorted(self._entries):
+            entry = self._entries[gfn]
+            gpa = gfn << PAGE_SHIFT
+            perms = self.permissions(gpa)
+            if perms != (entry.read, entry.write, entry.execute):
+                problems.append(
+                    f"gfn {gfn:#x}: permissions() disagrees with entry"
+                )
+            for access, allowed in (
+                (MemAccess.READ, entry.read),
+                (MemAccess.WRITE, entry.write),
+                (MemAccess.EXECUTE, entry.execute),
+            ):
+                probe_allowed, probe_hpa = self.probe(gpa, access)
+                if probe_allowed != allowed:
+                    problems.append(
+                        f"gfn {gfn:#x}: probe({access.value}) says "
+                        f"{probe_allowed}, entry says {allowed}"
+                    )
+                if probe_hpa != self.translate_nofault(gpa):
+                    problems.append(
+                        f"gfn {gfn:#x}: probe hpa {probe_hpa:#x} != "
+                        f"translate_nofault {self.translate_nofault(gpa):#x}"
+                    )
+        return problems
 
     # ------------------------------------------------------------------
     # Hardware-facing translation

@@ -47,3 +47,7 @@ class MsrFile:
 
     def known(self, index: int) -> bool:
         return index in self._values
+
+    def snapshot(self) -> Dict[int, int]:
+        """Copy of every architectural register (digest/oracle hook)."""
+        return dict(self._values)

@@ -9,8 +9,9 @@ loosely: ``cr3_load_exiting``, ``exception_bitmap`` and so on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Set
+from typing import Optional, Set, Tuple
 
+from repro.errors import SimulationError
 from repro.hw.exits import VMExit
 
 #: Interrupt/exception vectors used by the simulated platform.
@@ -39,6 +40,54 @@ class ExecutionControls:
     external_interrupt_exiting: bool = True
     hlt_exiting: bool = True
     apic_access_exiting: bool = True
+
+
+#: Bit positions of the boolean execution controls in the encoded
+#: control word (a stand-in for the VT-x pin/proc-based control fields;
+#: the exception bitmap occupies bits ``_EXCEPTION_SHIFT + vector``).
+CONTROL_BITS: Tuple[Tuple[str, int], ...] = (
+    ("cr3_load_exiting", 0),
+    ("msr_write_exiting", 1),
+    ("io_exiting", 2),
+    ("external_interrupt_exiting", 3),
+    ("hlt_exiting", 4),
+    ("apic_access_exiting", 5),
+)
+_EXCEPTION_SHIFT = 8
+_MAX_VECTOR = 0xFF
+
+
+def encode_controls(controls: ExecutionControls) -> int:
+    """Pack execution controls into one integer control word.
+
+    The word round-trips through :func:`decode_controls`; it is what
+    the hut digest and the VMCS property tests compare, so two control
+    states are equal iff their words are.
+    """
+    word = 0
+    for name, bit in CONTROL_BITS:
+        if getattr(controls, name):
+            word |= 1 << bit
+    for vector in controls.exception_bitmap:
+        if not 0 <= int(vector) <= _MAX_VECTOR:
+            raise SimulationError(f"exception vector {vector!r} out of range")
+        word |= 1 << (_EXCEPTION_SHIFT + int(vector))
+    return word
+
+
+def decode_controls(word: int) -> ExecutionControls:
+    """Inverse of :func:`encode_controls`."""
+    if word < 0 or word >> (_EXCEPTION_SHIFT + _MAX_VECTOR + 1):
+        raise SimulationError(f"control word {word:#x} out of range")
+    controls = ExecutionControls(
+        **{name: bool(word & (1 << bit)) for name, bit in CONTROL_BITS}
+    )
+    controls.exception_bitmap = {
+        vector
+        for vector in range(_MAX_VECTOR + 1)
+        if word & (1 << (_EXCEPTION_SHIFT + vector))
+    }
+    return controls
 
 
 @dataclass

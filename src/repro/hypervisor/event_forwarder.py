@@ -40,6 +40,17 @@ class EventForwarder:
         #: so the cache cannot outlive its rows).
         self._cells: dict = {}
 
+    @property
+    def seen(self) -> int:
+        """Exits observed by the EF: ``forwarded + suppressed``.
+
+        Conservation invariant: every exit the hypervisor handles while
+        this forwarder is attached shows up in exactly one of the two
+        counters, so ``seen`` must equal the hypervisor's handled-exit
+        count — the check the hut self-consistency oracle enforces.
+        """
+        return self.forwarded + self.suppressed
+
     def _cell(self, name: str, vm_id: str, reason) -> Counter:
         key = (name, vm_id, reason)
         cell = self._cells.get(key)

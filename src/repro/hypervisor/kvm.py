@@ -10,7 +10,7 @@ transparently, everything else is applied as the guest intended.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.hw.cpu import VCPU
 from repro.hw.exits import ExitAction, ExitReason, VMExit
@@ -45,6 +45,21 @@ class KvmHypervisor:
 
     def detach_forwarder(self) -> None:
         self.event_forwarder = None
+
+    def exit_reason_counts(self) -> Dict[str, int]:
+        """Handled exits per reason, keyed by reason value (sorted).
+
+        Introspection hook for the hut self-consistency oracle: the sum
+        over this map must equal ``handled_exits``, the machine's
+        ``total_exits``, and — when a forwarder is attached for the
+        whole run — the forwarder's ``seen``.
+        """
+        return {
+            reason.value: count
+            for reason, count in sorted(
+                self.exit_counts.items(), key=lambda kv: kv[0].value
+            )
+        }
 
     # ------------------------------------------------------------------
     def handle_exit(self, vcpu: VCPU, exit_event: VMExit) -> ExitAction:

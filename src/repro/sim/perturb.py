@@ -182,6 +182,23 @@ def perturbation_from_params(params: dict) -> SchedulePerturbation:
     )
 
 
+def interleave_perturbation(
+    seed: int, labels: Tuple[str, ...] = ("hut-op",)
+) -> SchedulePerturbation:
+    """Perturbation for the hut interleave differential: *only*
+    same-instant shuffles, scoped to the hut op labels.
+
+    No jitter, delays or drops — those would move ops across instants
+    and break the soundness argument (each vCPU's own program order must
+    be preserved; only the arbitration between vCPUs at one instant is
+    architecturally unspecified, so only that may vary).
+    """
+    return SchedulePerturbation(
+        seed=seed,
+        config=PerturbationConfig(shuffle_labels=tuple(labels)),
+    )
+
+
 def live_perturbation(
     seed: int,
     *,

@@ -20,7 +20,11 @@ auditors:
 * :mod:`repro.testing.corpus` — checked-in regression traces under
   ``tests/corpus/`` (every shrunk finding becomes one);
 * :mod:`repro.testing.seeds` — deterministic base traces, including
-  the seeded known-miss used by acceptance tests and the nightly job.
+  the seeded known-miss used by acceptance tests and the nightly job;
+* :mod:`repro.testing.hut` — the fuzzer turned around: the hypervisor
+  and hardware emulation as the system under test, checked against an
+  independent reference model, perturbed schedules, and the stack's own
+  redundant accounting (``hut-fuzz`` / ``hut-shrink``).
 
 Everything is seeded through :class:`repro.sim.rng.RandomStreams`, so a
 ``(seed, budget)`` pair names a byte-reproducible fuzzing campaign.
@@ -29,7 +33,7 @@ Everything is seeded through :class:`repro.sim.rng.RandomStreams`, so a
 from repro.testing.coverage import CoverageAuditor, CoverageMap
 from repro.testing.fuzzer import FuzzConfig, Fuzzer, FuzzResult
 from repro.testing.oracle import Discrepancy, DifferentialOracle, finding_key
-from repro.testing.shrink import shrink_trace
+from repro.testing.shrink import ddmin, shrink_trace
 
 __all__ = [
     "CoverageAuditor",
@@ -39,6 +43,7 @@ __all__ = [
     "FuzzConfig",
     "Fuzzer",
     "FuzzResult",
+    "ddmin",
     "finding_key",
     "shrink_trace",
 ]

@@ -1,4 +1,5 @@
-"""CLI: ``python -m repro.testing {fuzz,shrink,corpus,report}``.
+"""CLI: ``python -m repro.testing
+{fuzz,shrink,hut-fuzz,hut-shrink,corpus,report}``.
 
 * ``fuzz``   — run a seeded coverage-guided campaign, write findings as
   JSONL (byte-reproducible for a given ``--seed``/``--budget``); with
@@ -8,7 +9,14 @@
 * ``shrink`` — reduce a failing trace (or the built-in seeded
   known-miss) to a minimal reproducer and optionally save it as a
   corpus entry;
-* ``corpus`` — list or re-verify the checked-in regression entries;
+* ``hut-fuzz``   — the fuzzer turned around: differential fuzzing of
+  the hypervisor/hardware emulation itself (``repro.testing.hut``);
+  same reproducibility and ``--corpus-dir`` nightly contract, plus
+  ``--jobs`` shard fan-out and ``--obs-out`` metrics export;
+* ``hut-shrink`` — ddmin a hut witness program to a 1-minimal repro,
+  optionally saving it as a ``tests/corpus/hut-*.jsonl`` entry;
+* ``corpus`` — list or re-verify the checked-in regression entries
+  (both trace entries and hut program entries);
 * ``report`` — summarize a findings JSONL by key/kind/auditor.
 """
 
@@ -148,10 +156,143 @@ def cmd_shrink(args) -> int:
     return 0
 
 
+def cmd_hut_fuzz(args) -> int:
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.report import export_lines
+    from repro.testing.hut import (
+        HutFuzzConfig,
+        fuzz_hut,
+        hut_corpus_keys,
+        save_hut_finding,
+    )
+
+    config = HutFuzzConfig(
+        target=args.target,
+        seed=args.seed,
+        budget=args.budget,
+        length=args.length,
+        mutations=args.mutations,
+        bug=args.inject_bug,
+    )
+    result = fuzz_hut(config, jobs=args.jobs)
+
+    lines = _findings_lines(result.findings)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            for line in lines:
+                fh.write(line + "\n")
+    bug_note = f" (bug {config.bug})" if config.bug else ""
+    print(f"hut-fuzzed target {config.target!r}{bug_note}: "
+          f"{result.executions} executions (seed {config.seed})")
+    print(f"  coverage features:  {len(result.coverage)}")
+    print(f"  crashes:            {result.crashes}")
+    print(f"  findings:           {len(result.findings)} unique keys")
+    for key in result.unique_keys:
+        print(f"    {key}")
+    if args.out:
+        print(f"  findings written to {args.out}")
+
+    if args.artifacts:
+        for entry in result.findings:
+            path = save_hut_finding(
+                args.artifacts,
+                result.programs[entry["key"]],
+                entry,
+                bug=config.bug,
+                perturb_seed=entry.get("perturb_seed"),
+            )
+            print(f"  witness saved: {path}")
+
+    if args.obs_out:
+        metrics = MetricsRegistry()
+        metrics.counter(
+            "hut.execs", target=config.target
+        ).value = result.executions
+        metrics.counter(
+            "hut.crashes", target=config.target
+        ).value = result.crashes
+        by_kind: dict = {}
+        for entry in result.findings:
+            by_kind[entry["kind"]] = by_kind.get(entry["kind"], 0) + 1
+        for kind, count in sorted(by_kind.items()):
+            metrics.counter(
+                "hut.findings", target=config.target, kind=kind
+            ).value = count
+        with open(args.obs_out, "w", encoding="utf-8") as fh:
+            for line in export_lines(metrics.snapshot(), scope="pipeline"):
+                fh.write(line + "\n")
+        print(f"  obs export written to {args.obs_out}")
+
+    if args.corpus_dir is not None:
+        known = set(hut_corpus_keys(args.corpus_dir))
+        new = [k for k in result.unique_keys if k not in known]
+        if new:
+            print(f"NEW unshrunk hut findings (not in {args.corpus_dir}):",
+                  file=sys.stderr)
+            for key in new:
+                print(f"  {key}", file=sys.stderr)
+            print("shrink each with `python -m repro.testing hut-shrink` "
+                  "and check the result into the corpus.", file=sys.stderr)
+            return 1
+        print(f"  all finding keys already covered by {args.corpus_dir}")
+    return 0
+
+
+def cmd_hut_shrink(args) -> int:
+    from repro.testing.hut import (
+        load_program,
+        save_program,
+        save_hut_finding,
+        shrink_finding,
+    )
+
+    program = load_program(args.program)
+    finding = program.meta.get("finding") or {}
+    key = args.key or finding.get("key")
+    if key is None:
+        print("error: no --key given and none recorded in the program "
+              "header", file=sys.stderr)
+        return 2
+    bug = args.inject_bug or program.meta.get("bug")
+    perturb_seed = program.meta.get("perturb_seed")
+    if args.perturb_seed is not None:
+        perturb_seed = args.perturb_seed
+
+    original = len(program.ops)
+    reduced = shrink_finding(
+        program, key, bug=bug, perturb_seed=perturb_seed,
+        max_tests=args.max_tests, jobs=args.jobs,
+    )
+    ratio = len(reduced.ops) / max(1, original)
+    print(f"shrunk {original} -> {len(reduced.ops)} ops "
+          f"({ratio:.1%}) for {key}")
+
+    if args.corpus_dir is not None:
+        if not finding:
+            finding = {"key": key}
+        path = save_hut_finding(
+            args.corpus_dir, reduced, finding,
+            bug=bug, perturb_seed=perturb_seed,
+            original_ops=original,
+        )
+        print(f"saved hut corpus entry {path}")
+    elif args.out:
+        save_program(args.out, reduced)
+        print(f"saved shrunk program to {args.out}")
+    return 0
+
+
 def cmd_corpus(args) -> int:
+    from repro.testing.hut import (
+        hut_corpus_entries,
+        load_program,
+        verify_hut_entry,
+    )
+
     entries = corpus_entries(args.dir)
+    hut_entries = hut_corpus_entries(args.dir)
     if args.action == "list":
-        if not entries:
+        if not entries and not hut_entries:
             print(f"(no corpus entries under {args.dir})")
             return 0
         for path in entries:
@@ -160,6 +301,15 @@ def cmd_corpus(args) -> int:
                 finding = trace.header.meta.get("finding") or {}
                 print(f"{path}: {finding.get('key', '(no key)')} "
                       f"[{len(trace.records)} records]")
+            except TraceFormatError as exc:
+                print(f"{path}: UNREADABLE ({exc})")
+        for path in hut_entries:
+            try:
+                program = load_program(path)
+                finding = program.meta.get("finding") or {}
+                tag = " (fixed)" if program.meta.get("fixed") else ""
+                print(f"{path}: {finding.get('key', '(no key)')}{tag} "
+                      f"[{len(program.ops)} ops]")
             except TraceFormatError as exc:
                 print(f"{path}: UNREADABLE ({exc})")
         return 0
@@ -171,7 +321,14 @@ def cmd_corpus(args) -> int:
         print(f"{status:6s} {path}: {detail}")
         if not ok:
             failures += 1
-    print(f"verified {len(entries)} entries, {failures} failures")
+    for path in hut_entries:
+        ok, detail = verify_hut_entry(path)
+        status = "ok" if ok else "FAILED"
+        print(f"{status:6s} {path}: {detail}")
+        if not ok:
+            failures += 1
+    total = len(entries) + len(hut_entries)
+    print(f"verified {total} entries, {failures} failures")
     return 1 if failures else 0
 
 
@@ -246,6 +403,66 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_shrink.add_argument("--corpus-dir", default=None,
                           help="save the shrunk trace as a corpus entry")
     p_shrink.set_defaults(func=cmd_shrink)
+
+    p_hut = sub.add_parser(
+        "hut-fuzz",
+        help="differential-fuzz the hypervisor/hardware emulation",
+    )
+    from repro.testing.hut.bugs import SEEDED_BUGS as _HUT_BUGS
+    from repro.testing.hut.program import TARGETS as _HUT_TARGETS
+
+    p_hut.add_argument("--target", default="ept",
+                       choices=sorted(_HUT_TARGETS))
+    p_hut.add_argument("--seed", type=int, default=0)
+    p_hut.add_argument("--budget", type=int, default=60,
+                       help="candidate executions across all shards")
+    p_hut.add_argument("--length", type=int, default=48,
+                       help="ops in each shard's baseline program")
+    p_hut.add_argument("--mutations", type=int, default=2)
+    p_hut.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for the shard fan-out "
+                            "(default: REPRO_JOBS; results are "
+                            "byte-identical at any job count)")
+    p_hut.add_argument("--inject-bug", default=None,
+                       choices=sorted(_HUT_BUGS),
+                       help="run with this seeded emulator bug "
+                            "(mutation-kill audit)")
+    p_hut.add_argument("--out", default=None,
+                       help="write findings JSONL here")
+    p_hut.add_argument("--artifacts", default=None,
+                       help="save the first program exhibiting each "
+                            "finding key into this directory")
+    p_hut.add_argument("--obs-out", default=None,
+                       help="write hut.* metrics (canonical obs export "
+                            "lines) here")
+    p_hut.add_argument("--corpus-dir", default=None,
+                       help="fail only on finding keys not already "
+                            "covered by hut-* corpus entries "
+                            "(nightly mode)")
+    p_hut.set_defaults(func=cmd_hut_fuzz)
+
+    p_hshrink = sub.add_parser(
+        "hut-shrink", help="minimize a hut witness program"
+    )
+    p_hshrink.add_argument("program", help="hut program JSONL file")
+    p_hshrink.add_argument("--key", default=None,
+                           help="finding key to preserve (default: the "
+                                "one recorded in the program header)")
+    p_hshrink.add_argument("--inject-bug", default=None,
+                           choices=sorted(_HUT_BUGS),
+                           help="seeded bug to re-inject (default: the "
+                                "one recorded in the program header)")
+    p_hshrink.add_argument("--perturb-seed", type=int, default=None)
+    p_hshrink.add_argument("--max-tests", type=int, default=400)
+    p_hshrink.add_argument("--jobs", type=int, default=None,
+                           help="speculative ddmin workers (result is "
+                                "byte-identical at any job count)")
+    p_hshrink.add_argument("--out", default=None,
+                           help="write the shrunk program here")
+    p_hshrink.add_argument("--corpus-dir", default=None,
+                           help="save the shrunk program as a hut "
+                                "corpus entry")
+    p_hshrink.set_defaults(func=cmd_hut_shrink)
 
     p_corpus = sub.add_parser("corpus", help="list/verify regression "
                                              "entries")

@@ -67,13 +67,17 @@ def save_finding(
 
 
 def corpus_entries(corpus_dir: str = DEFAULT_CORPUS_DIR) -> List[str]:
+    """Replay-trace corpus entries (hut program entries are ``hut-*``
+    files in a different format; see :mod:`repro.testing.hut.corpus`)."""
     directory = pathlib.Path(corpus_dir)
     if not directory.is_dir():
         return []
     return sorted(
         str(p)
         for p in directory.iterdir()
-        if p.suffix in (".jsonl", ".gz") and p.is_file()
+        if p.suffix in (".jsonl", ".gz")
+        and p.is_file()
+        and not p.name.startswith("hut-")
     )
 
 

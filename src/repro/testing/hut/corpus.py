@@ -1,0 +1,129 @@
+"""Hut regression corpus: shrunk divergence witnesses as test cases.
+
+Hut entries live next to the replay-trace corpus under
+``tests/corpus/`` but with a ``hut-`` name prefix and the hut program
+JSONL format (header line + op lines); the trace-corpus loaders skip
+them by prefix, and ``tests/test_corpus_regressions.py`` auto-discovers
+them for replay.
+
+Two entry flavours, distinguished by the ``fixed`` meta flag:
+
+* **bug witnesses** (``fixed: false``) — a shrunk program plus the
+  seeded bug it kills: verification re-injects the bug and asserts the
+  recorded finding key reproduces.  These pin the oracles' detection
+  power (mutation-kill regression).
+* **clean witnesses** (``fixed: true``) — the same program replayed on
+  the *unmodified* emulator must produce **no** findings at all: the
+  differential agreement itself is the regression property.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.testing.corpus import DEFAULT_CORPUS_DIR
+from repro.testing.hut.bugs import SEEDED_BUGS
+from repro.testing.hut.fuzzer import run_candidate
+from repro.testing.hut.program import (
+    HutProgram,
+    load_program,
+    save_program,
+)
+
+#: File-name prefix separating hut entries from trace entries.
+HUT_PREFIX = "hut-"
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^a-z0-9]+", "-", text.lower()).strip("-") or "finding"
+
+
+def hut_entry_name(finding: Dict[str, Any]) -> str:
+    """Canonical ``hut-*.jsonl`` file name for one finding."""
+    subject = finding.get("subject") or {}
+    parts = [finding.get("kind", "finding"), finding.get("auditor", "hut")]
+    parts.extend(f"{k}-{subject[k]}" for k in sorted(subject))
+    return HUT_PREFIX + _slug("-".join(str(p) for p in parts)) + ".jsonl"
+
+
+def save_hut_finding(
+    corpus_dir: str,
+    program: HutProgram,
+    finding: Dict[str, Any],
+    bug: Optional[str] = None,
+    perturb_seed: Optional[int] = None,
+    fixed: bool = False,
+    original_ops: Optional[int] = None,
+) -> str:
+    """Persist one (shrunk) hut witness; returns the file path."""
+    entry = program.replace_ops(program.ops)
+    entry.meta["finding"] = dict(finding)
+    entry.meta["bug"] = bug
+    entry.meta["perturb_seed"] = perturb_seed
+    entry.meta["fixed"] = bool(fixed)
+    if original_ops is not None:
+        entry.meta["original_ops"] = original_ops
+    directory = pathlib.Path(corpus_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / hut_entry_name(finding)
+    save_program(str(path), entry)
+    return str(path)
+
+
+def hut_corpus_entries(
+    corpus_dir: str = DEFAULT_CORPUS_DIR,
+) -> List[str]:
+    directory = pathlib.Path(corpus_dir)
+    if not directory.is_dir():
+        return []
+    return sorted(
+        str(p)
+        for p in directory.iterdir()
+        if p.name.startswith(HUT_PREFIX)
+        and p.suffix == ".jsonl"
+        and p.is_file()
+    )
+
+
+def hut_corpus_keys(corpus_dir: str = DEFAULT_CORPUS_DIR) -> List[str]:
+    """Finding keys already covered by checked-in hut witnesses."""
+    keys = []
+    for path in hut_corpus_entries(corpus_dir):
+        program = load_program(path)
+        key = (program.meta.get("finding") or {}).get("key")
+        if key and not program.meta.get("fixed"):
+            keys.append(str(key))
+    return sorted(set(keys))
+
+
+def verify_hut_entry(path: str) -> Tuple[bool, str]:
+    """Replay one hut corpus entry against its recorded expectation."""
+    program = load_program(path)
+    finding = program.meta.get("finding") or {}
+    key = finding.get("key")
+    bug = program.meta.get("bug")
+    fixed = bool(program.meta.get("fixed"))
+    perturb_seed = program.meta.get("perturb_seed")
+    if not fixed and not key:
+        return False, "no finding key recorded in the program header"
+    if bug is not None and bug not in SEEDED_BUGS:
+        return False, f"unknown seeded bug {bug!r}"
+    findings, _features, _harness = run_candidate(
+        program,
+        bug=None if fixed else bug,
+        perturb_seed=perturb_seed,
+    )
+    found = {f.key() for f in findings}
+    if fixed:
+        if found:
+            return False, (
+                f"clean witness produced findings: {sorted(found)}"
+            )
+        return True, "clean witness: differential agreement holds"
+    if key in found:
+        return True, f"reproduced {key}"
+    return False, (
+        f"expected {key}, replay produced {sorted(found) or 'none'}"
+    )

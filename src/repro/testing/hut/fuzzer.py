@@ -1,0 +1,344 @@
+"""The hypervisor-under-test fuzzing loop: coverage-guided, sharded,
+byte-reproducible.
+
+Structure mirrors :mod:`repro.testing.fuzzer` (the auditor-conformance
+fuzzer) with the differential pair swapped: candidates are op programs,
+execution is the real machine/hypervisor stack, and the oracle is the
+three-way check of :mod:`repro.testing.hut.oracle` instead of auditor
+ground truth.
+
+Reproducibility contract: a campaign is a pure function of
+``(target, seed, budget, bug)``.  Internally the campaign ALWAYS runs
+as :data:`HUT_SHARDS` independent shards — each a pure function of its
+derived ``(shard seed, shard budget)`` — merged in shard order.  The
+shard split does not depend on the job count, and
+:func:`repro.parallel.parallel_map` returns ``[fn(s) for s in shards]``
+at any job count, so ``--jobs 1`` and ``--jobs 2`` are byte-identical
+by construction (asserted in ``tests/test_hut_fuzzer.py``).
+
+Coverage features are *execution shapes* (op outcome, per-vCPU op
+adjacency, exit reasons reached, rejection classes) rather than
+branches — the hut analogue of the stream-shape features in
+:mod:`repro.testing.coverage`, reusing its :class:`CoverageMap`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.parallel import derive_seed, parallel_map
+from repro.sim.perturb import interleave_perturbation
+from repro.sim.rng import RandomStreams
+from repro.testing.coverage import CoverageMap
+from repro.testing.hut.bugs import SEEDED_BUGS
+from repro.testing.hut.harness import HutHarness
+from repro.testing.hut.mutators import mutate_program
+from repro.testing.hut.oracle import evaluate
+from repro.testing.hut.program import (
+    TARGETS,
+    HutOp,
+    HutProgram,
+    generate_program,
+)
+from repro.testing.hut.reference import ReferenceModel
+from repro.testing.shrink import ddmin
+
+#: Fixed shard count — part of the determinism contract, never derived
+#: from the job count.
+HUT_SHARDS = 2
+
+
+@dataclass
+class HutFuzzConfig:
+    """One hut campaign's parameters."""
+
+    target: str = "ept"
+    seed: int = 0
+    #: Candidate executions across all shards (iteration 0 of each
+    #: shard is its unmutated generated baseline).
+    budget: int = 60
+    #: Ops in each shard's baseline program.
+    length: int = 48
+    #: Mutation operators applied per candidate.
+    mutations: int = 2
+    #: Per-shard seed-pool cap.
+    max_pool: int = 24
+    #: Inject this seeded bug into every harness (mutation-kill audit).
+    bug: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.target not in TARGETS:
+            raise ValueError(f"unknown hut target {self.target!r}")
+        if self.bug is not None and self.bug not in SEEDED_BUGS:
+            raise ValueError(f"unknown seeded bug {self.bug!r}")
+
+
+@dataclass
+class HutFuzzResult:
+    """Merged campaign outcome."""
+
+    config: HutFuzzConfig
+    executions: int = 0
+    crashes: int = 0
+    #: One dict per *unique* finding key, in discovery order (shard
+    #: order, then iteration order within the shard).
+    findings: List[Dict[str, Any]] = field(default_factory=list)
+    coverage: CoverageMap = field(default_factory=CoverageMap)
+    #: Witness program per finding key (the first candidate that
+    #: exhibited it).
+    programs: Dict[str, HutProgram] = field(default_factory=dict)
+
+    @property
+    def unique_keys(self) -> List[str]:
+        return sorted(f["key"] for f in self.findings)
+
+    def report(self) -> Dict[str, Any]:
+        """Canonical JSON-ready summary (what ``hut-fuzz`` prints;
+        byte-compared by the reproducibility tests)."""
+        return {
+            "target": self.config.target,
+            "seed": self.config.seed,
+            "budget": self.config.budget,
+            "bug": self.config.bug,
+            "shards": HUT_SHARDS,
+            "executions": self.executions,
+            "crashes": self.crashes,
+            "coverage_features": len(self.coverage),
+            "findings": self.findings,
+        }
+
+
+# ======================================================================
+# Candidate execution
+# ======================================================================
+def run_candidate(
+    program: HutProgram,
+    bug: Optional[str] = None,
+    perturb_seed: Optional[int] = None,
+) -> Tuple[List[Any], Set[str], HutHarness]:
+    """Execute one candidate through the full differential pair.
+
+    Runs the real stack, the reference model, and — when
+    ``perturb_seed`` is given — a second real-stack run under a
+    same-instant interleave shuffle; returns ``(findings, coverage
+    features, the baseline harness)``.
+    """
+    injector = SEEDED_BUGS[bug] if bug is not None else None
+    harness = HutHarness(program, bug=injector)
+    harness.run()
+    reference = ReferenceModel(program)
+    reference.run()
+
+    perturbed_digest = None
+    if perturb_seed is not None:
+        perturbed = HutHarness(
+            program,
+            perturb=interleave_perturbation(perturb_seed),
+            bug=injector,
+        )
+        perturbed.run()
+        perturbed_digest = perturbed.digest()
+
+    findings = evaluate(
+        program.target, harness, reference.digest(), perturbed_digest
+    )
+
+    features: Set[str] = set()
+    prev_by_vcpu: Dict[int, str] = {}
+    for vcpu, _seq, op, status, _value in harness.execution.results:
+        features.add(f"op:{op}:{status}")
+        if status.startswith("reject:"):
+            features.add(f"reject:{status.split(':', 1)[1]}")
+        prev = prev_by_vcpu.get(vcpu)
+        if prev is not None:
+            features.add(f"t:{prev}>{op}")
+        prev_by_vcpu[vcpu] = op
+    for reason, count in harness.kvm.exit_reason_counts().items():
+        features.add(f"exit:{reason}")
+        if count > 1:
+            features.add(f"exit:{reason}:multi")
+    if harness.machine.ept.violations:
+        features.add("viol")
+    if harness.execution.crash is not None:
+        features.add(f"crash:{harness.execution.crash['error']}")
+    return findings, features, harness
+
+
+# ======================================================================
+# Shard loop (pure in its task tuple; runs in worker processes)
+# ======================================================================
+def _shard_loop(
+    target: str,
+    shard_seed: int,
+    budget: int,
+    length: int,
+    mutations: int,
+    max_pool: int,
+    bug: Optional[str],
+) -> Dict[str, Any]:
+    rng = RandomStreams(shard_seed).stream("hut-fuzz")
+    coverage = CoverageMap()
+    findings: List[Dict[str, Any]] = []
+    programs: Dict[str, List[Dict[str, Any]]] = {}
+    crashes = 0
+    executions = 0
+    pool: List[HutProgram] = [
+        generate_program(target, shard_seed, length=length)
+    ]
+
+    for iteration in range(budget):
+        if iteration == 0:
+            candidate, applied = pool[0], []
+        else:
+            parent = pool[rng.randrange(len(pool))]
+            candidate, applied = mutate_program(parent, rng, mutations)
+        perturb_seed = (
+            rng.randrange(2**31) if target == "interleave" else None
+        )
+        found, features, _harness = run_candidate(
+            candidate, bug=bug, perturb_seed=perturb_seed
+        )
+        executions += 1
+        candidate_cov = CoverageMap(features)
+        if coverage.merge(candidate_cov) and len(pool) < max_pool:
+            if iteration > 0:
+                pool.append(candidate)
+        known = {f["key"] for f in findings}
+        for disc in found:
+            if disc.kind == "crash":
+                crashes += 1
+            entry = disc.as_dict()
+            if entry["key"] in known:
+                continue
+            known.add(entry["key"])
+            entry.update(
+                target=target,
+                bug=bug,
+                iteration=iteration,
+                mutators=list(applied),
+                perturb_seed=perturb_seed,
+                ops=len(candidate.ops),
+            )
+            findings.append(entry)
+            programs[entry["key"]] = [
+                op.to_record() for op in candidate.ops
+            ]
+    return {
+        "executions": executions,
+        "crashes": crashes,
+        "findings": findings,
+        "programs": programs,
+        "coverage": coverage.sorted_features(),
+        "num_vcpus": pool[0].num_vcpus,
+    }
+
+
+def _hut_shard_task(task: Tuple) -> Dict[str, Any]:
+    """Picklable per-shard entry point for the parallel executor."""
+    return _shard_loop(*task)
+
+
+# ======================================================================
+# Campaign
+# ======================================================================
+def fuzz_hut(
+    config: HutFuzzConfig, jobs: Optional[int] = None
+) -> HutFuzzResult:
+    """Run one campaign as :data:`HUT_SHARDS` shards, merged in order."""
+    base = config.budget // HUT_SHARDS
+    extra = config.budget % HUT_SHARDS
+    tasks = []
+    for shard in range(HUT_SHARDS):
+        shard_budget = base + (1 if shard < extra else 0)
+        if shard_budget == 0:
+            continue
+        tasks.append((
+            config.target,
+            derive_seed(config.seed, "hut", config.target, shard),
+            shard_budget,
+            config.length,
+            config.mutations,
+            config.max_pool,
+            config.bug,
+        ))
+    shard_results = parallel_map(_hut_shard_task, tasks, jobs=jobs)
+
+    result = HutFuzzResult(config=config)
+    known: Set[str] = set()
+    for shard, shard_result in enumerate(shard_results):
+        result.executions += shard_result["executions"]
+        result.crashes += shard_result["crashes"]
+        result.coverage.merge(CoverageMap(shard_result["coverage"]))
+        for entry in shard_result["findings"]:
+            if entry["key"] in known:
+                continue
+            known.add(entry["key"])
+            entry = dict(entry)
+            entry["shard"] = shard
+            result.findings.append(entry)
+            result.programs[entry["key"]] = HutProgram(
+                target=config.target,
+                seed=config.seed,
+                num_vcpus=shard_result["num_vcpus"],
+                ops=[
+                    HutOp.from_record(record)
+                    for record in shard_result["programs"][entry["key"]]
+                ],
+            )
+    return result
+
+
+# ======================================================================
+# Shrinking
+# ======================================================================
+class HutFindingPredicate:
+    """Picklable "does this op subset still exhibit the finding?".
+
+    Instances are module-level-class objects, so :func:`ddmin` can ship
+    them to worker processes when shrinking with ``jobs > 1``.
+    """
+
+    def __init__(
+        self,
+        template: HutProgram,
+        key: str,
+        bug: Optional[str] = None,
+        perturb_seed: Optional[int] = None,
+    ) -> None:
+        self.template = template.replace_ops([])
+        self.key = key
+        self.bug = bug
+        self.perturb_seed = perturb_seed
+
+    def __call__(self, ops: List[HutOp]) -> bool:
+        program = self.template.replace_ops(ops)
+        try:
+            findings, _features, _harness = run_candidate(
+                program, bug=self.bug, perturb_seed=self.perturb_seed
+            )
+        except Exception:  # noqa: BLE001 - a crashing candidate is not a repro
+            return False
+        return any(f.key() == self.key for f in findings)
+
+
+def shrink_finding(
+    program: HutProgram,
+    key: str,
+    bug: Optional[str] = None,
+    perturb_seed: Optional[int] = None,
+    max_tests: int = 400,
+    jobs: Optional[int] = None,
+) -> HutProgram:
+    """ddmin the witness program down to a 1-minimal repro of ``key``.
+
+    Raises ``ValueError`` when the finding does not reproduce on the
+    unshrunk program (same contract as :func:`~repro.testing.shrink.ddmin`).
+    """
+    predicate = HutFindingPredicate(
+        program, key, bug=bug, perturb_seed=perturb_seed
+    )
+    reduced = ddmin(
+        list(program.ops), predicate, max_tests=max_tests, jobs=jobs
+    )
+    return program.replace_ops(reduced)

@@ -1,0 +1,361 @@
+"""The hut harness: run an op program on the *real* emulation stack.
+
+This is the system-under-test half of the differential pair.  A
+:class:`HutHarness` builds a genuine :class:`~repro.hw.machine.Machine`
+with a :class:`~repro.hypervisor.kvm.KvmHypervisor`, Event Forwarder
+and Event Multiplexer attached — the same composition every scenario in
+``repro.guest`` runs on — and executes each op through the vCPU's
+``guest_*`` trap-and-emulate doors.  Nothing is stubbed: EPT walks,
+guest page tables, VMCS control checks, exit dispatch, forwarding and
+fan-out all take their production paths.
+
+Two execution modes:
+
+* **direct** — ops run in program order on the calling thread (the
+  ``ept``/``msr``/``dispatch`` targets);
+* **engine** — each op is scheduled on the simulation engine at a
+  per-vCPU instant (op *j* of every vCPU collides at the same time), so
+  a :class:`~repro.sim.perturb.SchedulePerturbation` restricted to
+  same-instant shuffles explores cross-vCPU interleavings while each
+  vCPU's own order — the only order architecture guarantees — is
+  preserved.  That restriction is what makes the schedule differential
+  sound: on a correct emulator whose vCPUs touch disjoint state, every
+  admitted interleaving must produce the same digest.
+
+The digest (:meth:`HutHarness.digest`) captures exactly the
+invariant-relevant state the reference model can independently
+recompute; see ``reference.py`` for the field-by-field contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import GuestPageFault, SimulationError
+from repro.hw.cpu import VCPU
+from repro.hw.exits import ExitReason, MemAccess, VMExit
+from repro.hw.machine import Machine, MachineConfig
+from repro.hw.memory import PAGE_SIZE
+from repro.hw.tss import RSP0_OFFSET, TssView
+from repro.hw.vmcs import encode_controls
+from repro.hypervisor.event_forwarder import EventForwarder
+from repro.hypervisor.event_multiplexer import EventMultiplexer
+from repro.hypervisor.kvm import KvmHypervisor
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.engine import Engine
+from repro.sim.perturb import SchedulePerturbation
+from repro.testing.hut.program import (
+    ARENA_BASE,
+    ARENA_PAGES,
+    NUM_SPACES,
+    TSS_REGION_BASE,
+    HutOp,
+    HutProgram,
+    tss_gva,
+)
+
+#: Exit reasons the hut consumer subscribes to.  Deliberately a strict
+#: subset of all reasons so the EF's suppression path is exercised and
+#: the forwarded/suppressed split is a non-trivial digest field.
+INTEREST_REASONS = frozenset(
+    {ExitReason.EPT_VIOLATION, ExitReason.WRMSR, ExitReason.IO_INSTRUCTION}
+)
+
+#: Boot-time RSP0 the harness (and reference) writes into each TSS.
+INITIAL_RSP0 = 0xFFFF_8800_0000_0000
+
+#: Virtual nanoseconds between consecutive ops of one vCPU in engine
+#: mode; op *j* of every vCPU lands at the same instant ``(j+1)*STEP``.
+OP_STEP_NS = 1_000
+
+#: Ops are rejected — not crashed — when they raise one of these: the
+#: architectural "this operation faults" answers both sides of the
+#: differential must agree on.
+_REJECT_ERRORS = (SimulationError, GuestPageFault)
+
+
+@dataclass
+class HutExecution:
+    """What one program run produced."""
+
+    #: ``(vcpu, vcpu_seq, op, status, value)`` sorted by ``(vcpu, seq)``
+    #: — per-vCPU order is interleaving-invariant, global order is not.
+    results: List[Tuple[int, int, str, str, Optional[int]]] = field(
+        default_factory=list
+    )
+    #: ``(sequence, vcpu, reason)`` for every exit the consumer saw,
+    #: in delivery order.
+    delivered: List[Tuple[int, int, str]] = field(default_factory=list)
+    crash: Optional[Dict[str, Any]] = None
+
+
+class HutHarness:
+    """One machine + hypervisor stack executing one op program."""
+
+    def __init__(
+        self,
+        program: HutProgram,
+        perturb: Optional[SchedulePerturbation] = None,
+        bug: Optional[Callable[["HutHarness"], None]] = None,
+    ) -> None:
+        self.program = program
+        self.metrics = MetricsRegistry()
+        self.engine = Engine(schedule_policy=perturb)
+        self.machine = Machine(
+            MachineConfig(num_vcpus=program.num_vcpus, seed=program.seed),
+            engine=self.engine,
+        )
+        self.kvm = KvmHypervisor(
+            self.machine, vm_id="hut", metrics=self.metrics
+        )
+        self.em = EventMultiplexer(metrics=self.metrics)
+        self.ef = EventForwarder(self.em)
+        self.kvm.attach_forwarder(self.ef)
+        self.execution = HutExecution()
+        self.em.register_consumer(
+            "hut", INTEREST_REASONS, self._on_delivery
+        )
+
+        registry = self.machine.page_registry
+        for page in range(ARENA_PAGES):
+            gva = ARENA_BASE + page * PAGE_SIZE
+            registry.kernel.map_page(gva, gva)
+        self.spaces = [
+            registry.create_address_space() for _ in range(NUM_SPACES)
+        ]
+        self.tss_views: List[TssView] = []
+        for vcpu in self.machine.vcpus:
+            gva = tss_gva(vcpu.index)
+            registry.kernel.map_page(gva, gva)
+            vcpu.guest_load_tr(gva)
+            view = TssView(self.machine.memory, gva)
+            view.host_write_rsp0(INITIAL_RSP0 + vcpu.index * 0x10000)
+            self.tss_views.append(view)
+            # HyperTap-style interception: writes to the TSS page trap.
+            self.machine.ept.set_permissions(gva, write=False)
+            vcpu.regs.cr3 = self.spaces[0].pdba
+
+        if bug is not None:
+            bug(self)
+
+    # ------------------------------------------------------------------
+    def _on_delivery(self, vcpu: VCPU, exit_event: VMExit) -> None:
+        self.execution.delivered.append(
+            (exit_event.sequence, vcpu.index, exit_event.reason.value)
+        )
+
+    # ------------------------------------------------------------------
+    # Op execution
+    # ------------------------------------------------------------------
+    def _apply_op(self, vcpu: VCPU, op: HutOp) -> Optional[int]:
+        args = op.args
+        machine = self.machine
+        if op.op == "ept_set":
+            machine.ept.set_permissions(
+                int(args["gpa"]),
+                read=bool(args["r"]),
+                write=bool(args["w"]),
+                execute=bool(args["x"]),
+            )
+            return None
+        if op.op == "ept_remap":
+            machine.ept.remap(int(args["gpa"]), int(args["hfn"]))
+            return None
+        if op.op == "read":
+            return vcpu.guest_mem_read_u64(int(args["gva"]))
+        if op.op == "write":
+            vcpu.guest_mem_write_u64(int(args["gva"]), int(args["value"]))
+            return None
+        if op.op == "exec":
+            vcpu.guest_exec(int(args["gva"]))
+            return None
+        if op.op == "wrmsr":
+            vcpu.guest_wrmsr(int(args["index"]), int(args["value"]))
+            return None
+        if op.op == "rdmsr":
+            return vcpu.guest_rdmsr(int(args["index"]))
+        if op.op == "cr3":
+            space = self.spaces[int(args["space"]) % NUM_SPACES]
+            vcpu.guest_write_cr3(space.pdba)
+            return None
+        if op.op == "io":
+            return vcpu.guest_io(
+                int(args["port"]),
+                str(args["direction"]),
+                value=int(args["value"]),
+            )
+        if op.op == "softint":
+            vcpu.guest_software_interrupt(int(args["vector"]) & 0xFF)
+            return None
+        if op.op == "irq":
+            vcpu.accept_external_interrupt(int(args["vector"]) & 0xFF)
+            return None
+        if op.op == "hlt":
+            vcpu.guest_hlt()
+            return None
+        if op.op == "tss":
+            vcpu.guest_mem_write_u64(
+                tss_gva(vcpu.index) + RSP0_OFFSET, int(args["value"])
+            )
+            return None
+        if op.op == "kenter":
+            vcpu.enter_kernel_mode()
+            return None
+        if op.op == "vmcs":
+            field_name = str(args["field"])
+            if not hasattr(vcpu.vmcs.controls, field_name) or (
+                field_name == "exception_bitmap"
+            ):
+                raise SimulationError(f"unknown VMCS control {field_name!r}")
+            setattr(vcpu.vmcs.controls, field_name, bool(args["value"]))
+            return None
+        if op.op == "except_bit":
+            vector = int(args["vector"]) & 0xFF
+            if args.get("present"):
+                vcpu.vmcs.controls.exception_bitmap.add(vector)
+            else:
+                vcpu.vmcs.controls.exception_bitmap.discard(vector)
+            return None
+        raise SimulationError(f"unknown hut op {op.op!r}")
+
+    def _exec_op(self, vcpu_seq: int, op: HutOp) -> None:
+        vcpu = self.machine.vcpus[op.vcpu % len(self.machine.vcpus)]
+        try:
+            value = self._apply_op(vcpu, op)
+            status = "ok"
+        except _REJECT_ERRORS as exc:
+            value = None
+            status = f"reject:{type(exc).__name__}"
+        self.execution.results.append(
+            (vcpu.index, vcpu_seq, op.op, status, value)
+        )
+
+    def run(self) -> HutExecution:
+        """Execute the program; a non-architectural exception is a
+        crash finding, not a harness error."""
+        engine_mode = self.engine.schedule_policy is not None or (
+            self.program.target == "interleave"
+        )
+        try:
+            if engine_mode:
+                self._run_engine()
+            else:
+                per_vcpu_seq: Dict[int, int] = {}
+                for op in self.program.ops:
+                    index = op.vcpu % len(self.machine.vcpus)
+                    seq = per_vcpu_seq.get(index, 0)
+                    per_vcpu_seq[index] = seq + 1
+                    self._exec_op(seq, op)
+        except Exception as exc:  # noqa: BLE001 - crash oracle input
+            self.execution.crash = {
+                "error": type(exc).__name__,
+                "detail": str(exc),
+            }
+        self.execution.results.sort(key=lambda r: (r[0], r[1]))
+        return self.execution
+
+    def _run_engine(self) -> None:
+        per_vcpu_seq: Dict[int, int] = {}
+        for op in self.program.ops:
+            index = op.vcpu % len(self.machine.vcpus)
+            seq = per_vcpu_seq.get(index, 0)
+            per_vcpu_seq[index] = seq + 1
+            self.engine.schedule_at(
+                (seq + 1) * OP_STEP_NS,
+                self._exec_op,
+                seq,
+                op,
+                label=f"hut-op-v{index}",
+            )
+        self.engine.drain()
+
+    # ------------------------------------------------------------------
+    # Digest
+    # ------------------------------------------------------------------
+    def swept_pages(self) -> List[int]:
+        """GPAs of the pages the memory digest covers."""
+        pages = [
+            ARENA_BASE + page * PAGE_SIZE for page in range(ARENA_PAGES)
+        ]
+        pages.extend(
+            TSS_REGION_BASE + index * PAGE_SIZE
+            for index in range(self.program.num_vcpus)
+        )
+        return pages
+
+    def _mem_digest(self) -> Dict[str, Optional[int]]:
+        memory = self.machine.memory
+        out: Dict[str, Optional[int]] = {}
+        for page_gpa in self.swept_pages():
+            _, hpa = self.machine.ept.probe(page_gpa, MemAccess.READ)
+            if (hpa >> 12) >= memory.num_frames:
+                # Remapped out of RAM: guest accesses reject, there are
+                # no bytes to read — the marker itself is the state.
+                out[hex(page_gpa)] = None
+                continue
+            for offset in range(0, PAGE_SIZE, 8):
+                value = memory.read_u64(hpa + offset)
+                if value:
+                    out[hex(page_gpa + offset)] = value
+        return out
+
+    def digest(self) -> Dict[str, Any]:
+        """Invariant-relevant state, in the shared differential shape."""
+        vcpus = []
+        for vcpu in self.machine.vcpus:
+            cr3_space = next(
+                (
+                    index
+                    for index, space in enumerate(self.spaces)
+                    if space.pdba == vcpu.regs.cr3
+                ),
+                -1,
+            )
+            vcpus.append(
+                {
+                    "msrs": {
+                        hex(index): value
+                        for index, value in sorted(
+                            vcpu.msrs.snapshot().items()
+                        )
+                    },
+                    "controls": encode_controls(vcpu.vmcs.controls),
+                    "cr3_space": cr3_space,
+                    "rsp": vcpu.regs.rsp,
+                    "rip": vcpu.regs.rip,
+                    "cpl": vcpu.regs.cpl,
+                    "exits": {
+                        reason.value: count
+                        for reason, count in sorted(
+                            vcpu.exit_counts.items(),
+                            key=lambda kv: kv[0].value,
+                        )
+                    },
+                    "vmcs_exits": vcpu.vmcs.exit_count,
+                }
+            )
+        entries = [
+            [gfn, hfn, int(r), int(w), int(x)]
+            for gfn, hfn, r, w, x in self.machine.ept.entries()
+            if not (hfn == gfn and r and w and x)
+        ]
+        return {
+            "vcpus": vcpus,
+            "ept": {
+                "entries": entries,
+                "violations": self.machine.ept.violations,
+            },
+            "mem": self._mem_digest(),
+            "flow": {
+                "handled": self.kvm.handled_exits,
+                "total_exits": self.machine.total_exits,
+                "forwarded": self.ef.forwarded,
+                "suppressed": self.ef.suppressed,
+                "submitted": self.em.submitted,
+                "delivered": self.em.delivered,
+                "by_reason": self.kvm.exit_reason_counts(),
+            },
+            "results": [list(r) for r in self.execution.results],
+            "crash": self.execution.crash,
+        }

@@ -1,0 +1,236 @@
+"""The hut oracle: turn digest disagreement into stable findings.
+
+Three independent ways a hypervisor-under-test run can be wrong, each
+with its own auditor tag so corpus keys say *which* oracle fired:
+
+* ``hut-ref`` — **differential replay**: the production stack's digest
+  disagrees with the reference model's (``reference.py``), the classic
+  two-implementations oracle.
+* ``hut-sched`` — **schedule differential**: the same program under a
+  perturbed same-instant interleaving produced a different digest than
+  the baseline order.  Per-vCPU program order is preserved by
+  construction, so on a correct emulator over disjoint per-vCPU state
+  every admitted schedule must commute; a digest change is a real
+  order-dependence bug (lost update, shared accumulator, cross-vCPU
+  aliasing).
+* ``hut-consistency`` — **self-consistency**: redundant views inside
+  the stack disagree with each other (EPT walker vs. permission map,
+  forwarder conservation, multiplexer accounting, per-vCPU exit
+  counters vs. VMCS records).  These need no reference at all — they
+  are the paper's architectural invariants applied to the emulator
+  itself.
+
+A non-architectural Python exception during the run is a ``crash``
+finding and pre-empts everything else: a crashed run's digest is
+half-built, and differential noise against it would bury the one
+finding that matters.
+
+Finding identity reuses :func:`repro.testing.oracle.finding_key` via
+:class:`~repro.testing.oracle.Discrepancy`.  Divergence subjects carry
+a *coarse* digest path (``vcpus.0.msrs``, ``ept.entries``, ``mem``) —
+coarse enough to stay stable while ddmin removes unrelated ops, precise
+enough to say which invariant-relevant state diverged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.testing.hut.harness import INTEREST_REASONS, HutHarness
+from repro.testing.oracle import Discrepancy
+
+_INTEREST_VALUES = frozenset(reason.value for reason in INTEREST_REASONS)
+
+
+# ======================================================================
+# Digest diffing
+# ======================================================================
+def _leaf_diffs(
+    a: Any, b: Any, path: Tuple[str, ...] = ()
+) -> List[Tuple[Tuple[str, ...], Any, Any]]:
+    """All ``(path, a_value, b_value)`` leaves where the digests differ."""
+    if isinstance(a, dict) and isinstance(b, dict):
+        out = []
+        for key in sorted(set(a) | set(b), key=str):
+            if key not in a:
+                out.append((path + (str(key),), None, b[key]))
+            elif key not in b:
+                out.append((path + (str(key),), a[key], None))
+            elif a[key] != b[key]:
+                out.extend(_leaf_diffs(a[key], b[key], path + (str(key),)))
+        return out
+    if isinstance(a, list) and isinstance(b, list):
+        if len(a) != len(b):
+            return [(path + ("len",), len(a), len(b))]
+        out = []
+        for index, (x, y) in enumerate(zip(a, b)):
+            if x != y:
+                out.extend(_leaf_diffs(x, y, path + (str(index),)))
+        return out
+    return [(path, a, b)] if a != b else []
+
+
+def _coarse(path: Tuple[str, ...]) -> str:
+    """Shrink-stable grouping of a leaf diff path.
+
+    Per-vCPU sections keep the vCPU index (it is structural, fixed by
+    the target); memory addresses, EPT entry positions and result rows
+    are collapsed (they move as ops are removed).
+    """
+    if not path:
+        return ""
+    if path[0] == "vcpus":
+        return ".".join(path[:3])
+    if path[0] in ("mem", "results"):
+        return path[0]
+    return ".".join(path[:2])
+
+
+def differential_findings(
+    target: str,
+    actual: Dict[str, Any],
+    expected: Dict[str, Any],
+    auditor: str = "hut-ref",
+) -> List[Discrepancy]:
+    """One ``divergence`` finding per coarse digest region that differs."""
+    grouped: Dict[str, Tuple[Tuple[str, ...], Any, Any]] = {}
+    for leaf in _leaf_diffs(actual, expected):
+        grouped.setdefault(_coarse(leaf[0]), leaf)
+    out = []
+    for coarse in sorted(grouped):
+        path, got, want = grouped[coarse]
+        out.append(Discrepancy(
+            "divergence", auditor,
+            {"target": target, "at": coarse},
+            f"{'.'.join(path)}: stack={got!r} vs expected={want!r}",
+        ))
+    return out
+
+
+def crash_findings(
+    target: str, digest: Dict[str, Any]
+) -> List[Discrepancy]:
+    crash = digest.get("crash")
+    if not crash:
+        return []
+    return [Discrepancy(
+        "crash", "hut-harness",
+        {"target": target, "error": str(crash.get("error"))},
+        str(crash.get("detail", "")),
+    )]
+
+
+# ======================================================================
+# Self-consistency
+# ======================================================================
+def consistency_findings(
+    target: str, harness: HutHarness
+) -> List[Discrepancy]:
+    """Cross-check redundant views inside one finished harness run."""
+    checks: List[Tuple[str, Optional[str]]] = []
+
+    problems = harness.machine.ept.check_consistency()
+    checks.append(("ept-map", problems[0] if problems else None))
+
+    seen = harness.ef.seen
+    handled = harness.kvm.handled_exits
+    total = harness.machine.total_exits
+    checks.append((
+        "exit-conservation",
+        None if seen == handled == total else
+        f"forwarded+suppressed={seen}, handled={handled}, total={total}",
+    ))
+    checks.append((
+        "mux-submitted",
+        None if harness.em.submitted == harness.ef.forwarded else
+        f"submitted={harness.em.submitted} != "
+        f"forwarded={harness.ef.forwarded}",
+    ))
+    # One registered consumer, so fan-out must be 1:1.
+    checks.append((
+        "mux-delivered",
+        None if harness.em.delivered == harness.ef.forwarded else
+        f"delivered={harness.em.delivered} != "
+        f"forwarded={harness.ef.forwarded}",
+    ))
+
+    vmcs_problem = None
+    for vcpu in harness.machine.vcpus:
+        counted = sum(vcpu.exit_counts.values())
+        if vcpu.vmcs.exit_count != counted:
+            vmcs_problem = (
+                f"vcpu {vcpu.index}: vmcs.exit_count="
+                f"{vcpu.vmcs.exit_count} != sum(exit_counts)={counted}"
+            )
+            break
+    checks.append(("vmcs-exit-count", vmcs_problem))
+
+    from repro.hw.exits import ExitReason
+
+    violation_exits = sum(
+        vcpu.exit_counts.get(ExitReason.EPT_VIOLATION, 0)
+        for vcpu in harness.machine.vcpus
+    )
+    checks.append((
+        "ept-violation-count",
+        None if harness.machine.ept.violations == violation_exits else
+        f"ept.violations={harness.machine.ept.violations} != "
+        f"EPT_VIOLATION exits={violation_exits}",
+    ))
+
+    delivered = harness.execution.delivered
+    sequences = [d[0] for d in delivered]
+    checks.append((
+        "delivery-order",
+        None if sequences == sorted(set(sequences)) else
+        f"delivered sequences not strictly increasing: {sequences[:8]}",
+    ))
+    stray = [d for d in delivered if d[2] not in _INTEREST_VALUES]
+    checks.append((
+        "delivery-interest",
+        None if not stray else
+        f"delivered reason outside subscription: {stray[0]!r}",
+    ))
+
+    return [
+        Discrepancy(
+            "inconsistency", "hut-consistency",
+            {"target": target, "check": name},
+            detail,
+        )
+        for name, detail in checks
+        if detail is not None
+    ]
+
+
+# ======================================================================
+# The three-way evaluation
+# ======================================================================
+def evaluate(
+    target: str,
+    harness: HutHarness,
+    reference_digest: Dict[str, Any],
+    perturbed_digest: Optional[Dict[str, Any]] = None,
+) -> List[Discrepancy]:
+    """All findings for one executed candidate.
+
+    ``harness`` must already have run; ``perturbed_digest`` is the
+    digest of a second run of the same program under an
+    :func:`~repro.sim.perturb.interleave_perturbation` (interleave
+    target only).
+    """
+    digest = harness.digest()
+    crashed = crash_findings(target, digest)
+    if crashed:
+        return crashed
+    if perturbed_digest is not None:
+        crashed = crash_findings(target, perturbed_digest)
+        if crashed:
+            return crashed
+    out = differential_findings(target, digest, reference_digest)
+    if perturbed_digest is not None:
+        out.extend(differential_findings(
+            target, perturbed_digest, digest, auditor="hut-sched",
+        ))
+    out.extend(consistency_findings(target, harness))
+    return out

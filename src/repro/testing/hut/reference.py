@@ -1,0 +1,380 @@
+"""The reference model: a flat re-implementation of the emulation spec.
+
+This is the second half of the differential pair.  Where the harness
+runs a program through the layered production stack (vCPU -> VMCS
+controls -> guest paging -> EPT -> physical memory -> hypervisor
+dispatch -> EF -> EM), the reference interprets the *specification* of
+each op over plain dictionaries — no exits, no dispatch, no object
+graph.  The two computations share no code below the op vocabulary, so
+their failure modes are disjoint: a bug in the stack's layering or
+state threading cannot also hide in a dict-based interpreter that has
+no layers.  Agreement on the digest is therefore evidence; divergence
+pinpoints the first state the stack got wrong (DESIGN.md §5i).
+
+Mirrored spec decisions worth naming (each is the *documented* behaviour
+of the production code, not an implementation echo):
+
+* permission-narrowed accesses complete anyway (EPT violation ->
+  ``EMULATE``: write-and-continue, as the hypervisor sanctions
+  monitor-induced violations);
+* MSR writes mask to 64 bits; unknown MSRs reject *before* any exit;
+* ``cr3`` loads always land, exiting first only when
+  ``cr3_load_exiting`` is set;
+* memory accesses split at frame boundaries, so a multi-frame write
+  whose second frame is outside RAM applies its first chunk and then
+  rejects — partial effects included;
+* IO on an unclaimed port reads all-ones / drops writes, with or
+  without ``io_exiting``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.hw.memory import PAGE_SIZE
+from repro.hw.msr import KNOWN_MSRS
+from repro.hw.tss import RSP0_OFFSET
+from repro.hw.vmcs import ExecutionControls, encode_controls
+from repro.testing.hut.harness import (
+    INITIAL_RSP0,
+    INTEREST_REASONS,
+    HutExecution,
+)
+from repro.testing.hut.program import (
+    ARENA_BASE,
+    ARENA_PAGES,
+    NUM_SPACES,
+    TSS_REGION_BASE,
+    VMCS_FIELDS,
+    HutProgram,
+    tss_gva,
+)
+
+_PAGE_SHIFT = 12
+_U64 = 0xFFFF_FFFF_FFFF_FFFF
+
+#: Exit reason values, spelled as strings so the reference never
+#: touches the enum the harness dispatches on.
+_EPT_VIOLATION = "EPT_VIOLATION"
+_WRMSR = "WRMSR"
+_CR_ACCESS = "CR_ACCESS"
+_IO_INSTRUCTION = "IO_INSTRUCTION"
+_EXCEPTION = "EXCEPTION"
+_EXTERNAL_INTERRUPT = "EXTERNAL_INTERRUPT"
+_HLT = "HLT"
+
+_INTEREST_VALUES = frozenset(reason.value for reason in INTEREST_REASONS)
+
+
+class _PageFault(Exception):
+    pass
+
+
+class _PhysFault(Exception):
+    pass
+
+
+class _RefVcpu:
+    def __init__(self) -> None:
+        self.msrs: Dict[int, int] = {msr: 0 for msr in KNOWN_MSRS}
+        self.controls: Dict[str, bool] = {
+            name: getattr(ExecutionControls(), name)
+            for name in VMCS_FIELDS
+        }
+        self.exception_bitmap: set = set()
+        self.cr3_space = 0
+        self.rsp = 0
+        self.rip = 0
+        self.cpl = 0
+        self.exits: Dict[str, int] = {}
+
+
+class ReferenceModel:
+    """Spec interpreter producing the same digest shape as the harness."""
+
+    def __init__(self, program: HutProgram) -> None:
+        self.program = program
+        self.num_vcpus = program.num_vcpus
+        # 1 GiB of RAM, matching MachineConfig's default.
+        self.num_frames = (1024 * 1024 * 1024) // PAGE_SIZE
+        self.vcpus = [_RefVcpu() for _ in range(self.num_vcpus)]
+        #: gfn -> [hfn, r, w, x]; only entries an op (or setup) touched.
+        self.entries: Dict[int, List[int]] = {}
+        self.violations = 0
+        #: Host-physical byte store (sparse; unwritten bytes read 0).
+        self.mem: Dict[int, int] = {}
+        self.flow = {
+            "handled": 0,
+            "forwarded": 0,
+            "suppressed": 0,
+            "submitted": 0,
+            "delivered": 0,
+        }
+        self.by_reason: Dict[str, int] = {}
+        self.execution = HutExecution()
+        self._mapped_pages = set(
+            (ARENA_BASE >> _PAGE_SHIFT) + page for page in range(ARENA_PAGES)
+        )
+        for index in range(self.num_vcpus):
+            self._mapped_pages.add(tss_gva(index) >> _PAGE_SHIFT)
+            # Setup mirror: write-protect the TSS page, seed RSP0.
+            self._entry(tss_gva(index) >> _PAGE_SHIFT)[2] = 0
+            self._phys_write_u64(
+                tss_gva(index) + RSP0_OFFSET,
+                INITIAL_RSP0 + index * 0x10000,
+                translate=False,
+            )
+
+    # ------------------------------------------------------------------
+    # Spec helpers
+    # ------------------------------------------------------------------
+    def _entry(self, gfn: int) -> List[int]:
+        entry = self.entries.get(gfn)
+        if entry is None:
+            entry = [gfn, 1, 1, 1]
+            self.entries[gfn] = entry
+        return entry
+
+    def _hfn(self, gfn: int) -> int:
+        entry = self.entries.get(gfn)
+        return entry[0] if entry is not None else gfn
+
+    def _translate_gva(self, gva: int) -> int:
+        if (gva >> _PAGE_SHIFT) not in self._mapped_pages:
+            raise _PageFault()
+        return gva
+
+    def _ept_check(self, vcpu: _RefVcpu, gpa: int, access_index: int) -> int:
+        """Permission check + violation exit; returns the HPA (EMULATE
+        semantics: the access always completes through ``nofault``)."""
+        gfn = gpa >> _PAGE_SHIFT
+        entry = self.entries.get(gfn)
+        if entry is not None and not entry[access_index]:
+            self.violations += 1
+            self._exit(vcpu, _EPT_VIOLATION)
+        return (self._hfn(gfn) << _PAGE_SHIFT) | (gpa & (PAGE_SIZE - 1))
+
+    def _exit(self, vcpu: _RefVcpu, reason: str) -> None:
+        vcpu.exits[reason] = vcpu.exits.get(reason, 0) + 1
+        self.by_reason[reason] = self.by_reason.get(reason, 0) + 1
+        self.flow["handled"] += 1
+        if reason in _INTEREST_VALUES:
+            self.flow["forwarded"] += 1
+            self.flow["submitted"] += 1
+            self.flow["delivered"] += 1
+        else:
+            self.flow["suppressed"] += 1
+
+    def _check_frame(self, pfn: int) -> None:
+        if pfn < 0 or pfn >= self.num_frames:
+            raise _PhysFault()
+
+    def _phys_write_u64(
+        self, hpa: int, value: int, translate: bool = True
+    ) -> None:
+        data = [(value >> (8 * i)) & 0xFF for i in range(8)]
+        cursor = hpa
+        index = 0
+        # Mirror PhysicalMemory.write_bytes: chunked at frame
+        # boundaries, each frame validated before its chunk lands —
+        # a partial write is real state when the second frame faults.
+        while index < 8:
+            self._check_frame(cursor >> _PAGE_SHIFT)
+            chunk = min(8 - index, PAGE_SIZE - (cursor & (PAGE_SIZE - 1)))
+            for _ in range(chunk):
+                self.mem[cursor] = data[index]
+                cursor += 1
+                index += 1
+
+    def _phys_read_u64(self, hpa: int) -> int:
+        for i in range(8):
+            self._check_frame((hpa + i) >> _PAGE_SHIFT)
+        return sum(
+            self.mem.get(hpa + i, 0) << (8 * i) for i in range(8)
+        ) & _U64
+
+    # ------------------------------------------------------------------
+    # Op interpretation
+    # ------------------------------------------------------------------
+    def _apply_op(self, vcpu: _RefVcpu, op: str, args: Dict[str, Any]):
+        if op == "ept_set":
+            entry = self._entry(int(args["gpa"]) >> _PAGE_SHIFT)
+            entry[1] = 1 if args["r"] else 0
+            entry[2] = 1 if args["w"] else 0
+            entry[3] = 1 if args["x"] else 0
+            return None
+        if op == "ept_remap":
+            hfn = int(args["hfn"])
+            if hfn < 0:
+                raise _PhysFault()
+            self._entry(int(args["gpa"]) >> _PAGE_SHIFT)[0] = hfn
+            return None
+        if op == "read":
+            gpa = self._translate_gva(int(args["gva"]))
+            return self._phys_read_u64(self._ept_check(vcpu, gpa, 1))
+        if op == "write":
+            gpa = self._translate_gva(int(args["gva"]))
+            hpa = self._ept_check(vcpu, gpa, 2)
+            self._phys_write_u64(hpa, int(args["value"]) & _U64)
+            return None
+        if op == "exec":
+            gva = int(args["gva"])
+            gpa = self._translate_gva(gva)
+            self._ept_check(vcpu, gpa, 3)
+            vcpu.rip = gva
+            return None
+        if op == "wrmsr":
+            index = int(args["index"])
+            if index not in vcpu.msrs:
+                raise _PhysFault()
+            if vcpu.controls["msr_write_exiting"]:
+                self._exit(vcpu, _WRMSR)
+            vcpu.msrs[index] = int(args["value"]) & _U64
+            return None
+        if op == "rdmsr":
+            index = int(args["index"])
+            if index not in vcpu.msrs:
+                raise _PhysFault()
+            return vcpu.msrs[index]
+        if op == "cr3":
+            if vcpu.controls["cr3_load_exiting"]:
+                self._exit(vcpu, _CR_ACCESS)
+            vcpu.cr3_space = int(args["space"]) % NUM_SPACES
+            return None
+        if op == "io":
+            direction = str(args["direction"])
+            if direction not in ("in", "out"):
+                raise _PhysFault()
+            if vcpu.controls["io_exiting"]:
+                self._exit(vcpu, _IO_INSTRUCTION)
+            # Unclaimed port either way: reads float high, writes drop.
+            return 0xFFFF_FFFF if direction == "in" else 0
+        if op == "softint":
+            if (int(args["vector"]) & 0xFF) in vcpu.exception_bitmap:
+                self._exit(vcpu, _EXCEPTION)
+            return None
+        if op == "irq":
+            if vcpu.controls["external_interrupt_exiting"]:
+                self._exit(vcpu, _EXTERNAL_INTERRUPT)
+            return None
+        if op == "hlt":
+            if vcpu.controls["hlt_exiting"]:
+                self._exit(vcpu, _HLT)
+            return None
+        if op == "tss":
+            index = self.vcpus.index(vcpu)
+            gpa = self._translate_gva(tss_gva(index) + RSP0_OFFSET)
+            hpa = self._ept_check(vcpu, gpa, 2)
+            self._phys_write_u64(hpa, int(args["value"]) & _U64)
+            return None
+        if op == "kenter":
+            index = self.vcpus.index(vcpu)
+            tss_gpa = self._translate_gva(tss_gva(index))
+            gfn = (tss_gpa + RSP0_OFFSET) >> _PAGE_SHIFT
+            hpa = (self._hfn(gfn) << _PAGE_SHIFT) | (
+                (tss_gpa + RSP0_OFFSET) & (PAGE_SIZE - 1)
+            )
+            vcpu.rsp = self._phys_read_u64(hpa)
+            vcpu.cpl = 0
+            return None
+        if op == "vmcs":
+            field = str(args["field"])
+            if field not in VMCS_FIELDS:
+                raise _PhysFault()
+            vcpu.controls[field] = bool(args["value"])
+            return None
+        if op == "except_bit":
+            vector = int(args["vector"]) & 0xFF
+            if args.get("present"):
+                vcpu.exception_bitmap.add(vector)
+            else:
+                vcpu.exception_bitmap.discard(vector)
+            return None
+        raise _PhysFault()
+
+    def run(self) -> HutExecution:
+        per_vcpu_seq: Dict[int, int] = {}
+        for record in self.program.ops:
+            index = record.vcpu % self.num_vcpus
+            seq = per_vcpu_seq.get(index, 0)
+            per_vcpu_seq[index] = seq + 1
+            vcpu = self.vcpus[index]
+            try:
+                value = self._apply_op(vcpu, record.op, record.args)
+                status = "ok"
+            except _PageFault:
+                value, status = None, "reject:GuestPageFault"
+            except _PhysFault:
+                value, status = None, "reject:SimulationError"
+            self.execution.results.append(
+                (index, seq, record.op, status, value)
+            )
+        self.execution.results.sort(key=lambda r: (r[0], r[1]))
+        return self.execution
+
+    # ------------------------------------------------------------------
+    # Digest (same shape as HutHarness.digest)
+    # ------------------------------------------------------------------
+    def _controls_word(self, vcpu: _RefVcpu) -> int:
+        controls = ExecutionControls(**vcpu.controls)
+        controls.exception_bitmap = set(vcpu.exception_bitmap)
+        return encode_controls(controls)
+
+    def _mem_digest(self) -> Dict[str, Optional[int]]:
+        out: Dict[str, Optional[int]] = {}
+        pages = [
+            ARENA_BASE + page * PAGE_SIZE for page in range(ARENA_PAGES)
+        ]
+        pages.extend(
+            TSS_REGION_BASE + index * PAGE_SIZE
+            for index in range(self.num_vcpus)
+        )
+        for page_gpa in pages:
+            hfn = self._hfn(page_gpa >> _PAGE_SHIFT)
+            if hfn < 0 or hfn >= self.num_frames:
+                out[hex(page_gpa)] = None
+                continue
+            base = hfn << _PAGE_SHIFT
+            for offset in range(0, PAGE_SIZE, 8):
+                value = sum(
+                    self.mem.get(base + offset + i, 0) << (8 * i)
+                    for i in range(8)
+                )
+                if value:
+                    out[hex(page_gpa + offset)] = value
+        return out
+
+    def digest(self) -> Dict[str, Any]:
+        vcpus = []
+        for vcpu in self.vcpus:
+            vcpus.append(
+                {
+                    "msrs": {
+                        hex(index): value
+                        for index, value in sorted(vcpu.msrs.items())
+                    },
+                    "controls": self._controls_word(vcpu),
+                    "cr3_space": vcpu.cr3_space,
+                    "rsp": vcpu.rsp,
+                    "rip": vcpu.rip,
+                    "cpl": vcpu.cpl,
+                    "exits": dict(sorted(vcpu.exits.items())),
+                    "vmcs_exits": sum(vcpu.exits.values()),
+                }
+            )
+        entries = [
+            [gfn, entry[0], entry[1], entry[2], entry[3]]
+            for gfn, entry in sorted(self.entries.items())
+            if not (entry[0] == gfn and entry[1] and entry[2] and entry[3])
+        ]
+        flow = dict(self.flow)
+        flow["total_exits"] = flow["handled"]
+        flow["by_reason"] = dict(sorted(self.by_reason.items()))
+        return {
+            "vcpus": vcpus,
+            "ept": {"entries": entries, "violations": self.violations},
+            "mem": self._mem_digest(),
+            "flow": flow,
+            "results": [list(r) for r in self.execution.results],
+            "crash": None,
+        }

@@ -83,34 +83,114 @@ def _subtrace(trace: Trace, records: List[Dict[str, Any]]) -> Trace:
     return sub
 
 
-def shrink_trace(
-    trace: Trace,
-    predicate: Callable[[Trace], bool],
-    max_tests: int = 2000,
-) -> Trace:
-    """Minimize ``trace.records`` while ``predicate`` keeps holding.
+def _pass_candidates(
+    items: List[Any], chunk_len: int, resume: int
+) -> List[tuple]:
+    """The ``(start, candidate)`` removals one serial pass would try.
 
-    ``predicate`` must hold on ``trace`` itself (raises ``ValueError``
-    otherwise — shrinking a non-repro silently would hide harness bugs).
-    Returns a new :class:`Trace`; the input is never modified.
+    Empty candidates are filtered here exactly as the serial loop skips
+    them (without charging a test against the budget).
     """
-    if not predicate(_subtrace(trace, list(trace.records))):
-        raise ValueError("predicate does not hold on the unshrunk trace")
-    records = list(trace.records)
+    out = []
+    start = resume
+    while start < len(items):
+        candidate = items[:start] + items[start + chunk_len:]
+        if candidate:
+            out.append((start, candidate))
+        start += chunk_len
+    return out
+
+
+def ddmin(
+    items: List[Any],
+    predicate: Callable[[List[Any]], bool],
+    max_tests: int = 2000,
+    jobs: Optional[int] = None,
+) -> List[Any]:
+    """Zeller delta debugging over an arbitrary item sequence.
+
+    Minimizes ``items`` while ``predicate(candidate)`` keeps holding;
+    the predicate is pluggable, so the same reducer shrinks replay
+    traces (via :func:`shrink_trace`) and hut op programs (via
+    ``repro.testing.hut``) — any divergence that can be phrased as a
+    boolean over a sub-sequence.
+
+    ``predicate`` must hold on ``items`` itself (``ValueError``
+    otherwise — shrinking a non-repro silently would hide harness
+    bugs).  The result is 1-minimal with respect to the chunks the
+    budget allowed: no tested single-chunk removal keeps the predicate.
+
+    ``jobs > 1`` evaluates each pass's candidates speculatively through
+    :func:`repro.parallel.parallel_map` (``predicate`` must then be a
+    picklable module-level callable or partial) but *commits* strictly
+    in serial order: the first passing candidate wins, later
+    speculative results are discarded, and only candidates the serial
+    algorithm would have reached count against ``max_tests`` — so the
+    reduction and its test count are byte-identical at any job count.
+    """
+    if not predicate(list(items)):
+        raise ValueError("predicate does not hold on the unshrunk input")
+    if jobs is None or jobs <= 1:
+        return _ddmin_serial(items, predicate, max_tests)
+
+    from repro.parallel import parallel_map
+
+    result = list(items)
     tests = 0
     n = 2
-    while len(records) >= 2 and tests < max_tests:
-        chunk_len = max(1, (len(records) + n - 1) // n)
+    while len(result) >= 2 and tests < max_tests:
+        chunk_len = max(1, (len(result) + n - 1) // n)
+        removed_any = False
+        resume = 0
+        while tests < max_tests:
+            batch = _pass_candidates(result, chunk_len, resume)
+            if not batch:
+                break
+            batch = batch[: max_tests - tests]
+            verdicts = parallel_map(
+                predicate, [cand for _, cand in batch], jobs=jobs
+            )
+            hit = next(
+                (i for i, ok in enumerate(verdicts) if ok), None
+            )
+            if hit is None:
+                tests += len(batch)
+                break
+            # The serial loop would have tested candidates 0..hit and
+            # stopped at the first success; everything after `hit` was
+            # computed against stale state and is discarded unpaid.
+            tests += hit + 1
+            resume, result = batch[hit]
+            removed_any = True
+        if removed_any:
+            n = max(n - 1, 2)
+        else:
+            if chunk_len == 1:
+                break
+            n = min(n * 2, len(result))
+    return result
+
+
+def _ddmin_serial(
+    items: List[Any],
+    predicate: Callable[[List[Any]], bool],
+    max_tests: int,
+) -> List[Any]:
+    result = list(items)
+    tests = 0
+    n = 2
+    while len(result) >= 2 and tests < max_tests:
+        chunk_len = max(1, (len(result) + n - 1) // n)
         removed_any = False
         start = 0
-        while start < len(records) and tests < max_tests:
-            candidate = records[:start] + records[start + chunk_len:]
+        while start < len(result) and tests < max_tests:
+            candidate = result[:start] + result[start + chunk_len:]
             if not candidate:
                 start += chunk_len
                 continue
             tests += 1
-            if predicate(_subtrace(trace, candidate)):
-                records = candidate
+            if predicate(candidate):
+                result = candidate
                 removed_any = True
                 # Stay at this granularity; the window now points at
                 # the records that slid into the removed chunk's place.
@@ -121,5 +201,29 @@ def shrink_trace(
         else:
             if chunk_len == 1:
                 break
-            n = min(n * 2, len(records))
-    return _subtrace(trace, records)
+            n = min(n * 2, len(result))
+    return result
+
+
+def shrink_trace(
+    trace: Trace,
+    predicate: Callable[[Trace], bool],
+    max_tests: int = 2000,
+) -> Trace:
+    """Minimize ``trace.records`` while ``predicate`` keeps holding.
+
+    ``predicate`` must hold on ``trace`` itself (raises ``ValueError``
+    otherwise).  Returns a new :class:`Trace`; the input is never
+    modified.  This is :func:`ddmin` specialized to trace records: each
+    candidate record list is rewrapped as a trace (header kept verbatim
+    apart from a recount) before the predicate sees it.
+    """
+    try:
+        reduced = ddmin(
+            list(trace.records),
+            lambda records: predicate(_subtrace(trace, records)),
+            max_tests=max_tests,
+        )
+    except ValueError:
+        raise ValueError("predicate does not hold on the unshrunk trace")
+    return _subtrace(trace, reduced)

@@ -29,6 +29,7 @@ def _entry(**overrides):
             "figure_wall_s": {"table3": 10.0, "fig7": 20.0},
             "serve_sustained_events_per_s": 60_000.0,
             "serve_p99_exit_to_verdict_ns": 676_607,
+            "hut_execs_per_s": 25.0,
         },
         "detail": {},
     }
@@ -124,6 +125,19 @@ class TestCompare:
         assert "serve_p99_exit_to_verdict_ns" in problems[0]
         assert "deterministic" in problems[0]
 
+    def test_hut_regression_flagged(self):
+        current = copy.deepcopy(_entry())
+        current["metrics"]["hut_execs_per_s"] = 15.0  # -40%
+        problems = compare_entries(_entry(), current, threshold=0.20)
+        assert len(problems) == 1
+        assert "hut_execs_per_s" in problems[0]
+
+    def test_entries_without_hut_column_stay_comparable(self):
+        previous = _entry()
+        del previous["metrics"]["hut_execs_per_s"]
+        assert compare_entries(previous, _entry()) == []
+        assert compare_entries(_entry(), previous) == []
+
     def test_entries_without_serve_columns_stay_comparable(self):
         # Ledger entries written before the serve columns existed must
         # not fail the gate on the missing keys.
@@ -166,6 +180,8 @@ class TestCli:
         assert metrics["campaign_trials_per_s_serial"] > 0
         assert metrics["campaign_trials_per_s_parallel"] > 0
         assert metrics["figure_wall_s"] == {}
+        assert metrics["hut_execs_per_s"] > 0
+        assert entry["detail"]["hut"]["clean"] is True
 
         # Second run: compared against the first; measurements of the
         # same deterministic workload land within the 20% gate unless

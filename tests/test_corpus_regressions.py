@@ -1,11 +1,19 @@
 """Replay every checked-in corpus entry; its finding must reproduce.
 
-Each file under ``tests/corpus/`` is a shrunk conformance finding from
-the adversarial harness (``python -m repro.testing``), with the finding
-key — and, for schedule findings, the perturbation parameters — stored
-in the trace header.  These are the harness's regression anchors: if an
-auditor change makes one stop reproducing, either the discrepancy was
-fixed (delete the entry and say so) or the replay path regressed.
+Each file under ``tests/corpus/`` is a shrunk finding from one of the
+two adversarial harnesses (``python -m repro.testing``):
+
+* trace entries — conformance findings against the auditors, with the
+  finding key (and, for schedule findings, the perturbation parameters)
+  stored in the trace header;
+* ``hut-*`` entries — hypervisor-under-test divergence witnesses in the
+  hut program format, replayed through the real emulation stack with
+  their recorded seeded bug re-injected (or, for ``fixed`` entries,
+  asserting the differential stays silent on the clean emulator).
+
+These are the harnesses' regression anchors: if a change makes one stop
+reproducing, either the discrepancy was fixed (delete the entry and say
+so) or the replay path regressed.
 """
 
 from __future__ import annotations
@@ -15,10 +23,12 @@ import pathlib
 import pytest
 
 from repro.testing.corpus import corpus_entries, verify_entry
+from repro.testing.hut import hut_corpus_entries, verify_hut_entry
 
 CORPUS_DIR = str(pathlib.Path(__file__).parent / "corpus")
 
 ENTRIES = corpus_entries(CORPUS_DIR)
+HUT_ENTRIES = hut_corpus_entries(CORPUS_DIR)
 
 
 def test_corpus_is_populated():
@@ -27,9 +37,29 @@ def test_corpus_is_populated():
     assert len(ENTRIES) >= 3
 
 
+def test_hut_corpus_is_populated():
+    # At least two bug witnesses and one clean (fixed) witness.
+    assert len(HUT_ENTRIES) >= 3
+
+
+def test_corpus_listings_are_disjoint():
+    # hut entries are a different format; the trace loader must skip
+    # them or `corpus verify` would report them as unreadable.
+    assert not set(ENTRIES) & set(HUT_ENTRIES)
+    assert all("hut-" not in pathlib.Path(p).name for p in ENTRIES)
+
+
 @pytest.mark.parametrize(
     "path", ENTRIES, ids=[pathlib.Path(p).stem for p in ENTRIES]
 )
 def test_corpus_entry_reproduces(path):
     ok, detail = verify_entry(path)
+    assert ok, f"{path}: {detail}"
+
+
+@pytest.mark.parametrize(
+    "path", HUT_ENTRIES, ids=[pathlib.Path(p).stem for p in HUT_ENTRIES]
+)
+def test_hut_corpus_entry_reproduces(path):
+    ok, detail = verify_hut_entry(path)
     assert ok, f"{path}: {detail}"

@@ -1,0 +1,166 @@
+"""Differential pair sanity: harness vs. reference model, clean runs.
+
+The hut fuzzer's signal is "the real stack and the reference model
+disagree".  These tests pin the zero-noise floor that makes that
+signal meaningful: on clean (bug-free) runs the two digests are
+byte-identical for every target, under schedule perturbation, and on
+the rejection paths — and the self-consistency oracle stays silent.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sim.perturb import interleave_perturbation
+from repro.testing.hut import (
+    HutHarness,
+    HutOp,
+    ReferenceModel,
+    TARGETS,
+    consistency_findings,
+    evaluate,
+    generate_program,
+    load_program,
+    run_candidate,
+    save_program,
+)
+from repro.testing.hut.program import ARENA_BASE, tss_gva
+
+SEEDS = (7, 1234)
+
+
+def _digest_json(digest) -> str:
+    return json.dumps(digest, sort_keys=True)
+
+
+@pytest.mark.parametrize("target", TARGETS)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_clean_agreement(target, seed):
+    program = generate_program(target, seed, length=40)
+    harness = HutHarness(program)
+    harness.run()
+    reference = ReferenceModel(program)
+    reference.run()
+    assert harness.execution.crash is None
+    assert _digest_json(harness.digest()) == _digest_json(reference.digest())
+
+
+@pytest.mark.parametrize("target", TARGETS)
+def test_digest_deterministic_across_runs(target):
+    program = generate_program(target, 99, length=32)
+    first = HutHarness(program)
+    first.run()
+    second = HutHarness(program)
+    second.run()
+    assert _digest_json(first.digest()) == _digest_json(second.digest())
+
+
+def test_perturbed_interleave_agreement():
+    # A same-instant shuffle of the per-vCPU op streams must not change
+    # the digest: per-vCPU state is disjoint by construction.  The
+    # perturbation must actually fire, or the schedule differential in
+    # `evaluate` would be vacuous.
+    program = generate_program("interleave", 5, length=40)
+    baseline = HutHarness(program)
+    baseline.run()
+    perturb = interleave_perturbation(21)
+    perturbed = HutHarness(program, perturb=perturb)
+    perturbed.run()
+    assert perturb.stats.shuffled > 0
+    assert _digest_json(baseline.digest()) == _digest_json(perturbed.digest())
+
+
+def test_rejection_paths_agree():
+    # Architectural rejections (unknown MSR, unmapped GVA, bad IO
+    # direction, unknown VMCS field) must reject identically on both
+    # sides — with the per-op status visible in `results`.
+    base = generate_program("ept", 1, length=0)
+    ops = [
+        HutOp("rdmsr", 0, {"index": 0x1FF}),
+        HutOp("wrmsr", 0, {"index": 0x1FF, "value": 3}),
+        HutOp("read", 0, {"gva": 0x0030_0000}),
+        HutOp("write", 0, {"gva": 0x0030_0000, "value": 1}),
+        HutOp("io", 0, {"port": 0x77, "direction": "sideways", "value": 0}),
+        HutOp("vmcs", 0, {"field": "no_such_control", "value": True}),
+        HutOp("write", 0, {"gva": ARENA_BASE, "value": 0xAB}),
+    ]
+    program = base.replace_ops(ops)
+    harness = HutHarness(program)
+    harness.run()
+    reference = ReferenceModel(program)
+    reference.run()
+    statuses = [r[3] for r in harness.execution.results]
+    assert statuses == [
+        "reject:SimulationError",
+        "reject:SimulationError",
+        "reject:GuestPageFault",
+        "reject:GuestPageFault",
+        "reject:SimulationError",
+        "reject:SimulationError",
+        "ok",
+    ]
+    assert _digest_json(harness.digest()) == _digest_json(reference.digest())
+
+
+def test_tss_write_protection_traps_and_agrees():
+    # HyperTap-style interception: the TSS page is write-protected, so
+    # a guest `tss` op raises an EPT violation exit on both sides.
+    base = generate_program("ept", 1, length=0)
+    program = base.replace_ops([HutOp("tss", 0, {"value": 0x1234})])
+    harness = HutHarness(program)
+    harness.run()
+    reference = ReferenceModel(program)
+    reference.run()
+    digest = harness.digest()
+    assert digest["vcpus"][0]["exits"].get("EPT_VIOLATION") == 1
+    assert digest["ept"]["violations"] == 1
+    assert _digest_json(digest) == _digest_json(reference.digest())
+    # EMULATE semantics: the hypervisor completes the write.
+    assert harness.machine.memory.read_u64(tss_gva(0) + 4) == 0x1234
+
+
+@pytest.mark.parametrize("target", TARGETS)
+def test_clean_candidate_yields_no_findings(target):
+    findings, features, harness = run_candidate(
+        generate_program(target, 11, length=40),
+        perturb_seed=3 if target == "interleave" else None,
+    )
+    assert findings == []
+    assert features  # coverage extraction is non-empty on real runs
+    assert consistency_findings(target, harness) == []
+
+
+def test_crash_preempts_other_findings():
+    def broken(harness):
+        def boom(gpa, access):
+            raise TypeError("emulator bug")
+
+        harness.machine.ept.translate = boom
+
+    program = generate_program("ept", 2, length=20)
+    harness = HutHarness(program, bug=broken)
+    harness.run()
+    assert harness.execution.crash is not None
+    reference = ReferenceModel(program)
+    reference.run()
+    findings = evaluate("ept", harness, reference.digest())
+    assert len(findings) == 1
+    assert findings[0].kind == "crash"
+    assert findings[0].subject["error"] == "TypeError"
+
+
+def test_program_save_load_round_trip(tmp_path):
+    program = generate_program("interleave", 42, length=24)
+    program.meta["note"] = "round-trip"
+    path = str(tmp_path / "prog.jsonl")
+    save_program(path, program)
+    loaded = load_program(path)
+    assert loaded.target == program.target
+    assert loaded.seed == program.seed
+    assert loaded.num_vcpus == program.num_vcpus
+    assert loaded.meta["note"] == "round-trip"
+    assert [op.to_record() for op in loaded.ops] == [
+        op.to_record() for op in program.ops
+    ]

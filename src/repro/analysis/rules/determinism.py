@@ -31,6 +31,14 @@ imports are confined to ``repro.serve``, whose transport is built so
 wall-clock pacing stops at the frame boundary (admission and SLOs key
 on virtual ``arrival_ns`` stamps, verdict/export assembly orders by
 stream id, never by completion).
+
+Binary record layouts (``struct``/``mmap``/``array``) are the byte-level
+variant of the same drift hazard: two packing sites for the same event
+diverge silently, and replay fidelity dies where no JSON diff will show
+it.  They are confined to ``repro.replay.btrace`` — the one codec whose
+layout table the event-coverage rule cross-checks against
+``EVENT_CLASSES`` — with audited pragmas for the hardware-model files
+that pack guest *memory images* rather than trace records.
 """
 
 from __future__ import annotations
@@ -68,6 +76,17 @@ ASYNC_MODULES: FrozenSet[str] = frozenset({"asyncio", "socket", "selectors"})
 #: deterministic figure on virtual arrival stamps and orders results by
 #: stream id, so socket readiness order cannot reach an export.
 SERVE_PACKAGE = "repro.serve"
+
+#: Modules that implement binary record layouts.  Not entropy — but a
+#: second struct-packing site is how codec drift starts: two layouts of
+#: the same event diverge silently and replay fidelity dies at the
+#: byte level.  Confined to the one audited codec module, where the
+#: event-coverage rule cross-checks the layout table against
+#: ``EVENT_CLASSES``.
+BINARY_MODULES: FrozenSet[str] = frozenset({"struct", "mmap", "array"})
+
+#: The one sanctioned home for binary trace layouts.
+BTRACE_MODULE = "repro.replay.btrace"
 
 #: The observability package: reproducible artifacts only, so *any*
 #: wall-clock module import is forbidden inside it (``perf_counter``
@@ -133,6 +152,7 @@ class DeterminismRule(Rule):
         in_obs = source.module == OBS_PACKAGE or source.module.startswith(
             OBS_PACKAGE + "."
         )
+        btrace_ok = source.module == BTRACE_MODULE
         for node in ast.walk(source.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
@@ -149,6 +169,10 @@ class DeterminismRule(Rule):
                         )
                     elif root in WALL_CLOCK_MODULES and in_obs:
                         yield self._obs_finding(
+                            source, node.lineno, f"import {alias.name}"
+                        )
+                    elif root in BINARY_MODULES and not btrace_ok:
+                        yield self._binary_finding(
                             source, node.lineno, f"import {alias.name}"
                         )
             elif isinstance(node, ast.ImportFrom):
@@ -174,6 +198,14 @@ class DeterminismRule(Rule):
                     continue
                 if node.module.split(".")[0] in WALL_CLOCK_MODULES and in_obs:
                     yield self._obs_finding(
+                        source, node.lineno, f"from {node.module} import ..."
+                    )
+                    continue
+                if (
+                    node.module.split(".")[0] in BINARY_MODULES
+                    and not btrace_ok
+                ):
+                    yield self._binary_finding(
                         source, node.lineno, f"from {node.module} import ..."
                     )
                     continue
@@ -219,6 +251,16 @@ class DeterminismRule(Rule):
             "worker completion order is ambient entropy — fan work out "
             "through repro.parallel.parallel_map, which merges results "
             "by index and keeps output byte-identical to a serial run",
+        )
+
+    def _binary_finding(self, source: SourceFile, line: int, what: str) -> Finding:
+        return self.finding(
+            source.rel,
+            line,
+            f"binary-layout primitive '{what}' outside {BTRACE_MODULE}; a "
+            "second struct-packing site is how codec drift starts — encode "
+            "through repro.replay.btrace, whose layout table is checked "
+            "against EVENT_CLASSES at commit time",
         )
 
     def _async_finding(self, source: SourceFile, line: int, what: str) -> Finding:

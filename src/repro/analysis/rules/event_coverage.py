@@ -30,7 +30,16 @@ that class of gap a commit-time failure by checking, from the ASTs:
    reason minted ad hoc at a call site would fragment triage queries
    (``obs diff`` keys on exact label rows) and dodge the accounting
    identity the serve smoke job asserts; a computed reason is flagged
-   too, because this rule cannot audit it.
+   too, because this rule cannot audit it;
+8. **binary layouts** — every ``EventType`` member's *value* keys both
+   ``repro.replay.btrace.BTRACE_LAYOUTS`` and ``TYPE_CODES``.  A new
+   ``GuestEvent`` subclass without a binary layout would fall to the
+   JSON-escape path silently — correct but 10x slower, which is
+   exactly the drift a perf-gated codec must fail loudly on.  (The
+   btrace tables key on plain type-value strings, not ``EventType``
+   attributes: shadow-registry detection — check 5 — keys on the
+   latter, and the codec's keys are record-field bytes, not enum
+   identity.)
 
 If ``repro.core.events`` is absent from the analyzed tree (partial
 checkouts, unit-test fixtures) the structural checks are skipped.
@@ -49,6 +58,9 @@ EVENTS_MODULE = "repro.core.events"
 EXITS_MODULE = "repro.hw.exits"
 INTERCEPTION_MODULE = "repro.core.interception"
 OBS_METRICS_MODULE = "repro.obs.metrics"
+BTRACE_MODULE = "repro.replay.btrace"
+BTRACE_LAYOUT_TABLE = "BTRACE_LAYOUTS"
+BTRACE_CODE_TABLE = "TYPE_CODES"
 
 #: Base classes whose subclasses the codec must register.
 EVENT_BASE = "GuestEvent"
@@ -73,6 +85,30 @@ def _enum_members(tree: ast.Module, enum_name: str) -> Tuple[List[str], int]:
                             members.append(target.id)
             return members, node.lineno
     return [], 1
+
+
+def _enum_member_values(
+    tree: ast.Module, enum_name: str
+) -> List[Tuple[str, str]]:
+    """``(name, value)`` pairs for string-valued members of the enum."""
+    pairs: List[Tuple[str, str]] = []
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == enum_name:
+            for stmt in node.body:
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                value = stmt.value
+                if not (
+                    isinstance(value, ast.Constant)
+                    and isinstance(value.value, str)
+                ):
+                    continue
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) and not target.id.startswith(
+                        "_"
+                    ):
+                        pairs.append((target.id, value.value))
+    return pairs
 
 
 def _class_defs(tree: ast.Module) -> List[ast.ClassDef]:
@@ -194,6 +230,9 @@ class EventCoverageRule(Rule):
             yield from self._check_stage_counters(events, obs)
         if obs is not None:
             yield from self._check_drop_reasons(ctx, obs)
+        btrace = ctx.module(BTRACE_MODULE)
+        if events is not None and btrace is not None:
+            yield from self._check_btrace_layouts(events, btrace)
 
     # ------------------------------------------------------------------
     def _check_codec(self, events: SourceFile) -> Iterator[Finding]:
@@ -382,6 +421,38 @@ class EventCoverageRule(Rule):
                         f"{OBS_METRICS_MODULE}.{DROP_SET}; add it there so "
                         "triage queries and the serve smoke accounting see "
                         "every reason",
+                    )
+
+    # ------------------------------------------------------------------
+    def _check_btrace_layouts(
+        self, events: SourceFile, btrace: SourceFile
+    ) -> Iterator[Finding]:
+        pairs = _enum_member_values(events.tree, "EventType")
+        for table_name in (BTRACE_LAYOUT_TABLE, BTRACE_CODE_TABLE):
+            table, table_line = _find_dict_assign(btrace.tree, table_name)
+            if table is None:
+                yield self.finding(
+                    btrace.rel,
+                    1,
+                    f"binary layout table '{table_name}' not found as a "
+                    "module-level dict literal; the btrace codec cannot be "
+                    "audited against EventType",
+                )
+                continue
+            keyed = {
+                k.value
+                for k in table.keys
+                if isinstance(k, ast.Constant) and isinstance(k.value, str)
+            }
+            for member, value in pairs:
+                if value not in keyed:
+                    yield self.finding(
+                        btrace.rel,
+                        table_line,
+                        f"EventType.{member} (value {value!r}) has no "
+                        f"{table_name} entry; the btrace codec would demote "
+                        "it to the JSON-escape path — a silent 10x decode "
+                        "regression on the ledger-gated hot path",
                     )
 
     # ------------------------------------------------------------------

@@ -23,6 +23,7 @@ from repro.bench import (
     STANDARD_FIGURES,
     collect,
     compare_entries,
+    floor_problems,
     latest_entry,
     write_entry,
 )
@@ -117,12 +118,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
 
     metrics = entry["metrics"]
-    print(f"replay throughput:  {metrics['replay_events_per_s']:,.0f} events/s")
+    btrace = entry["detail"]["replay"]["btrace"]
+    print(
+        f"replay throughput:  {metrics['replay_events_per_s']:,.0f} events/s "
+        f"btrace decode ({btrace['records']:,} records), "
+        f"{metrics['replay_pipeline_events_per_s']:,.0f} events/s "
+        "gzip-JSONL pipeline"
+    )
     print(
         "campaign trials/s:  "
         f"{metrics['campaign_trials_per_s_serial']:.2f} serial, "
         f"{metrics['campaign_trials_per_s_parallel']:.2f} at {jobs} job(s) "
-        f"({metrics['parallel_speedup']:.2f}x)"
+        f"({metrics['parallel_speedup']:.2f}x critical-path)"
     )
     for figure, wall in sorted(metrics["figure_wall_s"].items()):
         print(f"figure {figure}: {wall:.2f}s")
@@ -160,6 +167,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     status = 0
     if args.check:
+        # Absolute floors first: they hold even on an empty ledger.
+        floors = floor_problems(entry)
+        if floors:
+            print("check: FLOOR VIOLATION:")
+            for problem in floors:
+                print(f"  - {problem}")
+            status = 1
         previous = latest_entry(args.ledger_dir)
         if previous is None:
             print(f"check: no prior entry in {args.ledger_dir}; baseline run")
@@ -172,7 +186,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 for problem in problems:
                     print(f"  - {problem}")
                 status = 1
-            else:
+            elif not floors:
                 print(
                     "check: within "
                     f"{args.threshold:.0%} of the previous entry"

@@ -131,12 +131,12 @@ class Machine:
         return self.memory.read_bytes(self.ept.translate_nofault(gpa), length)
 
     def host_read_u64_gva(self, pdba: int, gva: int) -> int:
-        import struct
+        import struct  # hypertap: allow(determinism) — guest memory word packing, not trace records
 
         return struct.unpack("<Q", self.host_read_gva(pdba, gva, 8))[0]
 
     def host_write_u64_gva(self, pdba: int, gva: int, value: int) -> None:
-        import struct
+        import struct  # hypertap: allow(determinism) — guest memory word packing, not trace records
 
         gpa = self.page_registry.gva_to_gpa(pdba, gva)
         if gpa < 0:

@@ -10,7 +10,7 @@ rootkits that defeat it operate on genuine memory contents.
 
 from __future__ import annotations
 
-import struct
+import struct  # hypertap: allow(determinism) — packs guest physical-memory words, not trace records
 from typing import Dict
 
 from repro.errors import SimulationError

@@ -13,7 +13,7 @@ two facts modelled here:
 
 from __future__ import annotations
 
-import struct
+import struct  # hypertap: allow(determinism) — packs the guest TSS memory image, not trace records
 from typing import Dict, Tuple
 
 from repro.errors import SimulationError

@@ -107,10 +107,18 @@ def load_trace_observed(path: str, registry: MetricsRegistry):
     * ``trace.records_salvaged{vm}`` — records recovered before the cut
     * ``flow.dropped{vm, stage=trace-read, reason=truncated-stream}``
     """
+    from repro.replay.btrace import BinaryTraceReader, is_btrace_path
     from repro.replay.format import Trace
     from repro.replay.trace_io import TraceReader
 
-    reader = TraceReader(path)
+    if is_btrace_path(path):
+        # A btrace without its trailer is unreadable by construction
+        # (the interning tables live at EOF), so open errors propagate
+        # like an unreadable JSONL header does; corruption *inside* the
+        # record region salvages the decoded prefix just like below.
+        reader = BinaryTraceReader(path)
+    else:
+        reader = TraceReader(path)
     vm_id = reader.header.vm_id
     records: List[Dict[str, Any]] = []
     try:
@@ -127,6 +135,10 @@ def load_trace_observed(path: str, registry: MetricsRegistry):
             stage="trace-read",
             reason="truncated-stream",
         )
+    finally:
+        close = getattr(reader, "close", None)
+        if close is not None:
+            close()
     trace = Trace(header=reader.header, records=records)
     if not trace.header.event_counts:
         trace.recount()
@@ -136,13 +148,17 @@ def load_trace_observed(path: str, registry: MetricsRegistry):
 def collect_trace(path: str) -> Dict[str, Any]:
     """Replay a trace file; truncation becomes counted drops.
 
-    ``-`` reads the trace from stdin (plain or gzipped JSONL).
+    ``-`` reads the trace from stdin (plain/gzipped JSONL or btrace —
+    the magic bytes decide).
     """
     from repro.replay.source import ReplaySource
     from repro.testing.seeds import auditors_for
 
     if path == "-":
-        return collect_trace_text(_stdin_text())
+        data = _stdin_bytes()
+        if _is_btrace(data):
+            return collect_trace_bytes(data)
+        return collect_trace_text(_decode_stream(data))
     registry = MetricsRegistry()
     trace = load_trace_observed(path, registry)
     ReplaySource(trace, auditors_for(trace), metrics=registry).run()
@@ -161,11 +177,32 @@ def collect_trace_text(text: str) -> Dict[str, Any]:
     return registry.snapshot()
 
 
-def _stdin_text() -> str:
-    """Stdin as text; transparent gunzip so ``cmd | obs top -`` works
-    on compressed streams too.  Bad bytes surface as the usual typed
-    error (one line, exit 2) rather than a traceback."""
-    data = sys.stdin.buffer.read()
+def collect_trace_bytes(data: bytes) -> Dict[str, Any]:
+    """Replay an in-memory btrace image (the ``-`` stdin path)."""
+    from repro.replay.btrace import load_btrace
+    from repro.replay.source import ReplaySource
+    from repro.testing.seeds import auditors_for
+
+    registry = MetricsRegistry()
+    trace = load_btrace(data=data)
+    ReplaySource(trace, auditors_for(trace), metrics=registry).run()
+    return registry.snapshot()
+
+
+def _is_btrace(data: bytes) -> bool:
+    from repro.replay.btrace import is_btrace_bytes
+
+    return is_btrace_bytes(data)
+
+
+def _stdin_bytes() -> bytes:
+    return sys.stdin.buffer.read()
+
+
+def _decode_stream(data: bytes) -> str:
+    """Stream bytes as text; transparent gunzip so ``cmd | obs top -``
+    works on compressed streams too.  Bad bytes surface as the usual
+    typed error (one line, exit 2) rather than a traceback."""
     if data[:2] == b"\x1f\x8b":
         try:
             data = gzip.decompress(data)
@@ -177,6 +214,10 @@ def _stdin_text() -> str:
         return data.decode("utf-8")
     except UnicodeDecodeError as exc:
         raise TraceFormatError(f"stdin: not utf-8 text: {exc}") from exc
+
+
+def _stdin_text() -> str:
+    return _decode_stream(_stdin_bytes())
 
 
 def _collect_task(task: Tuple[str, int, str]) -> Dict[str, Any]:
@@ -255,9 +296,16 @@ def rows_for_path(path: str, scope: str = "pipeline") -> List[Dict[str, Any]]:
     argument per invocation can be ``-``).
     """
     if path == "-":
-        return rows_from_text(_stdin_text(), scope=scope)
+        data = _stdin_bytes()
+        if _is_btrace(data):
+            return parse_export(
+                export_lines(collect_trace_bytes(data), scope=scope)
+            )
+        return rows_from_text(_decode_stream(data), scope=scope)
     with open(path, "rb") as fh:
-        head = fh.read(2)
+        head = fh.read(8)
+    if _is_btrace(head):  # btrace magic: must be a trace
+        return parse_export(export_lines(collect_trace(path), scope=scope))
     if head[:2] == b"\x1f\x8b":  # gzip magic: must be a trace
         return parse_export(export_lines(collect_trace(path), scope=scope))
     with open(path, "r", encoding="utf-8") as fh:

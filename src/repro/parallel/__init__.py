@@ -13,11 +13,13 @@ See ``DESIGN.md`` §5e for the seed-derivation scheme and the argument
 for why worker scheduling cannot change results.
 """
 
+from repro.parallel import shared
 from repro.parallel.executor import (
     InfrastructureFailure,
     derive_seed,
     job_count,
     parallel_map,
+    warm_pool,
 )
 
 __all__ = [
@@ -25,4 +27,6 @@ __all__ = [
     "derive_seed",
     "job_count",
     "parallel_map",
+    "shared",
+    "warm_pool",
 ]

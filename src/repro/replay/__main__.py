@@ -1,12 +1,17 @@
-"""CLI: ``python -m repro.replay {list,record,replay,fuzz}``.
+"""CLI: ``python -m repro.replay {list,record,replay,fuzz,convert}``.
 
 * ``record``  — run a named scenario live, persist its trace (JSONL,
-  gzip when the path ends in ``.gz``);
+  gzip when the path ends in ``.gz``; btrace when it ends in ``.btr``);
 * ``replay``  — re-audit a trace through fresh auditors, print the
   verdicts, compare against the recorded live verdicts, and report
   replay throughput vs the live event rate;
 * ``fuzz``    — N seeded mutations of a trace, each replayed; reports
-  auditor crashes vs gracefully rejected records.
+  auditor crashes vs gracefully rejected records;
+* ``convert`` — lossless JSONL <-> btrace conversion (direction
+  inferred by sniffing the source's magic bytes).
+
+``replay`` and ``fuzz`` accept either trace format transparently — the
+first bytes of the file decide, never the extension.
 """
 
 from __future__ import annotations
@@ -20,11 +25,17 @@ from repro.auditors.hrkd import HiddenRootkitDetector
 from repro.auditors.ht_ninja import HTNinja
 from repro.core.auditor import Auditor
 from repro.errors import TraceFormatError
+from repro.replay.btrace import (
+    BTRACE_SUFFIX,
+    convert_trace,
+    load_any_trace,
+    save_btrace,
+)
 from repro.replay.format import Trace
 from repro.replay.mutate import TraceMutator
 from repro.replay.recorder import SCENARIOS, record_scenario
+from repro.replay.trace_io import save_trace
 from repro.replay.source import ReplaySource
-from repro.replay.trace_io import load_trace, save_trace
 from repro.sim.clock import SECOND
 
 #: Auditor name -> class, for traces whose scenario is unknown here.
@@ -76,7 +87,10 @@ def cmd_list(args) -> int:
 
 def cmd_record(args) -> int:
     run = record_scenario(args.scenario, seed=args.seed)
-    save_trace(args.output, run.trace)
+    if args.output.endswith(BTRACE_SUFFIX):
+        save_btrace(args.output, run.trace)
+    else:
+        save_trace(args.output, run.trace)
     header = run.trace.header
     print(f"recorded scenario {args.scenario!r} (seed {args.seed}) "
           f"-> {args.output}")
@@ -91,7 +105,7 @@ def cmd_record(args) -> int:
 
 
 def cmd_replay(args) -> int:
-    trace = load_trace(args.trace)
+    trace = load_any_trace(args.trace)
     auditors = _build_auditors_for(trace)
     source = ReplaySource(trace, auditors)
     report = source.run()
@@ -125,7 +139,7 @@ def cmd_replay(args) -> int:
 
 def cmd_fuzz(args) -> int:
     if args.trace:
-        base = load_trace(args.trace)
+        base = load_any_trace(args.trace)
         origin = args.trace
     else:
         base = record_scenario(args.scenario, seed=args.seed).trace
@@ -153,6 +167,17 @@ def cmd_fuzz(args) -> int:
     print(f"  records rejected:     {rejected_total} (gracefully)")
     print(f"  runs raising alerts:  {alarmed}")
     return 1 if crashes else 0
+
+
+def cmd_convert(args) -> int:
+    info = convert_trace(args.source, args.output, to=args.to)
+    print(f"converted {args.source} -> {args.output} "
+          f"({info['format']}, {info['records']} records)")
+    if info["format"] == "btrace":
+        print(f"  fixed-layout records: {info['records'] - info['escapes']}  "
+              f"json escapes: {info['escapes']}  "
+              f"interned strings: {info['strings']}")
+    return 0
 
 
 # ======================================================================
@@ -190,6 +215,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="mutation operators applied per trace")
     p_fuzz.add_argument("--seed", type=int, default=0)
     p_fuzz.set_defaults(func=cmd_fuzz)
+
+    p_convert = sub.add_parser(
+        "convert", help="convert a trace between JSONL and btrace"
+    )
+    p_convert.add_argument("source", help="trace to convert (format sniffed)")
+    p_convert.add_argument("output", help="destination path")
+    p_convert.add_argument(
+        "--to", choices=("jsonl", "btrace"), default=None,
+        help="target format (default: the opposite of the source)",
+    )
+    p_convert.set_defaults(func=cmd_convert)
 
     args = parser.parse_args(argv)
     try:

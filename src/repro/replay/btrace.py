@@ -1,0 +1,1186 @@
+"""btrace: the struct-packed binary trace format (the replay hot path).
+
+JSONL (:mod:`repro.replay.trace_io`) stays the *interchange* format —
+self-describing, greppable, crash-tail salvageable.  btrace is the
+*performance* format the ledger gates: the same records, struct-packed
+with per-event-type fixed layouts, an interned string/blob table, and a
+record index that makes seek and shard slicing O(1).
+
+File layout (little-endian throughout)::
+
+    MAGIC (8)  | u32 len | header JSON line (verbatim bytes)
+    record*    |  -- see below
+    strings    |  u32 count, then per entry: u32 len + utf-8 bytes
+    blobs      |  u32 count, then per entry: u32 len + raw bytes
+    tail       |  u32 len + canonical JSON {event_counts, end_ns, footer}
+    index      |  u64 file offset per record
+    trailer    |  u64 x5 section offsets/count + TRAILER_MAGIC (8)
+
+Every record starts with one tag byte.  Tag ``0`` is the
+length-prefixed *JSON escape*: the record's canonical JSON, verbatim —
+scan markers, foreign kinds, and any event whose fields fall outside
+the fixed-layout domain (negative ints, oversized values, extra keys)
+take this path, so conversion is lossless by construction.  Tags
+``8..63`` are fixed layouts::
+
+    tag = type_code << 3 | has_hw << 2 | has_task << 1 | has_parent
+
+followed by the common prefix ``t:u64 vcpu:u16 vm:ref32``, the
+per-type payload, then optional hw (11 x u64), task and parent blocks
+(6 x u64 + comm/exe refs).  Strings (vm ids, mechanisms, io kinds,
+comm/exe, reasons, canonical-JSON detail/qual) are table references;
+syscall arg vectors are packed u64 blobs.
+
+Reading is **zero-copy and lazy**: :meth:`BinaryTraceReader.events`
+yields view objects that subclass the real event classes but hold only
+``(buffer, offset)`` — fields unpack on attribute access, so a counting
+or filtering pass over a million-event trace never materializes a dict.
+``to_record()``/``payload()`` are inherited and work through the
+properties, which is what the byte-identity tests lean on.
+
+The header line is stored *verbatim* (and the JSONL footer, when the
+source stream had one), so ``convert`` round-trips canonically-written
+JSONL byte-for-byte in both directions.
+
+This module is the one sanctioned home of ``struct``/``mmap``/``array``
+in the tree (see the determinism rule): binary layouts are exactly the
+kind of silent codec drift PR 2's rules exist to catch, so they live
+behind one audited boundary with the layout table checked against
+``EVENT_CLASSES`` at commit time.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import mmap
+import struct
+from functools import cached_property
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.core.derive import DerivedTaskInfo
+from repro.core.events import (
+    EVENT_CLASSES,
+    GuestEvent,
+    IOEvent,
+    MemoryAccessEvent,
+    ProcessSwitchEvent,
+    RawExitEvent,
+    SyscallEvent,
+    ThreadSwitchEvent,
+    TssIntegrityAlert,
+)
+from repro.errors import TraceFormatError
+from repro.hw.exits import ExitReason, GuestStateSnapshot
+from repro.replay.format import (
+    KIND_EVENT,
+    KIND_FOOTER,
+    Trace,
+    TraceHeader,
+    event_to_record,
+)
+
+#: First bytes of every btrace file.  Distinct from gzip (``\x1f\x8b``)
+#: and from any JSON/JSONL first byte, so one 8-byte sniff classifies
+#: all three container formats.
+MAGIC = b"HTBT\x01\r\n\x00"
+
+#: Closing magic inside the fixed-size trailer; its absence at EOF is
+#: how truncation is detected before any record is trusted.
+TRAILER_MAGIC = b"HTBTEND\x00"
+
+#: Recommended filename extension (``convert`` infers formats from it).
+BTRACE_SUFFIX = ".btr"
+
+#: One reusable canonical encoder (same bytes as the JSONL writers).
+_encode = json.JSONEncoder(sort_keys=True).encode
+
+_U64_MAX = (1 << 64) - 1
+_U32_MAX = (1 << 32) - 1
+_U16_MAX = (1 << 16) - 1
+
+#: Fixed-layout type codes.  Never renumber: the on-disk tag embeds
+#: them.  New event types append the next free code (1..31).
+TYPE_CODES: Dict[str, int] = {
+    "process_switch": 1,
+    "thread_switch": 2,
+    "syscall": 3,
+    "io": 4,
+    "mem_access": 5,
+    "tss_integrity": 6,
+    "raw_exit": 7,
+}
+
+#: Per-type payload layouts: ``type value -> (struct format, field
+#: spec)``.  The event-coverage rule cross-checks this table's keys
+#: against ``EventType`` at commit time, so a new ``GuestEvent``
+#: subclass without a binary layout fails static analysis, not replay.
+#: Field kinds: ``u64`` raw int, ``str`` string-table ref, ``json``
+#: canonical-JSON string ref, ``blob`` u64-vector blob ref.
+BTRACE_LAYOUTS: Dict[str, Tuple[str, Tuple[Tuple[str, str], ...]]] = {
+    "process_switch": ("<QQ", (("new_pdba", "u64"), ("old_pdba", "u64"))),
+    "thread_switch": ("<Q", (("rsp0", "u64"),)),
+    "syscall": ("<QII", (("nr", "u64"), ("mechanism", "str"), ("args", "blob"))),
+    "io": ("<II", (("io_kind", "str"), ("detail", "json"))),
+    "mem_access": ("<QQI", (("gva", "u64"), ("gpa", "u64"), ("access", "str"))),
+    "tss_integrity": ("<QQ", (("saved_tr", "u64"), ("current_tr", "u64"))),
+    "raw_exit": ("<II", (("reason", "str"), ("qual", "json"))),
+}
+
+_TAG_ESCAPE = 0
+
+_COMMON = struct.Struct("<QHI")  # t, vcpu, vm ref
+_HW = struct.Struct("<11Q")
+_TASK = struct.Struct("<QQQQQQII")  # gva pid uid euid flags parent_gva comm exe
+_LEN32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_U16AT9 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_TRAILER = struct.Struct("<QQQQQ8s")  # count, strings, blobs, tail, index, magic
+
+_SNAPSHOT_FIELDS = (
+    "cr3", "tr_base", "rsp", "rip",
+    "rax", "rbx", "rcx", "rdx", "rsi", "rdi", "cpl",
+)
+
+_TASK_FIELDS = (
+    "task_struct_gva", "pid", "uid", "euid", "comm", "exe", "flags",
+    "parent_gva",
+)
+
+#: Exact key set of a fixed-layout event record, per type value.
+_CANONICAL_KEYS: Dict[str, frozenset] = {
+    value: frozenset(
+        {"kind", "t", "vcpu", "vm", "type", "hw"}
+        | {name for name, _ in BTRACE_LAYOUTS[value][1]}
+    )
+    for value in BTRACE_LAYOUTS
+}
+
+_TASK_KEY_SET = frozenset(_TASK_FIELDS)
+
+
+def _is_u64(value: Any) -> bool:
+    return type(value) is int and 0 <= value <= _U64_MAX
+
+
+# ======================================================================
+# Writer
+# ======================================================================
+class BinaryTraceWriter:
+    """Streaming btrace writer: drop-in peer of :class:`TraceWriter`.
+
+    Same surface — ``write_record`` / ``write_event`` / ``flush`` /
+    ``close`` with running ``event_counts`` — but records become packed
+    binary and the interning tables, record index and trailer land at
+    :meth:`close`.  ``header_line``/``footer_record`` exist so
+    conversion can carry the source JSONL's exact header bytes (and
+    footer, for streamed traces) through to a byte-identical round trip.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str],
+        header: TraceHeader,
+        header_line: Optional[str] = None,
+        flush_every: int = 1024,
+        _fh: Optional[io.BufferedIOBase] = None,
+    ) -> None:
+        self.path = str(path) if path is not None else "<buffer>"
+        self.header = header
+        self.event_counts: Dict[str, int] = {}
+        self.records_written = 0
+        self.escapes = 0
+        self.footer_record: Optional[Dict[str, Any]] = None
+        # A caller-provided stream (in-memory encode, socket pipe) stays
+        # the caller's to close; only paths we opened are ours.
+        self._owns_fh = _fh is None
+        self._fh = _fh if _fh is not None else open(self.path, "wb")
+        self._closed = False
+        self._buffer: List[bytes] = []
+        self._flush_every = max(1, int(flush_every))
+        self._offsets: List[int] = []
+        self._pos = 0
+        self._strings: List[str] = []
+        self._string_ids: Dict[str, int] = {}
+        self._blobs: List[bytes] = []
+        self._blob_ids: Dict[bytes, int] = {}
+        if header_line is None:
+            header_line = _encode(header.to_record())
+        self.header_line = header_line
+        head = header_line.encode("utf-8")
+        self._write(MAGIC + _LEN32.pack(len(head)) + head)
+
+    @property
+    def strings_interned(self) -> int:
+        """Distinct strings in the interning table so far."""
+        return len(self._strings)
+
+    # ------------------------------------------------------------------
+    def _write(self, data: bytes) -> None:
+        self._buffer.append(data)
+        self._pos += len(data)
+        if len(self._buffer) >= self._flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._buffer:
+            self._fh.write(b"".join(self._buffer))
+            self._buffer.clear()
+
+    def _intern(self, text: str) -> int:
+        idx = self._string_ids.get(text)
+        if idx is None:
+            idx = len(self._strings)
+            if idx > _U32_MAX:
+                raise TraceFormatError("string table overflow")
+            self._strings.append(text)
+            self._string_ids[text] = idx
+        return idx
+
+    def _intern_blob(self, blob: bytes) -> int:
+        idx = self._blob_ids.get(blob)
+        if idx is None:
+            idx = len(self._blobs)
+            if idx > _U32_MAX:
+                raise TraceFormatError("blob table overflow")
+            self._blobs.append(blob)
+            self._blob_ids[blob] = idx
+        return idx
+
+    # ------------------------------------------------------------------
+    def _pack_fixed(self, record: Dict[str, Any]) -> Optional[bytes]:
+        """The fixed-layout encoding of ``record``, or ``None`` when any
+        field falls outside the layout domain (the JSON escape then
+        preserves it losslessly)."""
+        type_value = record.get("type")
+        layout = BTRACE_LAYOUTS.get(type_value)
+        if layout is None:
+            return None
+        t = record.get("t")
+        vcpu = record.get("vcpu")
+        vm = record.get("vm")
+        if (
+            not _is_u64(t)
+            or type(vcpu) is not int
+            or not 0 <= vcpu <= _U16_MAX
+            or type(vm) is not str
+        ):
+            return None
+        task = record.get("task")
+        parent = record.get("parent")
+        keys = _CANONICAL_KEYS[type_value]
+        extra = record.keys() - keys
+        if extra - {"task", "parent"}:
+            return None
+        hw = record.get("hw")
+        if hw is not None:
+            if type(hw) is not list or len(hw) != 11:
+                return None
+            for v in hw:
+                if not _is_u64(v):
+                    return None
+        payload_values: List[int] = []
+        fmt, fields = layout
+        for name, kind in fields:
+            value = record.get(name)
+            if kind == "u64":
+                if not _is_u64(value):
+                    return None
+                payload_values.append(value)
+            elif kind == "str":
+                if type(value) is not str:
+                    return None
+                payload_values.append(self._intern(value))
+            elif kind == "json":
+                if type(value) is not dict:
+                    return None
+                payload_values.append(self._intern(_encode(value)))
+            else:  # blob: a u64 vector
+                if type(value) is not list:
+                    return None
+                for v in value:
+                    if not _is_u64(v):
+                        return None
+                packed = b"".join(_U64.pack(v) for v in value)
+                payload_values.append(self._intern_blob(packed))
+        task_bytes = parent_bytes = b""
+        if task is not None:
+            task_bytes = self._pack_task(task)
+            if task_bytes is None:
+                return None
+        if parent is not None:
+            parent_bytes = self._pack_task(parent)
+            if parent_bytes is None:
+                return None
+        tag = (
+            TYPE_CODES[type_value] << 3
+            | (4 if hw is not None else 0)
+            | (2 if task is not None else 0)
+            | (1 if parent is not None else 0)
+        )
+        parts = [
+            bytes((tag,)),
+            _COMMON.pack(t, vcpu, self._intern(vm)),
+            struct.pack(fmt, *payload_values),
+        ]
+        if hw is not None:
+            parts.append(_HW.pack(*hw))
+        if task_bytes:
+            parts.append(task_bytes)
+        if parent_bytes:
+            parts.append(parent_bytes)
+        return b"".join(parts)
+
+    def _pack_task(self, task: Any) -> Optional[bytes]:
+        if type(task) is not dict or task.keys() != _TASK_KEY_SET:
+            return None
+        gva = task["task_struct_gva"]
+        pid = task["pid"]
+        uid = task["uid"]
+        euid = task["euid"]
+        flags = task["flags"]
+        parent_gva = task["parent_gva"]
+        comm = task["comm"]
+        exe = task["exe"]
+        if not (
+            _is_u64(gva) and _is_u64(pid) and _is_u64(uid) and _is_u64(euid)
+            and _is_u64(flags) and _is_u64(parent_gva)
+            and type(comm) is str and type(exe) is str
+        ):
+            return None
+        return _TASK.pack(
+            gva, pid, uid, euid, flags, parent_gva,
+            self._intern(comm), self._intern(exe),
+        )
+
+    # ------------------------------------------------------------------
+    def write_record(self, record: Dict[str, Any]) -> None:
+        """Append one raw body record (event or marker)."""
+        if self._closed:
+            raise TraceFormatError("writer already closed")
+        if record.get("kind", KIND_EVENT) == KIND_EVENT and "type" in record:
+            key = str(record.get("type"))
+            self.event_counts[key] = self.event_counts.get(key, 0) + 1
+        self._offsets.append(self._pos)
+        packed = None
+        if record.get("kind") == KIND_EVENT:
+            packed = self._pack_fixed(record)
+        if packed is None:
+            encoded = _encode(record).encode("utf-8")
+            packed = bytes((_TAG_ESCAPE,)) + _LEN32.pack(len(encoded)) + encoded
+            self.escapes += 1
+        self._write(packed)
+        self.records_written += 1
+
+    def write_event(
+        self,
+        event: GuestEvent,
+        task: Optional[DerivedTaskInfo] = None,
+        parent: Optional[DerivedTaskInfo] = None,
+    ) -> None:
+        self.write_record(event_to_record(event, task=task, parent=parent))
+
+    def close(self, end_ns: Optional[int] = None) -> None:
+        if self._closed:
+            return
+        if end_ns is None:
+            end_ns = self.header.end_ns
+        strings_off = self._pos
+        chunks = [_LEN32.pack(len(self._strings))]
+        for text in self._strings:
+            raw = text.encode("utf-8")
+            chunks.append(_LEN32.pack(len(raw)) + raw)
+        self._write(b"".join(chunks))
+        blobs_off = self._pos
+        chunks = [_LEN32.pack(len(self._blobs))]
+        for blob in self._blobs:
+            chunks.append(_LEN32.pack(len(blob)) + blob)
+        self._write(b"".join(chunks))
+        tail_off = self._pos
+        tail = _encode(
+            {
+                "event_counts": dict(self.event_counts),
+                "end_ns": end_ns,
+                "footer": self.footer_record,
+            }
+        ).encode("utf-8")
+        self._write(_LEN32.pack(len(tail)) + tail)
+        index_off = self._pos
+        self._write(b"".join(_U64.pack(off) for off in self._offsets))
+        self._write(
+            _TRAILER.pack(
+                self.records_written,
+                strings_off,
+                blobs_off,
+                tail_off,
+                index_off,
+                TRAILER_MAGIC,
+            )
+        )
+        self.flush()
+        if self._owns_fh:
+            self._fh.close()
+        self._closed = True
+        self.header.event_counts = dict(self.event_counts)
+        if end_ns is not None:
+            self.header.end_ns = end_ns
+
+    def __enter__(self) -> "BinaryTraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ======================================================================
+# Lazy view events (zero-copy decode)
+# ======================================================================
+def _view_class(cls, type_value: str):
+    """Build the lazy view subclass of ``cls`` for one fixed layout.
+
+    A view holds ``(buffer, offset, strings, blobs)`` and unpacks fields
+    on property access; ``to_record``/``payload``/``type`` are inherited
+    from the real event class and work through the properties.
+    """
+    fmt, fields = BTRACE_LAYOUTS[type_value]
+    payload_struct = struct.Struct(fmt)
+    payload_off = 15  # tag(1) + common(14)
+    hw_off = payload_off + payload_struct.size
+
+    namespace: Dict[str, Any] = {}
+
+    # ``_b`` (buffer), ``_s`` (string table) and ``_bl`` (blob table)
+    # are bound as *class* attributes by the reader (one subclass per
+    # reader, see BinaryTraceReader._bind), so constructing a view is a
+    # single instance-attribute store — the cheapest object the decode
+    # loop can mint.
+    def __init__(self, off):  # noqa: N807
+        self._o = off
+
+    namespace["__init__"] = __init__
+    namespace["time_ns"] = property(
+        lambda self: _U64.unpack_from(self._b, self._o + 1)[0]
+    )
+    namespace["vcpu_index"] = property(
+        lambda self: _U16AT9.unpack_from(self._b, self._o + 9)[0]
+    )
+    namespace["vm_id"] = property(
+        lambda self: self._s[_U32.unpack_from(self._b, self._o + 11)[0]]
+    )
+
+    def _hw_state(self):
+        if not self._b[self._o] & 4:
+            return None
+        snap = object.__new__(GuestStateSnapshot)
+        snap.__dict__.update(
+            zip(_SNAPSHOT_FIELDS, _HW.unpack_from(self._b, self._o + hw_off))
+        )
+        return snap
+
+    _hw_state.__name__ = "hw_state"
+    namespace["hw_state"] = cached_property(_hw_state)
+    namespace["hw_state"].__set_name__(None, "hw_state")
+
+    # Record-key -> event-attribute renames the JSONL codec performs.
+    attr_names = {"nr": "number", "io_kind": "kind", "qual": "qualification"}
+    slot = 0
+    offset = payload_off
+    for name, kind in fields:
+        size = struct.calcsize(fmt[0] + fmt[1 + slot])
+        field_struct = struct.Struct("<" + fmt[1 + slot])
+        field_off = offset
+        attr = attr_names.get(name, name)
+        if kind == "u64":
+            def getter(self, _st=field_struct, _fo=field_off):
+                return _st.unpack_from(self._b, self._o + _fo)[0]
+            namespace[attr] = property(getter)
+        elif kind == "str":
+            if name == "reason":
+                def getter(self, _st=field_struct, _fo=field_off):
+                    return ExitReason(
+                        self._s[_st.unpack_from(self._b, self._o + _fo)[0]]
+                    )
+            else:
+                def getter(self, _st=field_struct, _fo=field_off):
+                    return self._s[_st.unpack_from(self._b, self._o + _fo)[0]]
+            namespace[attr] = property(getter)
+        elif kind == "json":
+            def getter(self, _st=field_struct, _fo=field_off):
+                return json.loads(
+                    self._s[_st.unpack_from(self._b, self._o + _fo)[0]]
+                )
+            getter.__name__ = attr
+            namespace[attr] = cached_property(getter)
+            namespace[attr].__set_name__(None, attr)
+        else:  # blob: packed u64 vector -> tuple
+            def getter(self, _st=field_struct, _fo=field_off):
+                raw = self._bl[_st.unpack_from(self._b, self._o + _fo)[0]]
+                return tuple(
+                    v[0] for v in _U64.iter_unpack(raw)
+                )
+            getter.__name__ = attr
+            namespace[attr] = cached_property(getter)
+            namespace[attr].__set_name__(None, attr)
+        offset += size
+        slot += 1
+
+    view = type(f"BView_{cls.__name__}", (cls,), namespace)
+    view._payload_struct = payload_struct
+    view._hw_off = hw_off
+    return view
+
+
+class LazyTaskInfo(DerivedTaskInfo):
+    """Zero-copy view of one packed task annotation block.
+
+    Like the event views, ``_b``/``_s`` are class attributes bound per
+    reader; instances carry only their offset.
+    """
+
+    def __init__(self, off):
+        self._o = off
+
+    task_struct_gva = property(
+        lambda self: _U64.unpack_from(self._b, self._o)[0]
+    )
+    pid = property(lambda self: _U64.unpack_from(self._b, self._o + 8)[0])
+    uid = property(lambda self: _U64.unpack_from(self._b, self._o + 16)[0])
+    euid = property(lambda self: _U64.unpack_from(self._b, self._o + 24)[0])
+    flags = property(lambda self: _U64.unpack_from(self._b, self._o + 32)[0])
+    parent_gva = property(
+        lambda self: _U64.unpack_from(self._b, self._o + 40)[0]
+    )
+    comm = property(
+        lambda self: self._s[_U32.unpack_from(self._b, self._o + 48)[0]]
+    )
+    exe = property(
+        lambda self: self._s[_U32.unpack_from(self._b, self._o + 52)[0]]
+    )
+
+    def to_record(self) -> Dict[str, Any]:
+        return {name: getattr(self, name) for name in _TASK_FIELDS}
+
+
+#: tag -> (view class, payload size, record size without task/parent,
+#: type value); None for unused tags.  256 entries so dispatch is one
+#: C-speed list index per record.
+_VIEW_DISPATCH: List[Optional[Tuple[Any, int, str]]] = [None] * 256
+
+_VIEW_CLASSES: Dict[str, Any] = {
+    "process_switch": _view_class(ProcessSwitchEvent, "process_switch"),
+    "thread_switch": _view_class(ThreadSwitchEvent, "thread_switch"),
+    "syscall": _view_class(SyscallEvent, "syscall"),
+    "io": _view_class(IOEvent, "io"),
+    "mem_access": _view_class(MemoryAccessEvent, "mem_access"),
+    "tss_integrity": _view_class(TssIntegrityAlert, "tss_integrity"),
+    "raw_exit": _view_class(RawExitEvent, "raw_exit"),
+}
+
+for _value, _code in TYPE_CODES.items():
+    _cls = _VIEW_CLASSES[_value]
+    _payload_size = _cls._payload_struct.size
+    for _flags in range(8):
+        _size = 15 + _payload_size
+        if _flags & 4:
+            _size += _HW.size
+        if _flags & 2:
+            _size += _TASK.size
+        if _flags & 1:
+            _size += _TASK.size
+        _VIEW_DISPATCH[_code << 3 | _flags] = (_cls, _size, _value)
+del _value, _code, _cls, _payload_size, _flags, _size
+
+
+# ======================================================================
+# Reader
+# ======================================================================
+class BinaryTraceReader:
+    """mmap-backed btrace reader: drop-in peer of :class:`TraceReader`.
+
+    Iterating yields raw record dicts in file order (identical to what
+    :class:`TraceReader` parses from the JSONL form of the same trace);
+    :meth:`events` and :meth:`iter_decoded` are the zero-copy fast
+    paths; :meth:`record_at` / :meth:`iter_range` use the record index
+    for O(1) seek and contiguous shard slicing.
+
+    A file without a valid trailer (truncated mid-write) raises
+    :class:`TraceFormatError` at open — the interning tables live at
+    the end, so nothing before them is decodable; JSONL remains the
+    salvageable interchange format.  Corruption *inside* the record
+    region surfaces on iteration with ``records_read`` context, exactly
+    like a broken gzip stream does on the JSONL path.
+    """
+
+    def __init__(self, path: Optional[str] = None, data: Optional[bytes] = None) -> None:
+        if (path is None) == (data is None):
+            raise TraceFormatError("pass exactly one of path or data")
+        self.path = str(path) if path is not None else "<memory>"
+        self._mm: Optional[mmap.mmap] = None
+        self._file = None
+        if path is not None:
+            self._file = open(path, "rb")
+            try:
+                self._mm = mmap.mmap(
+                    self._file.fileno(), 0, access=mmap.ACCESS_READ
+                )
+                buf: Any = self._mm
+            except (ValueError, OSError):  # empty file: mmap refuses len 0
+                buf = self._file.read()
+        else:
+            buf = data
+        self._buf = buf
+        self.footer: Optional[Dict[str, Any]] = None
+        self.malformed_lines = 0
+        self.records_read = 0
+        try:
+            self._parse_container()
+        except TraceFormatError:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    def _parse_container(self) -> None:
+        buf = self._buf
+        if len(buf) < len(MAGIC) + 4 + _TRAILER.size:
+            raise TraceFormatError(
+                f"{self.path}: not a btrace file (too short)"
+            )
+        if bytes(buf[: len(MAGIC)]) != MAGIC:
+            raise TraceFormatError(f"{self.path}: bad btrace magic")
+        (head_len,) = _LEN32.unpack_from(buf, len(MAGIC))
+        head_start = len(MAGIC) + 4
+        if head_start + head_len > len(buf):
+            raise TraceFormatError(f"{self.path}: truncated btrace header")
+        try:
+            self.header_line = bytes(buf[head_start : head_start + head_len]).decode("utf-8")
+            header_record = json.loads(self.header_line)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise TraceFormatError(
+                f"{self.path}: bad btrace header: {exc}"
+            ) from exc
+        if not isinstance(header_record, dict):
+            raise TraceFormatError(f"{self.path}: header record is not an object")
+        self.header = TraceHeader.from_record(header_record)
+        self._body_start = head_start + head_len
+
+        trailer = bytes(buf[len(buf) - _TRAILER.size :])
+        (count, strings_off, blobs_off, tail_off, index_off, magic) = (
+            _TRAILER.unpack(trailer)
+        )
+        if magic != TRAILER_MAGIC:
+            raise TraceFormatError(
+                f"{self.path}: missing btrace trailer "
+                "(truncated or corrupt stream)"
+            )
+        if not (
+            self._body_start <= strings_off <= blobs_off <= tail_off
+            <= index_off <= len(buf) - _TRAILER.size
+        ):
+            raise TraceFormatError(f"{self.path}: corrupt btrace trailer")
+        self.record_count = count
+        self._body_end = strings_off
+        self._strings = self._read_str_table(strings_off, blobs_off)
+        self._blobs = self._read_blob_table(blobs_off, tail_off)
+        self._index_off = index_off
+        self._index: Optional[List[int]] = None
+        if index_off + 8 * count > len(buf) - _TRAILER.size:
+            raise TraceFormatError(f"{self.path}: truncated btrace index")
+        try:
+            tail_len = _LEN32.unpack_from(buf, tail_off)[0]
+            tail = json.loads(
+                bytes(buf[tail_off + 4 : tail_off + 4 + tail_len]).decode("utf-8")
+            )
+        except (struct.error, UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise TraceFormatError(
+                f"{self.path}: corrupt btrace tail section: {exc}"
+            ) from exc
+        counts = tail.get("event_counts")
+        if isinstance(counts, dict) and not self.header.event_counts:
+            self.header.event_counts = {
+                str(k): int(v) for k, v in counts.items()
+            }
+        end_ns = tail.get("end_ns")
+        if isinstance(end_ns, int) and self.header.end_ns is None:
+            self.header.end_ns = end_ns
+        footer = tail.get("footer")
+        if isinstance(footer, dict):
+            self.footer = footer
+        self._bind()
+
+    def _bind(self) -> None:
+        """Specialize the view classes to this reader.
+
+        The buffer and interning tables become *class* attributes of
+        per-reader subclasses, so each decoded record costs one object
+        with a single instance attribute (its offset) instead of four.
+        """
+        shared = {"_b": self._buf, "_s": self._strings, "_bl": self._blobs}
+        bound: List[Optional[Tuple[Any, int, str]]] = [None] * 256
+        cache: Dict[Any, Any] = {}
+        for tag, entry in enumerate(_VIEW_DISPATCH):
+            if entry is None:
+                continue
+            cls, size, value = entry
+            sub = cache.get(cls)
+            if sub is None:
+                sub = type(cls.__name__, (cls,), dict(shared))
+                cache[cls] = sub
+            bound[tag] = (sub, size, value)
+        self._dispatch = bound
+        self._task_cls = type(
+            "LazyTaskInfo", (LazyTaskInfo,),
+            {"_b": self._buf, "_s": self._strings},
+        )
+
+    def _read_str_table(self, start: int, end: int) -> List[str]:
+        buf = self._buf
+        try:
+            (count,) = _LEN32.unpack_from(buf, start)
+            out: List[str] = []
+            pos = start + 4
+            for _ in range(count):
+                (n,) = _LEN32.unpack_from(buf, pos)
+                pos += 4
+                if pos + n > end:
+                    raise TraceFormatError(
+                        f"{self.path}: string table overruns its section"
+                    )
+                out.append(bytes(buf[pos : pos + n]).decode("utf-8"))
+                pos += n
+            return out
+        except (struct.error, UnicodeDecodeError) as exc:
+            raise TraceFormatError(
+                f"{self.path}: corrupt btrace string table: {exc}"
+            ) from exc
+
+    def _read_blob_table(self, start: int, end: int) -> List[bytes]:
+        buf = self._buf
+        try:
+            (count,) = _LEN32.unpack_from(buf, start)
+            out: List[bytes] = []
+            pos = start + 4
+            for _ in range(count):
+                (n,) = _LEN32.unpack_from(buf, pos)
+                pos += 4
+                if pos + n > end:
+                    raise TraceFormatError(
+                        f"{self.path}: blob table overruns its section"
+                    )
+                out.append(bytes(buf[pos : pos + n]))
+                pos += n
+            return out
+        except struct.error as exc:
+            raise TraceFormatError(
+                f"{self.path}: corrupt btrace blob table: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    @property
+    def index(self) -> List[int]:
+        """Per-record file offsets (built lazily from the mmap index)."""
+        if self._index is None:
+            buf = self._buf
+            off = self._index_off
+            self._index = [
+                v[0]
+                for v in _U64.iter_unpack(
+                    bytes(buf[off : off + 8 * self.record_count])
+                )
+            ]
+        return self._index
+
+    def _corrupt(self, what: str, records_read: Optional[int] = None) -> TraceFormatError:
+        if records_read is None:
+            records_read = self.records_read
+        return TraceFormatError(
+            f"{self.path}: corrupt btrace stream after record "
+            f"{records_read}: {what}",
+            records_read=records_read,
+        )
+
+    # ------------------------------------------------------------------
+    def iter_decoded(self, start: int = 0, stop: Optional[int] = None):
+        """Yield ``(event, task, parent)`` zero-copy views per
+        fixed-layout event record; every other record — markers *and*
+        JSON-escaped events — yields ``(None, record_dict, None)`` with
+        the escape payload verbatim, so raw-record consumers round-trip
+        byte-losslessly (an escaped event re-encoded from its decoded
+        form would silently drop the non-canonical keys that forced the
+        escape in the first place).
+
+        This is the ledger-gated hot path: fixed-layout records become
+        lazy views (no dict, no eager field decode), escapes fall back
+        to JSON.  Corruption raises with ``records_read`` context.
+        """
+        buf = self._buf
+        dispatch = self._dispatch
+        task_cls = self._task_cls
+        end = self._body_end
+        pos = self._body_start if start == 0 else self._seek(start)
+        remaining = (
+            self.record_count - start
+            if stop is None
+            else max(0, min(stop, self.record_count) - start)
+        )
+        task_size = _TASK.size
+        while remaining > 0 and pos < end:
+            tag = buf[pos]
+            if tag == _TAG_ESCAPE:
+                if pos + 5 > end:
+                    raise self._corrupt("truncated escape record")
+                (n,) = _LEN32.unpack_from(buf, pos + 1)
+                if pos + 5 + n > end:
+                    raise self._corrupt("escape record overruns the body")
+                try:
+                    record = json.loads(
+                        bytes(buf[pos + 5 : pos + 5 + n]).decode("utf-8")
+                    )
+                except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                    raise self._corrupt(f"bad escape payload: {exc}")
+                pos += 5 + n
+                self.records_read += 1
+                remaining -= 1
+                yield (None, record, None)
+                continue
+            entry = dispatch[tag]
+            if entry is None:
+                raise self._corrupt(f"unknown record tag {tag:#04x}")
+            cls, size, _value = entry
+            if pos + size > end:
+                raise self._corrupt("record overruns the body")
+            event = cls(pos)
+            task = parent = None
+            if tag & 3:
+                toff = pos + size
+                if tag & 1:
+                    toff -= task_size
+                    parent = task_cls(toff)
+                if tag & 2:
+                    toff -= task_size
+                    task = task_cls(toff)
+            pos += size
+            self.records_read += 1
+            remaining -= 1
+            yield (event, task, parent)
+        if remaining > 0 and pos >= end:
+            raise self._corrupt("record region ended early")
+
+    def events(self, start: int = 0, stop: Optional[int] = None) -> Iterator[GuestEvent]:
+        """Lazy event views only (markers and malformed escapes skipped).
+
+        The ledger-gated counting/filtering pass: a dedicated tight
+        loop that never materializes task annotations or record dicts —
+        one view object per event, everything else deferred to
+        attribute access.
+        """
+        if stop is not None:
+            for event, record, _parent in self.iter_decoded(start, stop):
+                if event is not None:
+                    yield event
+                elif (
+                    isinstance(record, dict)
+                    and record.get("kind") == KIND_EVENT
+                ):
+                    from repro.replay.format import decode_event
+
+                    try:
+                        yield decode_event(record)[0]
+                    except TraceFormatError:
+                        continue
+            return
+        buf = self._buf
+        dispatch = self._dispatch
+        end = self._body_end
+        pos = self._body_start if start == 0 else self._seek(start)
+        total = self.record_count - start
+        n = 0
+        try:
+            while pos < end:
+                entry = dispatch[buf[pos]]
+                if entry is not None:
+                    npos = pos + entry[1]
+                    if npos > end:
+                        raise self._corrupt(
+                            "record overruns the body", self.records_read + n
+                        )
+                    # Count before yielding: a consumer that stops early
+                    # has still been handed this record, and
+                    # ``records_read`` is its error-context anchor.
+                    at = pos
+                    pos = npos
+                    n += 1
+                    yield entry[0](at)
+                    continue
+                if buf[pos] != _TAG_ESCAPE:
+                    raise self._corrupt(
+                        f"unknown record tag {buf[pos]:#04x}",
+                        self.records_read + n,
+                    )
+                if pos + 5 > end:
+                    raise self._corrupt(
+                        "truncated escape record", self.records_read + n
+                    )
+                (length,) = _LEN32.unpack_from(buf, pos + 1)
+                if pos + 5 + length > end:
+                    raise self._corrupt(
+                        "escape record overruns the body",
+                        self.records_read + n,
+                    )
+                try:
+                    record = json.loads(
+                        bytes(buf[pos + 5 : pos + 5 + length]).decode("utf-8")
+                    )
+                except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                    raise self._corrupt(
+                        f"bad escape payload: {exc}", self.records_read + n
+                    )
+                pos += 5 + length
+                n += 1
+                if isinstance(record, dict) and record.get("kind") == KIND_EVENT:
+                    from repro.replay.format import decode_event
+
+                    try:
+                        decoded = decode_event(record)
+                    except TraceFormatError:
+                        continue
+                    yield decoded[0]
+            if n != total:
+                raise self._corrupt(
+                    "record count mismatch in body "
+                    f"(expected {total}, decoded {n})",
+                    self.records_read + n,
+                )
+        finally:
+            self.records_read += n
+
+    def _seek(self, record_number: int) -> int:
+        if not 0 <= record_number <= self.record_count:
+            raise TraceFormatError(
+                f"{self.path}: record {record_number} out of range "
+                f"(trace has {self.record_count})"
+            )
+        if record_number == 0:
+            return self._body_start
+        if record_number == self.record_count:
+            return self._body_end
+        (off,) = _U64.unpack_from(
+            self._buf, self._index_off + 8 * record_number
+        )
+        if not self._body_start <= off < self._body_end:
+            raise TraceFormatError(
+                f"{self.path}: corrupt index entry for record {record_number}"
+            )
+        return off
+
+    # ------------------------------------------------------------------
+    def _record_to_dict(self, event, record, parent) -> Dict[str, Any]:
+        if event is None:
+            return record
+        out = event.to_record()
+        out["kind"] = KIND_EVENT
+        if record is not None:  # the task view, repurposed slot
+            out["task"] = record.to_record()
+        if parent is not None:
+            out["parent"] = parent.to_record()
+        return out
+
+    def iter_range(self, start: int, stop: Optional[int] = None) -> Iterator[Dict[str, Any]]:
+        """Raw record dicts for records ``[start, stop)`` — the shard
+        slicing primitive (workers get ``(path, start, stop)``)."""
+        for event, record, parent in self.iter_decoded(start, stop):
+            yield self._record_to_dict(event, record, parent)
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        """Raw record dicts in file order — :class:`TraceReader` parity."""
+        yield from self.iter_range(0, None)
+
+    def record_at(self, record_number: int) -> Dict[str, Any]:
+        """O(1) single-record fetch through the index."""
+        for record in self.iter_range(record_number, record_number + 1):
+            return record
+        raise TraceFormatError(
+            f"{self.path}: record {record_number} out of range "
+            f"(trace has {self.record_count})"
+        )
+
+    def close(self) -> None:
+        if self._mm is not None:
+            try:
+                self._mm.close()
+            except BufferError:  # live views still reference the map
+                pass
+            else:
+                self._mm = None
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "BinaryTraceReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ======================================================================
+# Whole-trace / conversion / sniffing helpers
+# ======================================================================
+def is_btrace_path(path: str) -> bool:
+    """Magic-byte sniff (never trusts the extension)."""
+    try:
+        with open(path, "rb") as fh:
+            return fh.read(len(MAGIC)) == MAGIC
+    except OSError:
+        return False
+
+
+def is_btrace_bytes(data: bytes) -> bool:
+    return data[: len(MAGIC)] == MAGIC
+
+
+def save_btrace(path: str, trace: Trace) -> None:
+    """Write a complete in-memory trace as btrace (peer of save_trace)."""
+    trace.recount()
+    writer = BinaryTraceWriter(path, trace.header)
+    for record in trace.records:
+        writer.write_record(record)
+    writer.close()
+
+
+def load_btrace(path: Optional[str] = None, data: Optional[bytes] = None) -> Trace:
+    """Read a whole btrace into the standard in-memory :class:`Trace`."""
+    reader = BinaryTraceReader(path, data=data)
+    try:
+        records = list(reader)
+    finally:
+        reader.close()
+    trace = Trace(header=reader.header, records=records)
+    if not trace.header.event_counts:
+        trace.recount()
+    return trace
+
+
+def load_any_trace(path: str) -> Trace:
+    """Load a trace whatever its container format (btrace, JSONL, gzip).
+
+    This is how every consumer — ``replay``/``fuzz`` CLIs, the fuzz and
+    campaign loops, ``repro.serve`` stream sources, ``repro.obs`` —
+    accepts both formats transparently.
+    """
+    from repro.replay.trace_io import load_trace
+
+    if is_btrace_path(path):
+        return load_btrace(path)
+    return load_trace(path)
+
+
+def convert_trace(src: str, dst: str, to: Optional[str] = None) -> Dict[str, Any]:
+    """Lossless conversion between JSONL and btrace, either direction.
+
+    ``to`` forces the output format (``"btrace"`` / ``"jsonl"``);
+    ``None`` infers it: the opposite of the (sniffed) source format.
+    Canonically-written sources round-trip byte-for-byte: the header
+    line (and streaming footer, when present) is carried verbatim.
+    Returns a small summary dict for the CLI.
+    """
+    from repro.replay.trace_io import TraceReader, _open
+
+    src_is_btrace = is_btrace_path(src)
+    if to is None:
+        to = "jsonl" if src_is_btrace else "btrace"
+    if to not in ("jsonl", "btrace"):
+        raise TraceFormatError(f"unknown conversion target {to!r}")
+
+    if to == "btrace":
+        if src_is_btrace:
+            raise TraceFormatError(f"{src}: already a btrace file")
+        reader = TraceReader(src)
+        writer = BinaryTraceWriter(dst, reader.header, header_line=reader.header_line)
+        try:
+            for record in reader:
+                writer.write_record(record)
+        finally:
+            reader.close()
+        writer.footer_record = reader.footer
+        writer.close(end_ns=reader.header.end_ns)
+        return {
+            "records": writer.records_written,
+            "escapes": writer.escapes,
+            "format": "btrace",
+            "strings": len(writer._strings),
+        }
+
+    if not src_is_btrace:
+        raise TraceFormatError(f"{src}: not a btrace file (nothing to convert)")
+    reader = BinaryTraceReader(src)
+    records = 0
+    try:
+        with _open(dst, "w") as fh:
+            fh.write(reader.header_line + "\n")
+            batch: List[str] = []
+            for record in reader:
+                batch.append(_encode(record) + "\n")
+                records += 1
+                if len(batch) >= 256:
+                    fh.write("".join(batch))
+                    batch.clear()
+            if reader.footer is not None:
+                batch.append(_encode(reader.footer) + "\n")
+            if batch:
+                fh.write("".join(batch))
+    finally:
+        reader.close()
+    return {"records": records, "escapes": 0, "format": "jsonl", "strings": 0}
+
+
+# ======================================================================
+# Shard descriptors: (path, index-range) tasks for repro.parallel
+# ======================================================================
+def shard_ranges(record_count: int, shards: int) -> List[Tuple[int, int]]:
+    """Contiguous, balanced ``[start, stop)`` ranges covering the trace."""
+    shards = max(1, int(shards))
+    if record_count <= 0:
+        return [(0, 0)]
+    size = -(-record_count // shards)
+    return [
+        (start, min(start + size, record_count))
+        for start in range(0, record_count, size)
+    ]
+
+
+#: Per-worker-process reader cache: shard tasks carry ``(path, lo, hi)``
+#: descriptors instead of pickled record chunks, and the mmap'd reader
+#: (with its interning tables) is opened once per process — inherited
+#: read-only state, never re-pickled per task.
+_READER_CACHE: Dict[str, BinaryTraceReader] = {}
+
+
+def cached_reader(path: str) -> BinaryTraceReader:
+    reader = _READER_CACHE.get(path)
+    if reader is None:
+        reader = BinaryTraceReader(path)
+        _READER_CACHE[path] = reader
+    return reader
+
+
+def count_shard(task: Tuple[str, int, int]) -> Dict[str, int]:
+    """Picklable shard task: per-type event counts over one index range.
+
+    The equivalence tests use it to prove shard fan-out composes to the
+    sequential answer at any job count.
+    """
+    path, lo, hi = task
+    reader = cached_reader(path)
+    counts: Dict[str, int] = {}
+    for event, record, _parent in reader.iter_decoded(lo, hi):
+        if event is not None:
+            key = event.type.value
+        elif isinstance(record, dict) and record.get("kind") == KIND_EVENT:
+            # JSON-escaped events still count toward their type: the
+            # header tallies them, so shard sums must too.
+            key = str(record.get("type"))
+        else:
+            continue
+        counts[key] = counts.get(key, 0) + 1
+    return counts

@@ -136,14 +136,28 @@ def task_from_record(record: Any) -> DerivedTaskInfo:
         parent_gva = record["parent_gva"]
     except KeyError as exc:
         raise TraceFormatError(f"task annotation missing {exc}") from exc
-    # Well-formed annotations (the overwhelming majority) skip coercion.
+    # Well-formed annotations (the overwhelming majority) skip coercion
+    # — and the frozen-dataclass __init__, whose per-field
+    # object.__setattr__ round trips dominate this function's cost in
+    # the replay hot loop.
     if (
         type(gva) is int and type(pid) is int and type(uid) is int
         and type(euid) is int and type(flags) is int
         and type(parent_gva) is int
         and type(comm) is str and type(exe) is str
     ):
-        return DerivedTaskInfo(gva, pid, uid, euid, comm, exe, flags, parent_gva)
+        info = object.__new__(DerivedTaskInfo)
+        info.__dict__.update(
+            task_struct_gva=gva,
+            pid=pid,
+            uid=uid,
+            euid=euid,
+            comm=comm,
+            exe=exe,
+            flags=flags,
+            parent_gva=parent_gva,
+        )
+        return info
     try:
         return DerivedTaskInfo(
             int(gva), int(pid), int(uid), int(euid),

@@ -162,6 +162,9 @@ class TraceReader:
         if not first.strip():
             self._fh.close()
             raise TraceFormatError(f"{self.path}: empty trace file")
+        #: The verbatim header line (sans newline): what format
+        #: conversion carries through so round trips stay byte-exact.
+        self.header_line = first.rstrip("\n")
         try:
             self.header = TraceHeader.from_record(
                 self._parse(first, strict=True)

@@ -77,6 +77,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="concurrent producer streams")
     load.add_argument("--scenarios", default="exploit",
                       help="comma-separated scenario names to cycle")
+    load.add_argument("--trace", action="append", default=None,
+                      metavar="PATH", dest="traces",
+                      help="stream from this trace file instead of "
+                           "recording scenarios (JSONL or btrace, "
+                           "sniffed; repeatable — files cycle across "
+                           "streams)")
     load.add_argument("--rate", type=float, default=DEFAULT_RATE,
                       help="base arrival rate (events/s, virtual time)")
     load.add_argument("--queue-limit", type=int, default=None,
@@ -147,21 +153,24 @@ async def _cmd_run(args: argparse.Namespace) -> int:
 
 async def _cmd_load(args: argparse.Namespace) -> int:
     scenarios = [s.strip() for s in args.scenarios.split(",") if s.strip()]
-    for scenario in scenarios:
-        if scenario not in SCENARIOS:
-            raise TraceFormatError(
-                f"unknown scenario {scenario!r} "
-                f"(recordable: {', '.join(sorted(SCENARIOS))})"
-            )
-    if not scenarios:
-        raise TraceFormatError("no scenarios given")
-    plan = build_plan(
+    if not args.traces:
+        for scenario in scenarios:
+            if scenario not in SCENARIOS:
+                raise TraceFormatError(
+                    f"unknown scenario {scenario!r} "
+                    f"(recordable: {', '.join(sorted(SCENARIOS))})"
+                )
+        if not scenarios:
+            raise TraceFormatError("no scenarios given")
+    plan = await asyncio.to_thread(
+        build_plan,
         args.profile,
         args.seed,
         args.streams,
         scenarios=scenarios,
         rate=args.rate,
         config=_config_overrides(args) or None,
+        traces=args.traces,
     )
     result = await run_load(
         args.socket,

@@ -84,12 +84,18 @@ def build_plan(
     scenarios: Sequence[str] = DEFAULT_SCENARIOS,
     rate: float = DEFAULT_RATE,
     config: Optional[Dict[str, Any]] = None,
+    traces: Optional[Sequence[str]] = None,
 ) -> List[Dict[str, Any]]:
     """Build the per-stream specs a load run will push.
 
     Each spec is exactly the :func:`repro.serve.pipeline.run_stream_spec`
     input, so benchmarks can run a plan socket-free through the same
     code path the service drives.
+
+    ``traces`` switches the event source from freshly-recorded
+    scenarios to trace *files* — JSONL or btrace, sniffed per file and
+    cycled across streams — so recorded (or converted) corpora can be
+    replayed straight into the service.
     """
     from repro.replay.recorder import record_scenario
 
@@ -97,13 +103,22 @@ def build_plan(
         raise ValueError(f"unknown profile {profile!r} (want one of {PROFILES})")
     if streams < 1:
         raise ValueError(f"streams must be >= 1, got {streams}")
-    traces: Dict[str, Trace] = {}
+    sources: List[Trace] = []
+    if traces:
+        from repro.replay.btrace import load_any_trace
+
+        sources = [load_any_trace(path) for path in traces]
+    cache: Dict[str, Trace] = {}
     plan: List[Dict[str, Any]] = []
     for k in range(streams):
-        scenario = scenarios[k % len(scenarios)]
-        if scenario not in traces:
-            traces[scenario] = record_scenario(scenario, seed=0).trace
-        trace = traces[scenario]
+        if sources:
+            trace = sources[k % len(sources)]
+            scenario = trace.header.scenario
+        else:
+            scenario = scenarios[k % len(scenarios)]
+            if scenario not in cache:
+                cache[scenario] = record_scenario(scenario, seed=0).trace
+            trace = cache[scenario]
         stream_id = f"{profile}-s{seed}-{k:03d}-{scenario}"
         offsets = arrival_offsets(
             profile, seed, stream_id, len(trace.records), rate

@@ -29,7 +29,8 @@ from typing import List, Optional
 
 from repro.errors import TraceFormatError
 from repro.replay.recorder import SCENARIOS
-from repro.replay.trace_io import load_trace, save_trace
+from repro.replay.btrace import load_any_trace
+from repro.replay.trace_io import save_trace
 from repro.testing.corpus import (
     DEFAULT_CORPUS_DIR,
     corpus_entries,
@@ -110,7 +111,7 @@ def cmd_shrink(args) -> int:
             print("error: provide a trace file or --known-miss",
                   file=sys.stderr)
             return 2
-        trace = load_trace(args.trace)
+        trace = load_any_trace(args.trace)
         finding = trace.header.meta.get("finding") or {}
         key = args.key or finding.get("key")
         perturb_params = finding.get("perturb")
@@ -297,7 +298,7 @@ def cmd_corpus(args) -> int:
             return 0
         for path in entries:
             try:
-                trace = load_trace(path)
+                trace = load_any_trace(path)
                 finding = trace.header.meta.get("finding") or {}
                 print(f"{path}: {finding.get('key', '(no key)')} "
                       f"[{len(trace.records)} records]")

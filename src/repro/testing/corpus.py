@@ -25,7 +25,8 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.errors import TraceFormatError
 from repro.replay.format import Trace
 from repro.replay.source import ReplaySource
-from repro.replay.trace_io import load_trace, save_trace
+from repro.replay.btrace import load_any_trace
+from repro.replay.trace_io import save_trace
 from repro.sim.perturb import perturbation_from_params
 from repro.testing.oracle import DifferentialOracle, Discrepancy
 from repro.testing.seeds import auditors_for
@@ -86,7 +87,7 @@ def corpus_keys(corpus_dir: str = DEFAULT_CORPUS_DIR) -> List[str]:
     keys = []
     for path in corpus_entries(corpus_dir):
         try:
-            trace = load_trace(path)
+            trace = load_any_trace(path)
         except TraceFormatError:
             continue
         finding = trace.header.meta.get("finding") or {}
@@ -101,7 +102,7 @@ def verify_entry(
 ) -> Tuple[bool, str]:
     """Replay one corpus entry; does its recorded finding reproduce?"""
     oracle = oracle if oracle is not None else DifferentialOracle()
-    trace = load_trace(path)
+    trace = load_any_trace(path)
     finding = trace.header.meta.get("finding") or {}
     key = finding.get("key")
     if not key:

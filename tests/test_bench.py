@@ -7,6 +7,7 @@ import json
 
 from repro.bench import (
     compare_entries,
+    floor_problems,
     latest_entry,
     ledger_entries,
     write_entry,
@@ -146,6 +147,86 @@ class TestCompare:
         del previous["metrics"]["serve_p99_exit_to_verdict_ns"]
         assert compare_entries(previous, _entry()) == []
         assert compare_entries(_entry(), previous) == []
+
+
+class TestFloors:
+    """Absolute performance floors — unlike compare_entries, these gate
+    even the very first (baseline) ledger entry."""
+
+    def _passing(self):
+        entry = _entry()
+        entry["metrics"]["replay_events_per_s"] = 1_400_000.0
+        entry["metrics"]["parallel_speedup"] = 1.95
+        return entry
+
+    def test_passing_entry_has_no_problems(self):
+        assert floor_problems(self._passing()) == []
+
+    def test_slow_decode_is_flagged(self):
+        entry = self._passing()
+        entry["metrics"]["replay_events_per_s"] = 900_000.0
+        problems = floor_problems(entry)
+        assert len(problems) == 1
+        assert "replay_events_per_s" in problems[0]
+        assert "floor" in problems[0]
+
+    def test_weak_speedup_is_flagged(self):
+        entry = self._passing()
+        entry["metrics"]["parallel_speedup"] = 1.5
+        problems = floor_problems(entry)
+        assert len(problems) == 1
+        assert "parallel_speedup" in problems[0]
+
+    def test_missing_metric_is_flagged_not_skipped(self):
+        entry = self._passing()
+        del entry["metrics"]["parallel_speedup"]
+        problems = floor_problems(entry)
+        assert len(problems) == 1
+        assert "missing" in problems[0]
+
+    def test_small_scale_skips_floors(self):
+        # Sub-half-scale smoke runs (e.g. the CLI test below at 0.25)
+        # measure too little work for the floors to be meaningful.
+        entry = _entry(scale=0.25)
+        entry["metrics"]["replay_events_per_s"] = 10.0
+        entry["metrics"]["parallel_speedup"] = 0.1
+        assert floor_problems(entry) == []
+
+    def test_serial_run_skips_speedup_floor_only(self):
+        entry = self._passing()
+        entry["jobs"] = 1
+        entry["metrics"]["parallel_speedup"] = 1.0
+        assert floor_problems(entry) == []
+        entry["metrics"]["replay_events_per_s"] = 10.0
+        problems = floor_problems(entry)
+        assert len(problems) == 1
+        assert "replay_events_per_s" in problems[0]
+
+
+class TestColumnCompat:
+    """Entries written before this ledger's columns existed must stay
+    comparable — the gate skips what one side never measured."""
+
+    def test_entries_without_parallel_speedup_stay_comparable(self):
+        previous = _entry()
+        del previous["metrics"]["parallel_speedup"]
+        assert compare_entries(previous, _entry()) == []
+        assert compare_entries(_entry(), previous) == []
+
+    def test_entries_without_pipeline_column_stay_comparable(self):
+        current = copy.deepcopy(_entry())
+        current["metrics"]["replay_pipeline_events_per_s"] = 120_000.0
+        assert compare_entries(_entry(), current) == []
+        assert compare_entries(current, _entry()) == []
+
+    def test_pipeline_regression_flagged_when_both_sides_have_it(self):
+        previous = copy.deepcopy(_entry())
+        previous["metrics"]["replay_pipeline_events_per_s"] = 120_000.0
+        current = copy.deepcopy(_entry())
+        current["metrics"]["replay_pipeline_events_per_s"] = 80_000.0  # -33%
+        problems = compare_entries(previous, current, threshold=0.20)
+        assert len(problems) == 1
+        assert "replay_pipeline_events_per_s" in problems[0]
 
 
 class TestCli:

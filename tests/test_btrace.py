@@ -1,0 +1,346 @@
+"""The binary trace codec (repro.replay.btrace).
+
+The contracts under test are the ones the replay stack leans its whole
+weight on:
+
+* **lossless conversion** — JSONL -> btrace -> JSONL reproduces the
+  original gzip payload byte for byte (header line carried verbatim,
+  canonical record encoding preserved);
+* **decode equivalence** — the zero-copy lazy views decode to exactly
+  what the eager JSONL codec produces, record by record;
+* **random access** — the mmap-backed index agrees with sequential
+  iteration at *every* record offset, so shard slicing can never skew
+  a campaign;
+* **failure honesty** — truncated or corrupt containers raise
+  :class:`TraceFormatError` with ``records_read`` context instead of
+  returning silently short streams;
+* **fan-out neutrality** — sharded btrace consumption composes to the
+  sequential answer at any job count, and replay verdicts are
+  identical whichever container format fed them.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import json
+import os
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.replay.btrace import (
+    BTRACE_LAYOUTS,
+    MAGIC,
+    TYPE_CODES,
+    BinaryTraceReader,
+    BinaryTraceWriter,
+    convert_trace,
+    count_shard,
+    is_btrace_bytes,
+    is_btrace_path,
+    load_any_trace,
+    load_btrace,
+    save_btrace,
+    shard_ranges,
+)
+from repro.replay.recorder import SCENARIOS, record_scenario
+from repro.replay.source import ReplaySource
+from repro.replay.trace_io import load_trace, save_trace
+
+_encode = json.JSONEncoder(sort_keys=True).encode
+
+
+@pytest.fixture(scope="module")
+def exploit_run():
+    return record_scenario("exploit", seed=0)
+
+
+@pytest.fixture(scope="module")
+def rootkit_run():
+    return record_scenario("rootkit", seed=0)
+
+
+def _gzip_payload(path):
+    with gzip.open(path, "rb") as fh:
+        return fh.read()
+
+
+class TestConversion:
+    def test_jsonl_btrace_jsonl_is_byte_lossless(self, tmp_path, exploit_run):
+        src = str(tmp_path / "src.jsonl.gz")
+        save_trace(src, exploit_run.trace)
+        btr = str(tmp_path / "mid.btr")
+        back = str(tmp_path / "back.jsonl.gz")
+        convert_trace(src, btr)
+        convert_trace(btr, back)
+        assert _gzip_payload(src) == _gzip_payload(back)
+
+    def test_conversion_reports_format_and_counts(self, tmp_path, exploit_run):
+        src = str(tmp_path / "src.jsonl.gz")
+        save_trace(src, exploit_run.trace)
+        summary = convert_trace(src, str(tmp_path / "out.btr"))
+        assert summary["format"] == "btrace"
+        assert summary["records"] == len(load_trace(src).records)
+
+    def test_load_any_trace_is_format_blind(self, tmp_path, exploit_run):
+        jsonl = str(tmp_path / "t.jsonl.gz")
+        btr = str(tmp_path / "t.btr")
+        save_trace(jsonl, exploit_run.trace)
+        save_btrace(btr, exploit_run.trace)
+        a = load_any_trace(jsonl)
+        b = load_any_trace(btr)
+        assert a.header.to_record() == b.header.to_record()
+        assert a.records == b.records
+
+    def test_sniffing_ignores_extension(self, tmp_path, exploit_run):
+        # A btrace container under a misleading name still sniffs right.
+        path = str(tmp_path / "lying.jsonl.gz")
+        save_btrace(path, exploit_run.trace)
+        assert is_btrace_path(path)
+        assert load_any_trace(path).records == exploit_run.trace.records
+
+    def test_is_btrace_bytes(self, tmp_path, exploit_run):
+        path = str(tmp_path / "t.btr")
+        save_btrace(path, exploit_run.trace)
+        with open(path, "rb") as fh:
+            head = fh.read(len(MAGIC))
+        assert is_btrace_bytes(head)
+        assert not is_btrace_bytes(b"\x1f\x8b\x08\x00")
+        assert not is_btrace_bytes(b"")
+
+
+class TestDecodeEquivalence:
+    def test_views_match_eager_records(self, tmp_path, rootkit_run):
+        from repro.core.events import GuestEvent
+
+        path = str(tmp_path / "t.btr")
+        save_btrace(path, rootkit_run.trace)
+        reader = BinaryTraceReader(path)
+        try:
+            for raw, decoded in zip(rootkit_run.trace.records, reader):
+                assert decoded == raw
+            reader2 = BinaryTraceReader(path)
+            try:
+                for raw, (event, _task, _parent) in zip(
+                    rootkit_run.trace.records, reader2.iter_decoded()
+                ):
+                    if event is None:
+                        continue
+                    eager = GuestEvent.from_record(raw)
+                    assert type(event).__mro__[1] is type(eager) or isinstance(
+                        event, type(eager)
+                    )
+                    assert event.to_record() == eager.to_record()
+            finally:
+                reader2.close()
+        finally:
+            reader.close()
+
+    def test_events_iterator_counts_every_event(self, tmp_path, rootkit_run):
+        path = str(tmp_path / "t.btr")
+        save_btrace(path, rootkit_run.trace)
+        reader = BinaryTraceReader(path)
+        try:
+            n = sum(1 for _ in reader.events())
+        finally:
+            reader.close()
+        expected = sum(
+            1
+            for r in rootkit_run.trace.records
+            if r.get("kind", "event") == "event"
+        )
+        assert n == expected
+
+    def test_in_memory_data_reader(self, exploit_run):
+        buf = io.BytesIO()
+        writer = BinaryTraceWriter(None, exploit_run.trace.header, _fh=buf)
+        for record in exploit_run.trace.records:
+            writer.write_record(record)
+        writer.close()
+        trace = load_btrace(data=buf.getvalue())
+        assert trace.records == exploit_run.trace.records
+
+
+class TestRandomAccess:
+    def test_seek_agrees_with_sequential_at_every_offset(
+        self, tmp_path, exploit_run
+    ):
+        path = str(tmp_path / "t.btr")
+        save_btrace(path, exploit_run.trace)
+        reader = BinaryTraceReader(path)
+        try:
+            sequential = list(reader)
+            assert len(sequential) == reader.record_count
+            for start in range(reader.record_count):
+                tail = list(reader.iter_range(start))
+                assert tail == sequential[start:], f"seek to {start} diverged"
+                assert reader.record_at(start) == sequential[start]
+        finally:
+            reader.close()
+
+    def test_index_is_monotone_and_complete(self, tmp_path, exploit_run):
+        path = str(tmp_path / "t.btr")
+        save_btrace(path, exploit_run.trace)
+        reader = BinaryTraceReader(path)
+        try:
+            index = reader.index
+            assert len(index) == reader.record_count
+            assert index == sorted(index)
+            assert len(set(index)) == len(index)
+        finally:
+            reader.close()
+
+    def test_out_of_range_seek_raises(self, tmp_path, exploit_run):
+        path = str(tmp_path / "t.btr")
+        save_btrace(path, exploit_run.trace)
+        reader = BinaryTraceReader(path)
+        try:
+            with pytest.raises(TraceFormatError, match="out of range"):
+                list(reader.iter_range(reader.record_count + 1))
+        finally:
+            reader.close()
+
+
+class TestCorruption:
+    def _btrace_bytes(self, run):
+        buf = io.BytesIO()
+        writer = BinaryTraceWriter(None, run.trace.header, _fh=buf)
+        for record in run.trace.records:
+            writer.write_record(record)
+        writer.close()
+        return bytearray(buf.getvalue())
+
+    def test_truncated_container_raises_at_open(self, exploit_run):
+        data = self._btrace_bytes(exploit_run)
+        for cut in (len(data) // 2, len(data) - 7, 12, 3):
+            with pytest.raises(TraceFormatError, match="trailer|short|magic"):
+                BinaryTraceReader(data=bytes(data[:cut]))
+
+    def test_wrong_magic_raises(self, exploit_run):
+        data = self._btrace_bytes(exploit_run)
+        data[:4] = b"NOPE"
+        with pytest.raises(TraceFormatError, match="magic"):
+            BinaryTraceReader(data=bytes(data))
+
+    def test_mid_body_corruption_reports_records_read(self, exploit_run):
+        data = self._btrace_bytes(exploit_run)
+        reader = BinaryTraceReader(data=bytes(data))
+        # Clobber the tag byte of a record deep in the body with an
+        # undefined type code so decode fails mid-stream.
+        target = reader.record_count // 2
+        offset = reader.index[target]
+        reader.close()
+        data[offset] = 0xFF
+        broken = BinaryTraceReader(data=bytes(data))
+        try:
+            with pytest.raises(TraceFormatError) as err:
+                for _ in broken.events():
+                    pass
+            message = str(err.value)
+            assert "record" in message
+            assert str(target) in message or "after" in message
+        finally:
+            broken.close()
+
+    def test_records_read_attribute_tracks_progress(self, exploit_run):
+        data = self._btrace_bytes(exploit_run)
+        reader = BinaryTraceReader(data=bytes(data))
+        try:
+            for i, _ in enumerate(reader.events()):
+                if i >= 9:
+                    break
+        finally:
+            reader.close()
+        assert reader.records_read == 10
+
+
+class TestSharding:
+    def test_shard_ranges_partition_exactly(self):
+        for count in (0, 1, 7, 100, 101):
+            for shards in (1, 2, 8):
+                ranges = shard_ranges(count, shards)
+                covered = []
+                for lo, hi in ranges:
+                    assert 0 <= lo <= hi
+                    covered.extend(range(lo, hi))
+                assert covered == list(range(count))
+
+    def test_sharded_counts_compose_to_header(self, tmp_path, rootkit_run):
+        from repro.parallel import parallel_map
+
+        path = str(tmp_path / "t.btr")
+        save_btrace(path, rootkit_run.trace)
+        reader = BinaryTraceReader(path)
+        expected = dict(reader.header.event_counts)
+        record_count = reader.record_count
+        reader.close()
+
+        for jobs in (1, 2, 8):
+            tasks = [
+                (path, lo, hi)
+                for lo, hi in shard_ranges(record_count, max(jobs, 2) * 2)
+            ]
+            merged = {}
+            for counts in parallel_map(count_shard, tasks, jobs=jobs):
+                for key, n in counts.items():
+                    merged[key] = merged.get(key, 0) + n
+            assert merged == expected, f"jobs={jobs}"
+
+
+class TestReplayEquivalence:
+    def test_verdicts_identical_across_formats(self, tmp_path, rootkit_run):
+        jsonl = str(tmp_path / "t.jsonl.gz")
+        btr = str(tmp_path / "t.btr")
+        save_trace(jsonl, rootkit_run.trace)
+        save_btrace(btr, rootkit_run.trace)
+        reports = []
+        for path in (jsonl, btr):
+            trace = load_any_trace(path)
+            report = ReplaySource(
+                trace, SCENARIOS["rootkit"].build_auditors()
+            ).run()
+            reports.append(report)
+        a, b = reports
+        assert a.verdicts == b.verdicts
+        assert a.matches_live(rootkit_run.live_verdicts)
+        assert b.matches_live(rootkit_run.live_verdicts)
+        assert a.events_replayed == b.events_replayed
+        # Deterministic exports must match byte for byte too.
+        assert _encode(a.alerts) == _encode(b.alerts)
+
+
+class TestLayoutRegistry:
+    def test_layouts_cover_every_event_type(self):
+        from repro.core.events import EventType
+
+        values = {t.value for t in EventType}
+        assert set(BTRACE_LAYOUTS) == values
+        assert set(TYPE_CODES) == values
+
+    def test_type_codes_are_unique_and_nonzero(self):
+        codes = list(TYPE_CODES.values())
+        assert len(set(codes)) == len(codes)
+        assert 0 not in codes  # 0 is the JSON-escape tag
+
+    def test_writer_escapes_non_canonical_records(self, exploit_run):
+        header = exploit_run.trace.header
+        buf = io.BytesIO()
+        writer = BinaryTraceWriter(None, header, _fh=buf)
+        weird = {
+            "kind": "event",
+            "type": "syscall",
+            "t": 1,
+            "vcpu": 0,
+            "vm": header.vm_id,
+            "hw": None,
+            "nr": 1,
+            "args": [],
+            "mechanism": "sysenter",
+            "surprise": "extra-key",
+        }
+        writer.write_record(weird)
+        writer.close()
+        assert writer.escapes == 1
+        trace = load_btrace(data=buf.getvalue())
+        assert trace.records == [weird]

@@ -127,3 +127,106 @@ class TestStdinSupport:
         )
         assert code == 0
         assert "identical" in captured.out
+
+
+@pytest.fixture(scope="module")
+def golden_btrace(tmp_path_factory):
+    """The golden exploit trace, converted to a btrace container."""
+    path = str(tmp_path_factory.mktemp("btr") / "golden_exploit.btr")
+    code = replay_main(["convert", "tests/data/golden_exploit.jsonl", path])
+    assert code == 0
+    return path
+
+
+class TestBtraceSupport:
+    """Both trace formats must be interchangeable at every CLI mouth:
+    the magic bytes decide, never the extension or the flag soup."""
+
+    def test_convert_round_trip_via_cli(self, tmp_path, capsys, golden_btrace):
+        back = str(tmp_path / "back.jsonl")
+        code, captured = run_cli("replay", ["convert", golden_btrace, back], capsys)
+        assert code == 0
+        assert "jsonl" in captured.out
+        with open("tests/data/golden_exploit.jsonl", encoding="utf-8") as fh:
+            original = fh.read()
+        with open(back, encoding="utf-8") as fh:
+            assert fh.read() == original
+
+    def test_replay_accepts_btrace(self, capsys, golden_btrace):
+        _, from_jsonl = run_cli(
+            "replay", ["replay", "tests/data/golden_exploit.jsonl"], capsys
+        )
+        code, from_btrace = run_cli("replay", ["replay", golden_btrace], capsys)
+        assert code == 0
+        # Wall-clock and path lines differ; the verdict block must not.
+        verdicts = lambda text: text[text.index("replay verdicts:"):]  # noqa: E731
+        assert verdicts(from_btrace.out) == verdicts(from_jsonl.out)
+        assert "REPRODUCED" in from_btrace.out
+
+    def test_fuzz_accepts_btrace(self, capsys, golden_btrace):
+        code, captured = run_cli(
+            "replay",
+            ["fuzz", golden_btrace, "--n", "2", "--mutations", "1"],
+            capsys,
+        )
+        assert code == 0
+        assert "auditor crashes:      0" in captured.out
+
+    def test_obs_report_btrace_matches_jsonl(self, capsys, golden_btrace):
+        _, from_jsonl = run_cli(
+            "obs", ["report", "tests/data/golden_exploit.jsonl"], capsys
+        )
+        code, from_btrace = run_cli("obs", ["report", golden_btrace], capsys)
+        assert code == 0
+        assert from_btrace.out == from_jsonl.out
+
+    def test_obs_report_btrace_on_stdin(
+        self, monkeypatch, capsys, golden_btrace
+    ):
+        _, from_path = run_cli("obs", ["report", golden_btrace], capsys)
+        with open(golden_btrace, "rb") as fh:
+            feed_stdin(monkeypatch, fh.read())
+        code, from_stdin = run_cli("obs", ["report", "-"], capsys)
+        assert code == 0
+        assert from_stdin.out == from_path.out
+
+    def test_obs_top_btrace_on_stdin(self, monkeypatch, capsys, golden_btrace):
+        with open(golden_btrace, "rb") as fh:
+            feed_stdin(monkeypatch, fh.read())
+        code, captured = run_cli("obs", ["top", "-"], capsys)
+        assert code == 0
+        assert "flow.published" in captured.out
+
+    def test_obs_diff_across_formats_is_identical(self, capsys, golden_btrace):
+        code, captured = run_cli(
+            "obs",
+            ["diff", "tests/data/golden_exploit.jsonl", golden_btrace],
+            capsys,
+        )
+        assert code == 0
+        assert "identical" in captured.out
+
+    def test_convert_missing_source_honors_error_contract(self, capsys):
+        code, captured = run_cli(
+            "replay", ["convert", "no/such/trace.btr", "out.jsonl"], capsys
+        )
+        assert code == 2
+        err_lines = [ln for ln in captured.err.splitlines() if ln.strip()]
+        assert len(err_lines) == 1
+        assert err_lines[0].startswith("error:")
+
+    def test_truncated_btrace_honors_error_contract(
+        self, tmp_path, capsys, golden_btrace
+    ):
+        with open(golden_btrace, "rb") as fh:
+            data = fh.read()
+        broken = tmp_path / "broken.btr"
+        broken.write_bytes(data[: len(data) // 2])
+        for which, argv in (
+            ("replay", ["replay", str(broken)]),
+            ("obs", ["report", str(broken)]),
+        ):
+            code, captured = run_cli(which, argv, capsys)
+            assert code == 2, f"{which} {argv}"
+            assert captured.err.startswith("error:")
+            assert "Traceback" not in captured.err

@@ -24,7 +24,10 @@ from repro.parallel import (
     derive_seed,
     job_count,
     parallel_map,
+    warm_pool,
 )
+from repro.parallel import shared
+from repro.parallel import executor as _executor
 from repro.parallel.executor import _chunked
 
 GOLDEN_TRACE = str(
@@ -177,6 +180,84 @@ class TestKnobs:
         assert derive_seed(7, "site", 3) == derive_seed(7, "site", 3)
         assert derive_seed(7, "site", 3) != derive_seed(7, "site", 4)
         assert derive_seed(7, "site", 3) != derive_seed(8, "site", 3)
+
+
+def _read_shared(key):
+    return shared.get(key, "missing")
+
+
+class TestPoolAndStats:
+    def test_stats_filled_on_serial_path(self):
+        stats = {}
+        parallel_map(_square, [1, 2, 3], jobs=1, stats=stats)
+        assert stats == {"jobs": 1, "chunks": 0, "chunk_cpu_s": []}
+
+    def test_stats_report_every_chunk(self):
+        stats = {}
+        items = list(range(12))
+        parallel_map(_square, items, jobs=2, chunk_size=3, stats=stats)
+        assert stats["jobs"] == 2
+        assert stats["chunks"] == 4
+        assert len(stats["chunk_cpu_s"]) == 4
+        assert all(
+            isinstance(c, float) and c >= 0.0 for c in stats["chunk_cpu_s"]
+        )
+
+    def test_warm_pool_is_reused_by_parallel_map(self):
+        warm_pool(2)
+        pool = _executor._POOL
+        assert pool is not None
+        parallel_map(_square, list(range(8)), jobs=2)
+        assert _executor._POOL is pool
+
+    def test_pool_recycled_when_job_count_changes(self):
+        warm_pool(2)
+        first = _executor._POOL
+        parallel_map(_square, list(range(6)), jobs=3)
+        assert _executor._POOL is not first
+
+    def test_warm_pool_serial_is_a_no_op(self):
+        _executor._discard_pool()
+        warm_pool(1)
+        assert _executor._POOL is None
+
+
+class TestSharedState:
+    def test_prime_get_forget_round_trip(self):
+        before = shared.generation()
+        shared.prime("t-key", [1, 2, 3])
+        try:
+            assert shared.get("t-key") == [1, 2, 3]
+            assert "t-key" in shared.keys()
+            assert shared.generation() == before + 1
+        finally:
+            shared.forget("t-key")
+        assert shared.get("t-key", "gone") == "gone"
+        assert shared.generation() == before + 2
+
+    def test_unprimed_get_returns_default(self):
+        assert shared.get("never-primed", 42) == 42
+
+    def test_prime_invalidates_pooled_workers(self):
+        # A stale worker must never serve newer shared state: the
+        # executor rebuilds its persistent pool once the generation
+        # moves.
+        parallel_map(_square, list(range(4)), jobs=2)
+        stale = _executor._POOL
+        shared.prime("t-recycle", object())
+        try:
+            parallel_map(_square, list(range(4)), jobs=2)
+            assert _executor._POOL is not stale
+        finally:
+            shared.forget("t-recycle")
+
+    def test_workers_inherit_primed_state_through_fork(self):
+        shared.prime("t-inherit", "from-parent")
+        try:
+            seen = parallel_map(_read_shared, ["t-inherit"] * 4, jobs=2)
+        finally:
+            shared.forget("t-inherit")
+        assert seen == ["from-parent"] * 4
 
 
 # ======================================================================

@@ -212,6 +212,94 @@ class TestEventCoverage:
         root = write_tree(tmp_path, {"repro/core/events.py": fixed})
         assert run_analysis(root, selected_rules=["event-coverage"]).findings == []
 
+    def _full_events(self):
+        return PRE_PR1_EVENTS.replace(
+            "    EventType.IO.value: IOEvent,\n}",
+            "    EventType.IO.value: IOEvent,\n"
+            "    EventType.MEM_ACCESS.value: MemoryAccessEvent,\n"
+            "    EventType.TSS_INTEGRITY.value: TssIntegrityAlert,\n"
+            "    EventType.RAW_EXIT.value: RawExitEvent,\n}",
+        )
+
+    _BTRACE_TABLES = """
+    TYPE_CODES = {
+        "process_switch": 1,
+        "thread_switch": 2,
+        "syscall": 3,
+        "io": 4,
+        "mem_access": 5,
+        "tss_integrity": 6,
+        "raw_exit": 7,
+    }
+
+    BTRACE_LAYOUTS = {
+        "process_switch": ("<QQ", ()),
+        "thread_switch": ("<Q", ()),
+        "syscall": ("<QII", ()),
+        "io": ("<II", ()),
+        "mem_access": ("<QQI", ()),
+        "tss_integrity": ("<QQ", ()),
+        "raw_exit": ("<II", ()),
+    }
+    """
+
+    def test_complete_btrace_layouts_are_clean(self, tmp_path):
+        root = write_tree(
+            tmp_path,
+            {
+                "repro/core/events.py": self._full_events(),
+                "repro/replay/btrace.py": self._BTRACE_TABLES,
+            },
+        )
+        assert run_analysis(root, selected_rules=["event-coverage"]).findings == []
+
+    def test_event_type_without_btrace_layout_is_flagged(self, tmp_path):
+        # An EventType the binary codec cannot fixed-layout-encode
+        # silently demotes to the JSON-escape path — the rule makes the
+        # gap a commit-time failure instead of a decode-rate regression.
+        gapped = self._BTRACE_TABLES.replace(
+            '        "raw_exit": ("<II", ()),\n', ""
+        )
+        assert gapped != self._BTRACE_TABLES
+        root = write_tree(
+            tmp_path,
+            {
+                "repro/core/events.py": self._full_events(),
+                "repro/replay/btrace.py": gapped,
+            },
+        )
+        report = run_analysis(root, selected_rules=["event-coverage"])
+        assert report.exit_code == 1
+        assert len(report.findings) == 1
+        finding = report.findings[0]
+        assert finding.path.endswith("btrace.py")
+        assert "EventType.RAW_EXIT" in finding.message
+        assert "BTRACE_LAYOUTS" in finding.message
+        assert "JSON-escape" in finding.message
+
+    def test_missing_btrace_table_is_flagged(self, tmp_path):
+        root = write_tree(
+            tmp_path,
+            {
+                "repro/core/events.py": self._full_events(),
+                "repro/replay/btrace.py": """
+                TYPE_CODES = {
+                    "process_switch": 1,
+                    "thread_switch": 2,
+                    "syscall": 3,
+                    "io": 4,
+                    "mem_access": 5,
+                    "tss_integrity": 6,
+                    "raw_exit": 7,
+                }
+                """,
+            },
+        )
+        report = run_analysis(root, selected_rules=["event-coverage"])
+        messages = "\n".join(f.message for f in report.findings)
+        assert "BTRACE_LAYOUTS" in messages
+        assert "not found" in messages
+
     def test_missing_required_exit_reasons_entry(self, tmp_path):
         gapped = PRE_PR1_EVENTS.replace(
             "    EventType.RAW_EXIT: frozenset(),\n", ""
@@ -523,6 +611,42 @@ class TestDeterminism:
         assert len(report.findings) == 2
         assert all(f.path.endswith("pusher.py") for f in report.findings)
         assert all("repro.serve" in f.message for f in report.findings)
+
+    def test_binary_layout_imports_confined_to_btrace(self, tmp_path):
+        # A second struct-packing site is how codec drift starts; only
+        # the btrace module may define byte-level record layouts.
+        root = write_tree(
+            tmp_path,
+            {
+                "repro/obs/packer.py": """
+                import struct
+                import mmap
+                from array import array
+                """,
+                "repro/replay/btrace.py": """
+                import mmap
+                import struct
+                from array import array
+                """,
+            },
+        )
+        report = run_analysis(root, selected_rules=["determinism"])
+        assert len(report.findings) == 3
+        assert all(f.path.endswith("packer.py") for f in report.findings)
+        assert all(
+            "repro.replay.btrace" in f.message for f in report.findings
+        )
+
+    def test_binary_layout_import_suppressible_with_pragma(self, tmp_path):
+        root = write_tree(
+            tmp_path,
+            {
+                "repro/hw/checksum.py": """
+                import struct  # hypertap: allow(determinism) — test fixture
+                """,
+            },
+        )
+        assert run_analysis(root, selected_rules=["determinism"]).findings == []
 
 
 # ======================================================================

@@ -8,14 +8,19 @@ trace comparability — at runtime, where no test looks.
 
 Allowed islands: ``repro.sim.rng`` (the seeded stream factory itself)
 and ``repro.replay.mutate`` (seeded fuzzing, one ``random.Random`` per
-(seed, n) pair).  ``time.perf_counter`` is *not* flagged: wall-clock
-throughput reporting never feeds verdicts.
+(seed, n) pair).
 
-The observability package (``repro.obs``) is held to a stricter bar:
-its exports are *reproducible artifacts* (byte-identical live, replayed
-and at any job count), so inside it even the otherwise-sanctioned
-``time`` module is off limits — no ``perf_counter``, nothing.  The
-virtual clock (``repro.sim.clock``) is its only time source.
+Wall-clock modules (``time``, ``datetime``) are confined to
+``repro.prof`` — the one sanctioned profiling module, which re-exports
+``perf_counter``/``process_time`` and owns the provenance timestamp.
+Anything else wanting wall time imports it from ``repro.prof`` (so a
+grep for the module enumerates every wall-clock consumer) or carries
+an audited pragma.  The observability package (``repro.obs``) is held
+to a stricter bar: its exports are *reproducible artifacts*
+(byte-identical live, replayed and at any job count), so inside it
+even the ``repro.prof`` accessors are off limits by policy — the
+virtual clock (``repro.sim.clock``) is its only time source, and the
+direct-import finding below carries the stricter message.
 
 Worker scheduling is entropy too: the OS decides which process
 finishes first, so any module that fans work across processes can
@@ -93,7 +98,13 @@ BTRACE_MODULE = "repro.replay.btrace"
 #: included — the virtual clock is the only time source).
 OBS_PACKAGE = "repro.obs"
 
-#: Modules that read wall time; forbidden wholesale inside repro.obs.
+#: The one sanctioned home for wall-clock reads: ``repro.prof``
+#: re-exports ``perf_counter``/``process_time`` and owns the audited
+#: provenance timestamp, so every wall-clock consumer is one grep away.
+PROF_MODULE = "repro.prof"
+
+#: Modules that read wall time; confined to :data:`PROF_MODULE`
+#: (and forbidden with a stricter message inside repro.obs).
 WALL_CLOCK_MODULES: FrozenSet[str] = frozenset({"time", "datetime"})
 
 #: ``from <module> import <name>`` pairs that smuggle entropy/wall time.
@@ -152,6 +163,7 @@ class DeterminismRule(Rule):
         in_obs = source.module == OBS_PACKAGE or source.module.startswith(
             OBS_PACKAGE + "."
         )
+        prof_ok = source.module == PROF_MODULE
         btrace_ok = source.module == BTRACE_MODULE
         for node in ast.walk(source.tree):
             if isinstance(node, ast.Import):
@@ -167,10 +179,15 @@ class DeterminismRule(Rule):
                         yield self._async_finding(
                             source, node.lineno, f"import {alias.name}"
                         )
-                    elif root in WALL_CLOCK_MODULES and in_obs:
-                        yield self._obs_finding(
-                            source, node.lineno, f"import {alias.name}"
-                        )
+                    elif root in WALL_CLOCK_MODULES and not prof_ok:
+                        if in_obs:
+                            yield self._obs_finding(
+                                source, node.lineno, f"import {alias.name}"
+                            )
+                        else:
+                            yield self._wall_clock_finding(
+                                source, node.lineno, f"import {alias.name}"
+                            )
                     elif root in BINARY_MODULES and not btrace_ok:
                         yield self._binary_finding(
                             source, node.lineno, f"import {alias.name}"
@@ -196,10 +213,22 @@ class DeterminismRule(Rule):
                         source, node.lineno, f"from {node.module} import ..."
                     )
                     continue
-                if node.module.split(".")[0] in WALL_CLOCK_MODULES and in_obs:
-                    yield self._obs_finding(
-                        source, node.lineno, f"from {node.module} import ..."
-                    )
+                if (
+                    node.module.split(".")[0] in WALL_CLOCK_MODULES
+                    and not prof_ok
+                ):
+                    if in_obs:
+                        yield self._obs_finding(
+                            source,
+                            node.lineno,
+                            f"from {node.module} import ...",
+                        )
+                    else:
+                        yield self._wall_clock_finding(
+                            source,
+                            node.lineno,
+                            f"from {node.module} import ...",
+                        )
                     continue
                 if (
                     node.module.split(".")[0] in BINARY_MODULES
@@ -239,6 +268,18 @@ class DeterminismRule(Rule):
             "exports are reproducible artifacts, so repro.obs reads time "
             "only from the virtual clock (repro.sim.clock) — even "
             "perf_counter is off limits here",
+        )
+
+    def _wall_clock_finding(
+        self, source: SourceFile, line: int, what: str
+    ) -> Finding:
+        return self.finding(
+            source.rel,
+            line,
+            f"wall-clock module '{what}' outside {PROF_MODULE}; host-time "
+            "reads are confined to repro.prof (import perf_counter/"
+            "process_time/profile_scope from there) so every wall-clock "
+            "consumer stays one grep away — or carry an audited pragma",
         )
 
     def _scheduling_finding(

@@ -7,6 +7,8 @@ Typical uses::
     python -m repro.bench --check          # also fail on regression vs
                                            # the latest existing entry
     python -m repro.bench --no-write       # measure + compare only
+    python -m repro.bench --profile        # per-stage wall breakdown +
+                                           # collapsed-stack flamegraph
 
 Exit status: 0 on success, 1 when ``--check`` found a regression.
 """
@@ -28,6 +30,7 @@ from repro.bench import (
     write_entry,
 )
 from repro.parallel import job_count
+from repro.prof import Profiler
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -91,6 +94,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="measure (and --check) without appending a ledger entry",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print a per-stage wall breakdown and collapsed-stack "
+            "flamegraph of the suite itself (repro.prof)"
+        ),
+    )
     return parser
 
 
@@ -109,13 +120,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
 
     print(f"repro.bench: scale={scale} jobs={jobs} rounds={rounds}")
-    entry = collect(
-        scale=scale,
-        jobs=jobs,
-        rounds=rounds,
-        figures=figures,
-        progress=lambda msg: print(f"  measuring {msg}"),
-    )
+    profiler = Profiler() if args.profile else None
+    if profiler is not None:
+        profiler.install()
+    try:
+        entry = collect(
+            scale=scale,
+            jobs=jobs,
+            rounds=rounds,
+            figures=figures,
+            progress=lambda msg: print(f"  measuring {msg}"),
+        )
+    finally:
+        if profiler is not None:
+            profiler.uninstall()
 
     metrics = entry["metrics"]
     btrace = entry["detail"]["replay"]["btrace"]
@@ -158,6 +176,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"({entry['detail']['analysis']['files_scanned']} files, "
         f"{entry['detail']['analysis']['rules']} rules)"
     )
+    overhead = entry["detail"]["trace_overhead"]
+    print(
+        f"tracing overhead:   {metrics['trace_overhead_pct']:.2f}% "
+        f"({overhead['events_per_s_tracing_on']:,.0f} events/s on, "
+        f"{overhead['events_per_s_tracing_off']:,.0f} off)"
+    )
+    if profiler is not None:
+        print("profile (wall breakdown):")
+        for line in profiler.report_lines():
+            print(f"  {line}")
+        print("profile (collapsed stacks):")
+        for line in profiler.flamegraph_lines():
+            print(f"  {line}")
     if not entry["detail"]["campaign"]["parallel_identical"]:
         print(
             "ERROR: parallel campaign diverged from the serial run",

@@ -91,8 +91,11 @@ class Auditor:
         histogram (last triggering event's exit timestamp -> this
         verdict's timestamp, both virtual-clock — identical live and in
         replay because the alert timestamps themselves reproduce), and
-        a ``verdict`` hop on the open flow span when the alert is
-        raised while its event is still being delivered.
+        a ``verdict`` hop on the flow span — the open one when the
+        alert is raised during delivery, or a synthesized timer root
+        span for watchdog verdicts that fire outside any delivery (so
+        every verdict has a root span; see
+        ``MetricsRegistry.span_verdict``).
         """
         alert = {
             "time_ns": self.hypertap.machine.clock.now if self.hypertap else 0,
@@ -112,8 +115,12 @@ class Auditor:
                     vm=vm_id,
                     auditor=self.name,
                 )
-            metrics.span_hop(
-                "verdict", alert["time_ns"], self.name, kind
+            metrics.span_verdict(
+                vm_id,
+                alert["time_ns"],
+                self.name,
+                kind,
+                start_ns=self._last_event_ns,
             )
         return alert
 

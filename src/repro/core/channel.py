@@ -99,7 +99,7 @@ class EventFanout:
             )
             self._stage_cells[event_type] = cell
         cell.value += 1
-        metrics.span_begin(event)
+        metrics.span_begin(event, vm=self.vm_id)
         try:
             self._deliver(event_type, event, blocking_charge)
         finally:

@@ -81,4 +81,5 @@ class EventForwarder:
             )
         self.forwarded += 1
         self._cell("ef.forwarded", vm_id, exit_event.reason).value += 1
+        self.multiplexer.metrics.host_hop("ef", exit_event.time_ns)
         self.multiplexer.submit(vm_id, vcpu, exit_event)

@@ -181,6 +181,7 @@ class EventMultiplexer:
             ring = deque(maxlen=self.ring_capacity)
             self._rings[vm_id] = ring
         ring.append(exit_event)
+        self.metrics.host_hop("em", exit_event.time_ns)
 
         self._sampler.observe(exit_event.time_ns)
 

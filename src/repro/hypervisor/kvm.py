@@ -78,6 +78,12 @@ class KvmHypervisor:
         # auditors see events *before* their effects (active monitoring
         # can veto by pausing the VM).
         if self.event_forwarder is not None:
+            # Host-hop trace prefix: spans opened for this exit's
+            # derived events inherit the exit->EF->EM path (live-only
+            # context; the pipeline-scope export strips it).
+            self.metrics.host_begin(
+                "exit", exit_event.time_ns, exit_event.reason.value
+            )
             self.event_forwarder.on_vm_exit(self.vm_id, vcpu, exit_event)
 
         reason = exit_event.reason

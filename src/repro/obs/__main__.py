@@ -21,6 +21,11 @@ Typical uses::
     # output pipes straight into triage without temp files:
     python -m repro.serve load ... --export | python -m repro.obs top -
 
+    # Causal traces: full span capture from a trace replay
+    python -m repro.obs trace export golden.jsonl --format perfetto
+    python -m repro.obs trace critical-path golden.jsonl -n 5
+    python -m repro.obs trace slice golden.jsonl --vm vm0 --reason hang
+
 ``diff`` exits 1 when the exports differ — fuzz triage keys on that.
 """
 
@@ -97,6 +102,51 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("a", help="first export or trace ('-' for stdin)")
     diff.add_argument("b", help="second export or trace ('-' for stdin)")
     diff.add_argument("--scope", choices=SCOPES, default="pipeline")
+
+    trace = sub.add_parser(
+        "trace", help="causal spans: export, critical-path, slice"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    def add_trace_input(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "trace",
+            help="trace file to replay — JSONL, gzip or btrace "
+            "('-' reads stdin)",
+        )
+
+    export = trace_sub.add_parser(
+        "export", help="full span stream as JSONL or Perfetto JSON"
+    )
+    add_trace_input(export)
+    export.add_argument(
+        "--format",
+        choices=("jsonl", "perfetto"),
+        default="jsonl",
+        help="compact span JSONL or Chrome trace-event JSON",
+    )
+    export.add_argument(
+        "-o", "--output", default="-", help="output path ('-' = stdout)"
+    )
+
+    critical = trace_sub.add_parser(
+        "critical-path",
+        help="per-hop exit-to-verdict latency attribution, worst-N first",
+    )
+    add_trace_input(critical)
+    critical.add_argument("-n", "--worst", type=int, default=10)
+
+    sliced = trace_sub.add_parser(
+        "slice", help="filter spans by trace id / vm / hop reason"
+    )
+    add_trace_input(sliced)
+    sliced.add_argument("--trace-id", default=None, help="exact vm:seq id")
+    sliced.add_argument("--vm", default=None, help="exact VM id")
+    sliced.add_argument(
+        "--reason",
+        default=None,
+        help="match a hop stage or detail string (auditor, verdict kind)",
+    )
     return parser
 
 
@@ -129,6 +179,44 @@ def _cmd_top(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.trace import (
+        collect_spans,
+        critical_path_lines,
+        perfetto_text,
+        slice_spans,
+        spans_to_jsonl_lines,
+    )
+
+    spans, _snapshot = collect_spans(args.trace)
+    if args.trace_command == "export":
+        if args.format == "perfetto":
+            text = perfetto_text(spans)
+        else:
+            lines = spans_to_jsonl_lines(spans)
+            text = "\n".join(lines) + ("\n" if lines else "")
+        if args.output == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(
+                f"wrote {len(spans)} span(s) ({args.format}) to {args.output}"
+            )
+        return 0
+    if args.trace_command == "critical-path":
+        for line in critical_path_lines(spans, worst=args.worst):
+            print(line)
+        return 0
+    selected = slice_spans(
+        spans, trace_id=args.trace_id, vm=args.vm, reason=args.reason
+    )
+    for line in spans_to_jsonl_lines(selected):
+        print(line)
+    print(f"{len(selected)} of {len(spans)} span(s)", file=sys.stderr)
+    return 0
+
+
 def _cmd_diff(args: argparse.Namespace) -> int:
     a = rows_for_path(args.a, scope=args.scope)
     b = rows_for_path(args.b, scope=args.scope)
@@ -149,6 +237,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_report(args)
         if args.command == "top":
             return _cmd_top(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         return _cmd_diff(args)
     except BrokenPipeError:
         # Downstream consumer (head, grep -q) closed the pipe early.

@@ -26,12 +26,27 @@ Metric names are partitioned into two scopes:
 
 The default export covers the pipeline scope only, which is exactly the
 slice where a trace replay must reproduce the live run bit-for-bit.
+
+Causal tracing
+--------------
+Every published event opens a *span*: a trace id minted from
+``(vm, seq)`` in publish order, plus one hop per pipeline stage
+(``deliver`` per auditor, ``verdict`` per alert) — all timestamped by
+the virtual clock, so the same trace replays to byte-identical spans.
+The in-registry ring is bounded by ``span_limit``; spans past the
+bound are **accounted** under ``trace.spans_dropped{reason=ring-full}``
+(never silently lost), and an optional streaming *span sink*
+(:meth:`MetricsRegistry.set_span_sink`) receives every completed span
+regardless of the ring bound — that is what ``repro.obs trace`` uses
+for full exports.  Live-only host-side context (exit/EF/EM hops) rides
+in a ``host`` key that the pipeline-scope export strips, preserving
+live-vs-replay identity.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.events import EventType
 from repro.sim.clock import MICROSECOND, MILLISECOND, SECOND
@@ -101,6 +116,12 @@ REJECT_REASONS = frozenset(
         "decode",
     }
 )
+
+#: Every ``reason`` label a ``trace.spans_dropped`` increment may
+#: carry: ``ring-full`` (a span past the in-registry ring bound —
+#: streamed to the sink when one is attached, dropped otherwise) and
+#: ``merge`` (a snapshot span truncated while folding parallel shards).
+TRACE_DROP_REASONS = frozenset({"ring-full", "merge"})
 
 #: Name prefixes belonging to the hypervisor-side (live-only) scope.
 #: ``transport.`` covers the serve socket layer: bytes/frames/credits
@@ -207,13 +228,46 @@ class MetricsRegistry:
     (grid index, seed order) so parallel fan-out cannot reorder it.
     """
 
-    def __init__(self, span_limit: int = 64) -> None:
+    def __init__(self, span_limit: int = 64, tracing: bool = True) -> None:
         self._counters: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], Counter] = {}
         self._histograms: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], Histogram] = {}
         self.span_limit = int(span_limit)
+        #: Span capture switch; ``False`` turns every span/host-hop
+        #: method into a no-op (the "tracing off" side of the
+        #: ``trace_overhead_pct`` ledger column).
+        self.tracing = bool(tracing)
         #: Captured event-flow spans, in publish order (bounded).
         self.spans: List[Dict[str, Any]] = []
         self._open_span: Optional[Dict[str, Any]] = None
+        #: Per-VM hot state, ``vm -> [next_seq, ring_full_drop_cell]``.
+        #: The seq advances on every publish (captured or not) so trace
+        #: ids are stable under any bound; the cached drop cell makes
+        #: the steady-state path one dict lookup + two increments.  The
+        #: cell is ``None`` until the first ring-full drop for that VM.
+        self._span_hot: Dict[str, List[Any]] = {}
+        #: Streaming receiver for every *completed* span (ring-bound
+        #: exempt); attached by the trace exporter, absent on hot paths.
+        self._span_sink: Optional[Callable[[Dict[str, Any]], None]] = None
+        #: Cached ``trace.spans_dropped`` cells, keyed (vm, reason).
+        self._trace_drop_cells: Dict[Tuple[str, str], Counter] = {}
+        #: True once the ring is at capacity (it only ever grows), so
+        #: the steady-state path is one attribute check, not a len().
+        self._ring_full = self.span_limit <= 0
+        #: The combined steady-state predicate — tracing on, ring full,
+        #: no sink — folded into one flag so ``span_begin`` pays one
+        #: attribute check per publish; re-derived at every transition
+        #: (ring fill, sink attach/detach).
+        self._discarding = self.tracing and self._ring_full
+        #: Reusable open-span buffer for the steady state (ring full,
+        #: no sink): the span must still *open* — verdicts raised during
+        #: its delivery land on it instead of minting spurious timer
+        #: spans — but nothing retains it, so one cleared buffer avoids
+        #: a per-event dict build on the hot path.
+        self._discard_hops: List[List[Any]] = []
+        self._discard_span: Dict[str, Any] = {"hops": self._discard_hops}
+        #: Pending live-only host hops (exit/EF/EM), copied into the
+        #: next span opened for the exit's derived events.
+        self._host_hops: List[List[Any]] = []
 
     # ------------------------------------------------------------------
     # Counters
@@ -281,6 +335,15 @@ class MetricsRegistry:
             for key in stale:
                 del store[key]
                 removed += 1
+        if removed and (name_prefix is None or "trace.".startswith(name_prefix)
+                        or name_prefix.startswith("trace.")):
+            # Cached drop-cell handles would keep counting into detached
+            # cells after their rows were removed; re-resolve lazily.
+            # (Trace seqs survive a counter reset — trace ids must stay
+            # monotone for the registry's lifetime.)
+            self._trace_drop_cells.clear()
+            for hot in self._span_hot.values():
+                hot[1] = None
         return removed
 
     # ------------------------------------------------------------------
@@ -306,35 +369,191 @@ class MetricsRegistry:
         return out
 
     # ------------------------------------------------------------------
-    # Flow spans
+    # Flow spans (causal tracing)
     # ------------------------------------------------------------------
-    def span_begin(self, event: Any) -> None:
+    def set_span_sink(
+        self, sink: Optional[Callable[[Dict[str, Any]], None]]
+    ) -> None:
+        """Stream every *completed* span to ``sink`` (``None`` detaches).
+
+        The sink sees spans past the ring bound too — it is the
+        full-fidelity path ``repro.obs trace`` exports from — while the
+        in-registry ring (and the ``trace.spans_dropped`` accounting)
+        stays byte-identical whether or not a sink is attached.
+        """
+        self._span_sink = sink
+        self._discarding = (
+            self.tracing and self._ring_full and sink is None
+        )
+
+    def _ring_append(self, span: Dict[str, Any]) -> None:
+        """Append to the ring, flipping the steady-state flags at the cap."""
+        self.spans.append(span)
+        if len(self.spans) >= self.span_limit:
+            self._ring_full = True
+            self._discarding = self.tracing and self._span_sink is None
+
+    def _count_span_drop(self, vm: str, reason: str) -> None:
+        cell = self._trace_drop_cells.get((vm, reason))
+        if cell is None:
+            cell = self.counter("trace.spans_dropped", vm=vm, reason=reason)
+            self._trace_drop_cells[(vm, reason)] = cell
+        cell.value += 1
+
+    def span_begin(self, event: Any, vm: Optional[str] = None) -> None:
         """Open a span following one published event through the hops.
 
-        Capture is bounded by ``span_limit``; beyond it publishing is
-        unobserved (the counters still count).  The bound is on publish
-        order, so live and replay capture the same prefix.
+        Every publish mints a trace id ``vm:seq`` in publish order —
+        identical live and replayed.  The in-registry ring is bounded
+        by ``span_limit``; a span past the bound is counted under
+        ``trace.spans_dropped{reason=ring-full}`` and still streamed to
+        the sink when one is attached (never silently lost).
+
+        ``vm`` is the *publisher's* identity (the fanout's vm id), which
+        the serve pipeline overrides per stream — so span rows and drop
+        counters stay attributable to the serving stream even when every
+        producer recorded under the same vm id.  Defaults to the event's
+        own vm for callers without a fanout identity.
         """
-        if len(self.spans) >= self.span_limit:
+        if vm is None:
+            vm = event.vm_id
+        if self._discarding:
+            # Steady state (ring full, nobody listening): the span
+            # still *opens* — verdicts raised during its delivery must
+            # land on it, not mint spurious timer spans — but nothing
+            # will retain it, so reuse the discard buffer instead of
+            # building a dict per event.  Only rare verdict hops land
+            # on it (span_hop skips it), so the clear almost never has
+            # work to do.  One dict lookup + two increments per event;
+            # a VM not seen before (hot miss) takes the slow path once.
+            hot = self._span_hot.get(vm)
+            if hot is not None and hot[1] is not None:
+                hot[0] += 1
+                hot[1].value += 1
+                hops = self._discard_hops
+                if hops:
+                    hops.clear()
+                self._open_span = self._discard_span
+                return
+        if not self.tracing:
             self._open_span = None
             return
+        hot = self._span_hot.get(vm)
+        if hot is None:
+            hot = self._span_hot[vm] = [0, None]
+        seq = hot[0]
+        hot[0] = seq + 1
+        ring_ok = not self._ring_full
+        if not ring_ok:
+            cell = hot[1]
+            if cell is None:
+                cell = hot[1] = self.counter(
+                    "trace.spans_dropped", vm=vm, reason="ring-full"
+                )
+            cell.value += 1
         span: Dict[str, Any] = {
-            "vm": event.vm_id,
+            "vm": vm,
             "type": event.type.value,
             "t": event.time_ns,
+            "trace": f"{vm}:{seq}",
             "hops": [],
         }
-        self.spans.append(span)
+        if self._host_hops:
+            span["host"] = list(self._host_hops)
+        if ring_ok:
+            self._ring_append(span)
         self._open_span = span
 
     def span_hop(self, stage: str, t_ns: int, *detail: Any) -> None:
-        """Append one hop to the currently open span (if any)."""
+        """Append one hop to the currently open span (if any).
+
+        Hops onto the discard buffer are skipped — nothing retains it,
+        so building the hop row would be pure steady-state overhead.
+        (Verdict hops, which carry accounting semantics, still land on
+        it via :meth:`span_verdict`.)
+        """
         span = self._open_span
-        if span is not None:
+        if span is not None and span is not self._discard_span:
             span["hops"].append([stage, int(t_ns), *detail])
 
+    def span_verdict(
+        self,
+        vm: str,
+        t_ns: int,
+        auditor: str,
+        kind: str,
+        start_ns: Optional[int] = None,
+    ) -> None:
+        """Record a verdict hop, synthesizing a root span if none is open.
+
+        Event-driven verdicts land on the span the publishing stage
+        opened.  Timer-driven verdicts (watchdog expiries) fire outside
+        any publish, so this mints a complete ``type="timer"`` root
+        span — consuming a trace seq in timer order, which is identical
+        live and replayed — keeping the invariant that *every* verdict
+        belongs to exactly one root span.  ``start_ns`` anchors that
+        span at the last event the auditor saw (when known), so the
+        critical-path table attributes the same exit-to-verdict latency
+        the histogram records.
+        """
+        span = self._open_span
+        if span is not None:
+            span["hops"].append(["verdict", int(t_ns), auditor, kind])
+            return
+        if not self.tracing:
+            return
+        hot = self._span_hot.get(vm)
+        if hot is None:
+            hot = self._span_hot[vm] = [0, None]
+        seq = hot[0]
+        hot[0] = seq + 1
+        span = {
+            "vm": vm,
+            "type": "timer",
+            "t": int(start_ns if start_ns is not None else t_ns),
+            "trace": f"{vm}:{seq}",
+            "hops": [["verdict", int(t_ns), auditor, kind]],
+        }
+        if not self._ring_full:
+            self._ring_append(span)
+        else:
+            self._count_span_drop(vm, "ring-full")
+        if self._span_sink is not None:
+            self._span_sink(span)
+
     def span_end(self) -> None:
-        self._open_span = None
+        span = self._open_span
+        if span is not None:
+            self._open_span = None
+            if self._span_sink is not None:
+                self._span_sink(span)
+
+    def spans_minted(self, vm: Optional[str] = None) -> int:
+        """Trace ids consumed so far (for ``vm``, or in total).
+
+        Every publish and every timer verdict mints exactly one,
+        whether or not the span was retained — so
+        ``minted == len(ring) + spans_dropped`` holds as a conservation
+        law (the drop-accounting tests pin it).
+        """
+        if vm is not None:
+            hot = self._span_hot.get(vm)
+            return hot[0] if hot is not None else 0
+        return sum(hot[0] for hot in self._span_hot.values())
+
+    # ------------------------------------------------------------------
+    # Host-side hop context (live-only; stripped from pipeline exports)
+    # ------------------------------------------------------------------
+    def host_begin(self, stage: str, t_ns: int, *detail: Any) -> None:
+        """Start the host-hop prefix for one VM exit (resets the last)."""
+        if not self.tracing:
+            return
+        self._host_hops = [[stage, int(t_ns), *detail]]
+
+    def host_hop(self, stage: str, t_ns: int, *detail: Any) -> None:
+        """Append one host-side hop (EF, EM) to the pending prefix."""
+        if self.tracing and self._host_hops:
+            self._host_hops.append([stage, int(t_ns), *detail])
 
     # ------------------------------------------------------------------
     # Snapshot / merge (the parallel-fan-out contract)
@@ -394,8 +613,11 @@ class MetricsRegistry:
                     hist.buckets[i] += int(cell)
         for span in snapshot.get("spans", ()):
             if len(self.spans) >= self.span_limit:
-                break
-            self.spans.append(dict(span))
+                # Truncation is accounted, not silent: merge order is
+                # caller-fixed, so these rows stay deterministic.
+                self._count_span_drop(str(span.get("vm", "?")), "merge")
+                continue
+            self._ring_append(dict(span))
         return self
 
     @classmethod

@@ -6,12 +6,15 @@ rows in the registry's canonical order:
 * ``{"kind": "counter", "name": ..., "labels": {...}, "value": N}``
 * ``{"kind": "hist", "name": ..., "labels": {...}, "count": N,
   "sum": N, "min": N, "max": N, "buckets": [...]}``
-* ``{"kind": "span", "vm": ..., "type": ..., "t": N, "hops": [...]}``
+* ``{"kind": "span", "trace": "vm:seq", "vm": ..., "type": ...,
+  "t": N, "hops": [...]}``
 
 Because every number is virtual-clock-derived, the same (scenario,
 seed) produces byte-identical exports live, replayed from its trace,
 and merged across any ``REPRO_JOBS`` fan-out — which is what makes
-``repro.obs diff`` a triage tool rather than a noise generator.
+``repro.obs diff`` a triage tool rather than a noise generator.  The
+one live-only span field, the host-hop ``host`` key, is stripped from
+every scope except ``all`` to keep that identity.
 """
 
 from __future__ import annotations
@@ -67,6 +70,8 @@ def export_lines(
             )
     if want_pipeline:
         for span in snapshot.get("spans", ()):
+            if scope != "all" and "host" in span:
+                span = {k: v for k, v in span.items() if k != "host"}
             lines.append(_encode({"kind": "span", **span}))
     return lines
 
@@ -86,12 +91,19 @@ def collect_live(scenario: str, seed: int = 0) -> Dict[str, Any]:
     return record_scenario(scenario, seed=seed).metrics
 
 
-def collect_replay(trace: Any) -> Dict[str, Any]:
-    """Replay a trace through fresh scenario auditors; snapshot."""
+def collect_replay(trace: Any, span_sink: Any = None) -> Dict[str, Any]:
+    """Replay a trace through fresh scenario auditors; snapshot.
+
+    ``span_sink`` (a callable) streams every completed span past the
+    registry's ring bound — the full-fidelity capture the trace
+    exporter uses.
+    """
     from repro.replay.source import ReplaySource
     from repro.testing.seeds import auditors_for
 
     registry = MetricsRegistry()
+    if span_sink is not None:
+        registry.set_span_sink(span_sink)
     ReplaySource(trace, auditors_for(trace), metrics=registry).run()
     return registry.snapshot()
 
@@ -145,11 +157,12 @@ def load_trace_observed(path: str, registry: MetricsRegistry):
     return trace
 
 
-def collect_trace(path: str) -> Dict[str, Any]:
+def collect_trace(path: str, span_sink: Any = None) -> Dict[str, Any]:
     """Replay a trace file; truncation becomes counted drops.
 
     ``-`` reads the trace from stdin (plain/gzipped JSONL or btrace —
-    the magic bytes decide).
+    the magic bytes decide).  ``span_sink`` streams completed spans
+    past the ring bound (see :func:`collect_replay`).
     """
     from repro.replay.source import ReplaySource
     from repro.testing.seeds import auditors_for
@@ -157,33 +170,39 @@ def collect_trace(path: str) -> Dict[str, Any]:
     if path == "-":
         data = _stdin_bytes()
         if _is_btrace(data):
-            return collect_trace_bytes(data)
-        return collect_trace_text(_decode_stream(data))
+            return collect_trace_bytes(data, span_sink=span_sink)
+        return collect_trace_text(_decode_stream(data), span_sink=span_sink)
     registry = MetricsRegistry()
+    if span_sink is not None:
+        registry.set_span_sink(span_sink)
     trace = load_trace_observed(path, registry)
     ReplaySource(trace, auditors_for(trace), metrics=registry).run()
     return registry.snapshot()
 
 
-def collect_trace_text(text: str) -> Dict[str, Any]:
+def collect_trace_text(text: str, span_sink: Any = None) -> Dict[str, Any]:
     """Replay a trace already held as JSONL text; snapshot."""
     from repro.replay.source import ReplaySource
     from repro.replay.trace_io import loads_trace
     from repro.testing.seeds import auditors_for
 
     registry = MetricsRegistry()
+    if span_sink is not None:
+        registry.set_span_sink(span_sink)
     trace = loads_trace(text)
     ReplaySource(trace, auditors_for(trace), metrics=registry).run()
     return registry.snapshot()
 
 
-def collect_trace_bytes(data: bytes) -> Dict[str, Any]:
+def collect_trace_bytes(data: bytes, span_sink: Any = None) -> Dict[str, Any]:
     """Replay an in-memory btrace image (the ``-`` stdin path)."""
     from repro.replay.btrace import load_btrace
     from repro.replay.source import ReplaySource
     from repro.testing.seeds import auditors_for
 
     registry = MetricsRegistry()
+    if span_sink is not None:
+        registry.set_span_sink(span_sink)
     trace = load_btrace(data=data)
     ReplaySource(trace, auditors_for(trace), metrics=registry).run()
     return registry.snapshot()
@@ -323,8 +342,8 @@ def rows_for_path(path: str, scope: str = "pipeline") -> List[Dict[str, Any]]:
 def _row_key(row: Dict[str, Any]) -> str:
     if row.get("kind") == "span":
         return _encode(
-            {"kind": "span", "vm": row.get("vm"), "type": row.get("type"),
-             "t": row.get("t")}
+            {"kind": "span", "trace": row.get("trace"), "vm": row.get("vm"),
+             "type": row.get("type"), "t": row.get("t")}
         )
     return _encode(
         {"kind": row.get("kind"), "name": row.get("name"),

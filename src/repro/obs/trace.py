@@ -1,0 +1,236 @@
+"""Causal-trace tooling: full span capture, exports, latency triage.
+
+A *span* follows one published event through the pipeline hops
+(``deliver`` per auditor, ``verdict`` per alert); the registry mints
+its trace id ``vm:seq`` in publish order and timestamps every hop from
+the virtual clock, so the span stream for a given trace is a
+reproducible artifact — byte-identical live, replayed, and at any
+``REPRO_JOBS``.
+
+This module is the consumer side: it replays a trace with a streaming
+span sink attached (capturing *every* completed span, past the
+registry ring bound) and renders the result three ways:
+
+* compact JSONL — one ``{"kind": "span", ...}`` object per line, the
+  same rows ``repro.obs report`` emits for the ring prefix;
+* Chrome trace-event / Perfetto JSON — one complete slice per span
+  (``ph: "X"``), one instant per hop (``ph: "i"``), process per VM —
+  loadable in ``ui.perfetto.dev`` or ``chrome://tracing``;
+* critical-path tables — per-event exit-to-verdict latency split into
+  per-hop segments, worst-N first, plus a per-stage aggregation that
+  answers "which hop made p99 regress".
+
+Everything here is virtual-clock arithmetic over already-deterministic
+spans; no wall clock (the determinism rule holds this package to that).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.report import collect_trace
+
+_encode = json.JSONEncoder(sort_keys=True).encode
+
+Span = Dict[str, Any]
+
+
+# ======================================================================
+# Capture
+# ======================================================================
+def collect_spans(path: str) -> Tuple[List[Span], Dict[str, Any]]:
+    """Replay a trace (JSONL/gzip/btrace/stdin ``-``) capturing every span.
+
+    Returns ``(spans, snapshot)``: the full span stream in completion
+    order (which equals publish order — one span is open at a time)
+    and the registry snapshot, whose ``trace.spans_dropped`` rows say
+    how many of these the bounded ring would have lost.
+    """
+    spans: List[Span] = []
+    snapshot = collect_trace(path, span_sink=spans.append)
+    return spans, snapshot
+
+
+# ======================================================================
+# Exports
+# ======================================================================
+def spans_to_jsonl_lines(spans: Iterable[Span]) -> List[str]:
+    """Compact JSONL: the canonical ``kind=span`` rows, host key stripped."""
+    lines = []
+    for span in spans:
+        if "host" in span:
+            span = {k: v for k, v in span.items() if k != "host"}
+        lines.append(_encode({"kind": "span", **span}))
+    return lines
+
+
+def spans_to_perfetto(spans: Iterable[Span]) -> Dict[str, Any]:
+    """Chrome trace-event JSON: slice per span, instant per hop.
+
+    ``pid`` is the VM's index in sorted-vm order, ``tid`` the span's
+    publish sequence — both derived from span content only, so the
+    export is byte-identical wherever the spans came from.  Timestamps
+    are microseconds (the trace-event unit) computed from the virtual
+    nanosecond clock; full precision rides in ``args.t_ns``.
+    """
+    spans = list(spans)
+    vms = sorted({str(span.get("vm", "?")) for span in spans})
+    pid_of = {vm: i for i, vm in enumerate(vms)}
+    events: List[Dict[str, Any]] = []
+    for vm in vms:
+        events.append(
+            {
+                "args": {"name": vm},
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid_of[vm],
+                "tid": 0,
+            }
+        )
+    for span in spans:
+        vm = str(span.get("vm", "?"))
+        pid = pid_of[vm]
+        trace_id = str(span.get("trace", f"{vm}:?"))
+        try:
+            tid = int(trace_id.rsplit(":", 1)[-1])
+        except ValueError:
+            tid = 0
+        t0 = int(span.get("t", 0))
+        hops = span.get("hops") or []
+        t_end = max([t0] + [int(hop[1]) for hop in hops])
+        events.append(
+            {
+                "args": {"t_ns": t0, "trace": trace_id},
+                "cat": "flow",
+                "dur": (t_end - t0) / 1000.0,
+                "name": str(span.get("type", "?")),
+                "ph": "X",
+                "pid": pid,
+                "tid": tid,
+                "ts": t0 / 1000.0,
+            }
+        )
+        for hop in hops:
+            stage, t_ns, *detail = hop
+            events.append(
+                {
+                    "args": {
+                        "detail": [str(item) for item in detail],
+                        "t_ns": int(t_ns),
+                        "trace": trace_id,
+                    },
+                    "cat": "hop",
+                    "name": str(stage),
+                    "ph": "i",
+                    "pid": pid,
+                    "s": "t",
+                    "tid": tid,
+                    "ts": int(t_ns) / 1000.0,
+                }
+            )
+    return {"displayTimeUnit": "ns", "traceEvents": events}
+
+
+def perfetto_text(spans: Iterable[Span]) -> str:
+    return json.dumps(
+        spans_to_perfetto(spans), sort_keys=True, separators=(",", ":")
+    ) + "\n"
+
+
+# ======================================================================
+# Critical path
+# ======================================================================
+def _hop_segments(span: Span) -> List[Tuple[str, int]]:
+    """Per-hop latency attribution: ``(stage, delta_ns)`` per hop.
+
+    Each hop is charged the time since the previous hop (the first
+    since the span's publish timestamp), which partitions the span's
+    total latency across the stages that spent it.
+    """
+    out: List[Tuple[str, int]] = []
+    prev = int(span.get("t", 0))
+    for hop in span.get("hops") or ():
+        stage, t_ns = str(hop[0]), int(hop[1])
+        out.append((stage, max(0, t_ns - prev)))
+        prev = max(prev, t_ns)
+    return out
+
+
+def critical_path_lines(spans: Iterable[Span], worst: int = 10) -> List[str]:
+    """Worst-N exit-to-verdict paths plus per-stage attribution."""
+    verdicts: List[Tuple[int, Span]] = []
+    stage_totals: Dict[str, Tuple[int, int]] = {}
+    for span in spans:
+        for stage, delta in _hop_segments(span):
+            total, count = stage_totals.get(stage, (0, 0))
+            stage_totals[stage] = (total + delta, count + 1)
+        hops = span.get("hops") or ()
+        verdict_ts = [int(hop[1]) for hop in hops if hop[0] == "verdict"]
+        if verdict_ts:
+            latency = max(0, verdict_ts[-1] - int(span.get("t", 0)))
+            verdicts.append((latency, span))
+    lines: List[str] = []
+    if not verdicts:
+        lines.append("no verdict-bearing spans (nothing to attribute)")
+    else:
+        # Sort stably: latency desc, then trace id so ties are
+        # deterministic however the spans were gathered.
+        verdicts.sort(key=lambda item: (-item[0], str(item[1].get("trace"))))
+        lines.append(
+            f"worst {min(worst, len(verdicts))} of {len(verdicts)} "
+            "exit-to-verdict paths:"
+        )
+        lines.append(f"{'latency_ns':>12}  {'trace':<14} {'type':<16} path")
+        for latency, span in verdicts[:worst]:
+            path = " -> ".join(
+                f"{stage}+{delta}" for stage, delta in _hop_segments(span)
+            )
+            lines.append(
+                f"{latency:>12d}  {str(span.get('trace')):<14} "
+                f"{str(span.get('type')):<16} {path}"
+            )
+    lines.append("")
+    lines.append("per-stage attribution (ns charged since previous hop):")
+    lines.append(f"{'total_ns':>12}  {'hops':>7}  {'mean_ns':>10}  stage")
+    for stage in sorted(stage_totals, key=lambda s: (-stage_totals[s][0], s)):
+        total, count = stage_totals[stage]
+        mean = total // count if count else 0
+        lines.append(f"{total:>12d}  {count:>7d}  {mean:>10d}  {stage}")
+    return lines
+
+
+# ======================================================================
+# Slicing
+# ======================================================================
+def slice_spans(
+    spans: Iterable[Span],
+    trace_id: Optional[str] = None,
+    vm: Optional[str] = None,
+    reason: Optional[str] = None,
+) -> List[Span]:
+    """Filter spans by exact trace id, VM, or hop content.
+
+    ``reason`` matches a span when any hop's stage or any of its detail
+    strings equals it — so ``--reason hang`` finds the watchdog
+    verdicts, ``--reason memwatch`` everything a given auditor touched.
+    """
+    out: List[Span] = []
+    for span in spans:
+        if trace_id is not None and span.get("trace") != trace_id:
+            continue
+        if vm is not None and span.get("vm") != vm:
+            continue
+        if reason is not None:
+            hit = False
+            for hop in span.get("hops") or ():
+                stage, _t, *detail = hop
+                if str(stage) == reason or any(
+                    str(item) == reason for item in detail
+                ):
+                    hit = True
+                    break
+            if not hit:
+                continue
+        out.append(span)
+    return out

@@ -38,7 +38,7 @@ pay on the ledger):
   into the pre-sized slot table per chunk, not per task.
 
 ``parallel_map(..., stats=dict)`` additionally reports per-chunk worker
-CPU time (``time.process_time`` inside the worker), which is what the
+CPU time (``repro.prof.process_time`` inside the worker), which is what the
 benchmark's critical-path speedup model consumes: on a core-starved CI
 box, wall time inside timesharing workers measures the scheduler, not
 the work.
@@ -54,12 +54,12 @@ import atexit
 import hashlib
 import multiprocessing
 import os
-import time
 from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecutor, wait
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ReproError
 from repro.parallel import shared
+from repro.prof import process_time
 
 #: Environment knob: worker process count (default 1 = serial).
 JOBS_ENV = "REPRO_JOBS"
@@ -125,18 +125,18 @@ def _run_chunk(
     so a single bad task cannot poison its chunk-mates.
 
     Returns ``(results, cpu_seconds)`` where the CPU time is measured
-    with ``time.process_time`` *inside* the worker: on a box with fewer
+    with ``process_time`` *inside* the worker: on a box with fewer
     cores than workers, wall time per worker counts timesharing stalls
     as work, so only CPU time composes into an honest critical path.
     """
     out: List[Tuple[int, bool, Any]] = []
-    cpu_start = time.process_time()
+    cpu_start = process_time()
     for index, item in chunk:
         try:
             out.append((index, True, fn(item)))
         except Exception as exc:  # noqa: BLE001 - isolated + retried in parent
             out.append((index, False, f"{type(exc).__name__}: {exc}"))
-    return out, time.process_time() - cpu_start
+    return out, process_time() - cpu_start
 
 
 def _warm_up(_: Any) -> bool:

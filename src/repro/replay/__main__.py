@@ -25,6 +25,7 @@ from repro.auditors.hrkd import HiddenRootkitDetector
 from repro.auditors.ht_ninja import HTNinja
 from repro.core.auditor import Auditor
 from repro.errors import TraceFormatError
+from repro.prof import Profiler, profile_scope
 from repro.replay.btrace import (
     BTRACE_SUFFIX,
     convert_trace,
@@ -105,10 +106,29 @@ def cmd_record(args) -> int:
 
 
 def cmd_replay(args) -> int:
-    trace = load_any_trace(args.trace)
-    auditors = _build_auditors_for(trace)
-    source = ReplaySource(trace, auditors)
-    report = source.run()
+    profiler = Profiler() if getattr(args, "profile", False) else None
+    if profiler is not None:
+        profiler.install()
+    try:
+        with profile_scope("replay"):
+            with profile_scope("load-trace"):
+                trace = load_any_trace(args.trace)
+            auditors = _build_auditors_for(trace)
+            with profile_scope("run"):
+                source = ReplaySource(trace, auditors)
+                report = source.run()
+    finally:
+        if profiler is not None:
+            profiler.uninstall()
+    if profiler is not None:
+        # Stderr, so the stdout verdict block stays byte-comparable
+        # across formats and profiled/unprofiled runs.
+        print("profile (wall breakdown):", file=sys.stderr)
+        for line in profiler.report_lines():
+            print(f"  {line}", file=sys.stderr)
+        print("profile (collapsed stacks):", file=sys.stderr)
+        for line in profiler.flamegraph_lines():
+            print(f"  {line}", file=sys.stderr)
 
     print(f"replayed {report.events_replayed} events "
           f"({report.events_rejected} rejected, {report.scans_run} scans) "
@@ -202,6 +222,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     p_replay = sub.add_parser("replay", help="re-audit a recorded trace")
     p_replay.add_argument("trace", help="trace file to replay")
+    p_replay.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a wall breakdown + flamegraph to stderr (repro.prof)",
+    )
     p_replay.set_defaults(func=cmd_replay)
 
     p_fuzz = sub.add_parser("fuzz", help="replay N seeded mutations")

@@ -13,7 +13,6 @@ the fuzzer measure against.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
@@ -22,6 +21,7 @@ from repro.auditors.hrkd import HiddenRootkitDetector
 from repro.auditors.ht_ninja import HTNinja
 from repro.core.auditor import Auditor
 from repro.core.events import EventType, GuestEvent, SyscallEvent, ThreadSwitchEvent
+from repro.prof import perf_counter
 from repro.replay.format import (
     FORMAT_VERSION,
     Trace,
@@ -281,9 +281,9 @@ def record_scenario(name: str, seed: int = 0, perturb=None) -> RecordedRun:
     scenario = SCENARIOS[name]
     auditors = scenario.build_auditors()
     recorder = RecordingAuditor()
-    wall_start = time.perf_counter()
+    wall_start = perf_counter()
     testbed = scenario.run(recorder, auditors, seed, perturb)
-    wall_seconds = time.perf_counter() - wall_start
+    wall_seconds = perf_counter() - wall_start
 
     alerts = {a.name: list(a.alerts) for a in auditors}
     verdicts = normalize_alerts(alerts)

@@ -22,7 +22,6 @@ graceful rejections and auditor crashes stay inside the container.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Set
 
@@ -35,6 +34,7 @@ from repro.hypervisor.containers import AuditingContainer
 from repro.hypervisor.event_multiplexer import HeartbeatSampler
 from repro.hypervisor.rhc import RemoteHealthChecker
 from repro.obs.metrics import MetricsRegistry
+from repro.prof import perf_counter
 from repro.replay.format import (
     KIND_EVENT,
     KIND_SCAN,
@@ -261,7 +261,7 @@ class ReplaySource:
     # ------------------------------------------------------------------
     def run(self) -> ReplayReport:
         report = ReplayReport(scenario=self.trace.header.scenario)
-        start_wall = time.perf_counter()
+        start_wall = perf_counter()
         # Traces need not start at t=0: move to the recorded origin
         # before anything arms its timers or liveness baselines.
         self._advance_to(self.trace.header.start_ns)
@@ -272,7 +272,7 @@ class ReplaySource:
 
         if self.perturb is not None:
             self._run_perturbed(report)
-            report.wall_seconds = time.perf_counter() - start_wall
+            report.wall_seconds = perf_counter() - start_wall
             self._finalize(report)
             return report
 
@@ -342,7 +342,7 @@ class ReplaySource:
         if end_ns is not None:
             self._advance_to(end_ns)
 
-        report.wall_seconds = time.perf_counter() - start_wall
+        report.wall_seconds = perf_counter() - start_wall
         self._finalize(report)
         return report
 
@@ -380,7 +380,7 @@ class ReplaySource:
             raise TraceFormatError("stream_begin called twice")
         report = ReplayReport(scenario=self.trace.header.scenario)
         self._stream_report = report
-        self._stream_wall = time.perf_counter()
+        self._stream_wall = perf_counter()
         self._stream_horizon = self._horizon()
         self._advance_to(self.trace.header.start_ns)
         if self.rhc is not None:
@@ -443,7 +443,7 @@ class ReplaySource:
             if horizon is not None:
                 target = min(target, horizon)
             self._advance_to(target)
-        report.wall_seconds = time.perf_counter() - self._stream_wall
+        report.wall_seconds = perf_counter() - self._stream_wall
         self._finalize(report)
         self._stream_report = None
         return report

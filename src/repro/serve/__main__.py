@@ -28,6 +28,7 @@ from typing import List, Optional
 from repro.errors import TraceFormatError
 from repro.obs.metrics import SCOPES
 from repro.parallel import job_count
+from repro.prof import Profiler, profile_scope
 from repro.replay.recorder import SCENARIOS
 from repro.serve.load import (
     DEFAULT_RATE,
@@ -101,6 +102,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="send shutdown to the service afterwards")
     load.add_argument("--no-slowdown", action="store_true",
                       help="ignore slowdown frames (transport-side only)")
+    load.add_argument("--prof", action="store_true",
+                      help="print a wall breakdown + flamegraph of the "
+                           "load run to stderr (repro.prof; named --prof "
+                           "because --profile selects the burst shape)")
     return parser
 
 
@@ -162,23 +167,42 @@ async def _cmd_load(args: argparse.Namespace) -> int:
                 )
         if not scenarios:
             raise TraceFormatError("no scenarios given")
-    plan = await asyncio.to_thread(
-        build_plan,
-        args.profile,
-        args.seed,
-        args.streams,
-        scenarios=scenarios,
-        rate=args.rate,
-        config=_config_overrides(args) or None,
-        traces=args.traces,
-    )
-    result = await run_load(
-        args.socket,
-        plan,
-        export_scope=args.scope if args.export is not None else None,
-        shutdown=args.shutdown,
-        honor_slowdown=not args.no_slowdown,
-    )
+    profiler = Profiler() if args.prof else None
+    if profiler is not None:
+        profiler.install()
+    try:
+        with profile_scope("serve-load"):
+            with profile_scope("build-plan"):
+                plan = await asyncio.to_thread(
+                    build_plan,
+                    args.profile,
+                    args.seed,
+                    args.streams,
+                    scenarios=scenarios,
+                    rate=args.rate,
+                    config=_config_overrides(args) or None,
+                    traces=args.traces,
+                )
+            with profile_scope("push"):
+                result = await run_load(
+                    args.socket,
+                    plan,
+                    export_scope=(
+                        args.scope if args.export is not None else None
+                    ),
+                    shutdown=args.shutdown,
+                    honor_slowdown=not args.no_slowdown,
+                )
+    finally:
+        if profiler is not None:
+            profiler.uninstall()
+    if profiler is not None:
+        print("profile (wall breakdown):", file=sys.stderr)
+        for line in profiler.report_lines():
+            print(f"  {line}", file=sys.stderr)
+        print("profile (collapsed stacks):", file=sys.stderr)
+        for line in profiler.flamegraph_lines():
+            print(f"  {line}", file=sys.stderr)
     # With --export - the export owns stdout (so it pipes straight
     # into `python -m repro.obs top -`); verdicts move to stderr.
     verdict_out = sys.stderr if args.export == "-" else sys.stdout

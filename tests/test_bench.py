@@ -31,6 +31,7 @@ def _entry(**overrides):
             "serve_sustained_events_per_s": 60_000.0,
             "serve_p99_exit_to_verdict_ns": 676_607,
             "hut_execs_per_s": 25.0,
+            "trace_overhead_pct": 2.0,
         },
         "detail": {},
     }
@@ -201,6 +202,29 @@ class TestFloors:
         problems = floor_problems(entry)
         assert len(problems) == 1
         assert "replay_events_per_s" in problems[0]
+
+    def test_trace_overhead_above_ceiling_is_flagged(self):
+        entry = self._passing()
+        entry["metrics"]["trace_overhead_pct"] = 7.5
+        problems = floor_problems(entry)
+        assert len(problems) == 1
+        assert "trace_overhead_pct" in problems[0]
+        assert "ceiling" in problems[0]
+
+    def test_missing_trace_overhead_is_flagged_not_skipped(self):
+        entry = self._passing()
+        del entry["metrics"]["trace_overhead_pct"]
+        problems = floor_problems(entry)
+        assert len(problems) == 1
+        assert "trace_overhead_pct" in problems[0]
+        assert "missing" in problems[0]
+
+    def test_trace_overhead_is_not_relatively_compared(self):
+        # The overhead column is wall-clock-noisy: it is gated by the
+        # absolute ceiling, never by run-to-run relative drift.
+        current = copy.deepcopy(_entry())
+        current["metrics"]["trace_overhead_pct"] = 4.9  # vs 2.0 baseline
+        assert compare_entries(_entry(), current, threshold=0.20) == []
 
 
 class TestColumnCompat:

@@ -28,9 +28,17 @@ BAD_INVOCATIONS = [
     ("obs", ["report", "no/such/trace.jsonl"]),
     ("obs", ["top", "no/such/export.jsonl"]),
     ("obs", ["diff", "no/such/a.jsonl", "no/such/b.jsonl"]),
+    ("obs", ["trace", "export", "no/such/trace.jsonl"]),
+    ("obs", ["trace", "critical-path", "no/such/trace.jsonl"]),
+    ("obs", ["trace", "slice", "no/such/trace.jsonl", "--vm", "vm0"]),
     ("replay", ["replay", "no/such/trace.jsonl"]),
+    ("replay", ["replay", "--profile", "no/such/trace.jsonl"]),
     ("serve", ["load", "--socket", "no/such/serve.sock"]),
     ("serve", ["load", "--scenarios", "not-a-scenario"]),
+    # NB: the wall-profiler flag on `serve load` is --prof (--profile
+    # selects the burst shape there); both spellings must honor the
+    # error contract.
+    ("serve", ["load", "--prof", "--socket", "no/such/serve.sock"]),
 ]
 
 
@@ -230,3 +238,71 @@ class TestBtraceSupport:
             assert code == 2, f"{which} {argv}"
             assert captured.err.startswith("error:")
             assert "Traceback" not in captured.err
+
+
+class TestTraceAndProfileEntryPoints:
+    """The PR-10 mouths: ``obs trace`` and the wall-profiler flags."""
+
+    def test_trace_export_btrace_matches_jsonl(self, capsys, golden_btrace):
+        _, from_jsonl = run_cli(
+            "obs", ["trace", "export", "tests/data/golden_exploit.jsonl"], capsys
+        )
+        code, from_btrace = run_cli(
+            "obs", ["trace", "export", golden_btrace], capsys
+        )
+        assert code == 0
+        assert from_btrace.out == from_jsonl.out
+
+    def test_trace_export_perfetto_is_json(self, capsys):
+        import json
+
+        code, captured = run_cli(
+            "obs",
+            ["trace", "export", "tests/data/golden_exploit.jsonl",
+             "--format", "perfetto"],
+            capsys,
+        )
+        assert code == 0
+        doc = json.loads(captured.out)
+        assert doc["displayTimeUnit"] == "ns"
+        assert doc["traceEvents"]
+
+    def test_trace_critical_path_attributes_stages(self, capsys):
+        code, captured = run_cli(
+            "obs",
+            ["trace", "critical-path", "tests/data/golden_exploit.jsonl"],
+            capsys,
+        )
+        assert code == 0
+        assert "per-stage attribution" in captured.out
+        assert "deliver" in captured.out
+
+    def test_trace_slice_filters_by_trace_id(self, capsys):
+        code, captured = run_cli(
+            "obs",
+            ["trace", "slice", "tests/data/golden_exploit.jsonl",
+             "--trace-id", "vm0:0"],
+            capsys,
+        )
+        assert code == 0
+        lines = [ln for ln in captured.out.splitlines() if ln.strip()]
+        assert len(lines) == 1
+        assert '"trace": "vm0:0"' in lines[0]
+
+    def test_replay_profile_keeps_stdout_contract(self, capsys):
+        # --profile writes its breakdown to stderr only: the stdout
+        # verdict block must stay byte-identical to an unprofiled run.
+        _, plain = run_cli(
+            "replay", ["replay", "tests/data/golden_exploit.jsonl"], capsys
+        )
+        code, profiled = run_cli(
+            "replay",
+            ["replay", "--profile", "tests/data/golden_exploit.jsonl"],
+            capsys,
+        )
+        assert code == 0
+        verdicts = lambda text: text[text.index("replay verdicts:"):]  # noqa: E731
+        assert verdicts(profiled.out) == verdicts(plain.out)
+        assert "profile (wall breakdown):" in profiled.err
+        assert "profile (collapsed stacks):" in profiled.err
+        assert "replay;run" in profiled.err

@@ -1,0 +1,300 @@
+"""Causal-tracing invariants (PR 10): span propagation, drop
+accounting, export byte-identity, and the triage tooling in
+repro.obs.trace.
+
+The contract under test:
+
+* every publish mints a trace id ``vm:seq`` in publish order, and every
+  verdict lands on exactly one root span (timer verdicts synthesize
+  their own);
+* the registry ring is bounded but never *silently* lossy — overflow is
+  counted under ``trace.spans_dropped{reason=ring-full}``, and a
+  streaming sink still receives every completed span;
+* the full span stream is a reproducible artifact: identical wherever
+  it is gathered (live ring prefix, replay, either trace format, any
+  ``REPRO_JOBS``) and matching the committed golden span export.
+
+(Serve-side jobs invariance of the span rows rides on
+``test_serve_service.test_jobs_do_not_change_verdicts_or_export``,
+whose pipeline-scope export includes them.)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import export_lines
+from repro.obs.trace import (
+    collect_spans,
+    critical_path_lines,
+    perfetto_text,
+    slice_spans,
+    spans_to_jsonl_lines,
+    spans_to_perfetto,
+)
+from repro.replay.recorder import SCENARIOS, record_scenario
+from repro.replay.source import ReplaySource
+from repro.serve.pipeline import StreamPipeline
+
+DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
+GOLDEN_TRACE = os.path.join(DATA_DIR, "golden_exploit.jsonl")
+GOLDEN_SPANS = os.path.join(DATA_DIR, "golden_exploit_spans.jsonl")
+
+
+def replay_with_sink(trace, span_limit=64, sink=True):
+    """Replay ``trace`` capturing every completed span via the sink."""
+    registry = MetricsRegistry(span_limit=span_limit)
+    spans = []
+    if sink:
+        registry.set_span_sink(spans.append)
+    auditors = SCENARIOS[trace.header.scenario].build_auditors()
+    ReplaySource(trace, auditors, metrics=registry).run()
+    return spans, registry
+
+
+@pytest.fixture(scope="module")
+def exploit_run():
+    return record_scenario("exploit", seed=0)
+
+
+@pytest.fixture(scope="module")
+def hang_run():
+    return record_scenario("hang", seed=0)
+
+
+# ======================================================================
+# Satellite 1: the span ring must never lose spans silently.
+# ======================================================================
+class TestDropAccounting:
+    def test_ring_overflow_is_counted_not_silent(self, exploit_run):
+        _, registry = replay_with_sink(
+            exploit_run.trace, span_limit=4, sink=False
+        )
+        assert len(registry.spans) == 4
+        minted = registry.spans_minted()
+        dropped = registry.total("trace.spans_dropped", reason="ring-full")
+        # Conservation: every minted span is in the ring or accounted.
+        assert dropped == minted - len(registry.spans)
+        assert dropped > 0
+
+    def test_sink_receives_spans_past_the_bound(self, exploit_run):
+        spans, registry = replay_with_sink(exploit_run.trace, span_limit=4)
+        minted = registry.spans_minted()
+        assert len(spans) == minted
+        assert len(registry.spans) == 4
+        # The bounded ring is exactly the stream's prefix.
+        assert registry.spans == spans[:4]
+
+    def test_drop_counters_identical_with_and_without_sink(self, exploit_run):
+        _, without = replay_with_sink(
+            exploit_run.trace, span_limit=4, sink=False
+        )
+        _, with_sink = replay_with_sink(exploit_run.trace, span_limit=4)
+        assert without.rows("trace.spans_dropped") == with_sink.rows(
+            "trace.spans_dropped"
+        )
+
+    def test_unbounded_capture_drops_nothing(self, exploit_run):
+        spans, registry = replay_with_sink(
+            exploit_run.trace, span_limit=10**9
+        )
+        assert registry.total("trace.spans_dropped") == 0
+        assert registry.spans == spans
+
+    def test_merge_truncation_is_counted(self, exploit_run):
+        spans, a = replay_with_sink(exploit_run.trace, span_limit=64)
+        _, b = replay_with_sink(exploit_run.trace, span_limit=64)
+        merged = MetricsRegistry(span_limit=64)
+        merged.merge(a.snapshot())
+        merged.merge(b.snapshot())
+        assert len(merged.spans) == 64
+        assert merged.total("trace.spans_dropped", reason="merge") == 64
+        # ...on top of the ring-full drops both sides already counted.
+        assert merged.total(
+            "trace.spans_dropped", reason="ring-full"
+        ) == 2 * a.total("trace.spans_dropped", reason="ring-full")
+
+
+# ======================================================================
+# Satellite 3: propagation invariants.
+# ======================================================================
+class TestPropagationInvariants:
+    @pytest.mark.parametrize("scenario", ["exploit", "hang", "rootkit"])
+    def test_every_verdict_has_a_root_span(self, scenario):
+        run = record_scenario(scenario, seed=0)
+        spans, registry = replay_with_sink(run.trace, span_limit=10**9)
+        verdict_hops = sum(
+            1
+            for span in spans
+            for hop in span["hops"]
+            if hop[0] == "verdict"
+        )
+        assert verdict_hops == registry.total("verdicts")
+        assert verdict_hops > 0 or scenario == "baseline"
+        for span in spans:
+            assert set(span) >= {"vm", "type", "t", "trace", "hops"}
+            for hop in span["hops"]:
+                # Hops never travel back before the span's root event.
+                assert hop[1] >= span["t"]
+
+    @pytest.mark.parametrize("scenario", ["exploit", "hang"])
+    def test_trace_ids_unique_and_publish_ordered(self, scenario):
+        run = record_scenario(scenario, seed=0)
+        spans, _ = replay_with_sink(run.trace, span_limit=10**9)
+        by_vm = {}
+        for span in spans:
+            vm, seq = span["trace"].rsplit(":", 1)
+            assert vm == span["vm"]
+            by_vm.setdefault(vm, []).append(int(seq))
+        for seqs in by_vm.values():
+            # Contiguous from 0 and strictly increasing: publish order.
+            assert seqs == list(range(len(seqs)))
+
+    def test_timer_verdicts_synthesize_root_spans(self, hang_run):
+        spans, _ = replay_with_sink(hang_run.trace, span_limit=10**9)
+        timers = [s for s in spans if s["type"] == "timer"]
+        assert timers
+        for span in timers:
+            assert [hop[0] for hop in span["hops"]] == ["verdict"]
+            # Anchored at the auditor's last event, so the span's width
+            # is the watchdog's exit-to-verdict latency.
+            assert span["hops"][0][1] > span["t"]
+
+    def test_no_span_left_open_after_a_run(self, exploit_run):
+        _, registry = replay_with_sink(exploit_run.trace)
+        assert registry._open_span is None
+
+    def test_tracing_off_mints_no_spans_but_keeps_counters(self, exploit_run):
+        registry = MetricsRegistry(tracing=False)
+        auditors = SCENARIOS["exploit"].build_auditors()
+        ReplaySource(exploit_run.trace, auditors, metrics=registry).run()
+        assert registry.spans == []
+        assert registry.total("trace.spans_dropped") == 0
+        assert registry.total("verdicts") == 1
+        assert registry.total("flow.published") > 0
+
+
+# ======================================================================
+# Export byte-identity (tentpole acceptance).
+# ======================================================================
+class TestExportIdentity:
+    def test_golden_span_export_matches_committed(self):
+        spans, _ = collect_spans(GOLDEN_TRACE)
+        with open(GOLDEN_SPANS, encoding="utf-8") as fh:
+            committed = fh.read().splitlines()
+        assert spans_to_jsonl_lines(spans) == committed
+
+    def test_live_ring_is_a_prefix_of_the_full_stream(self, exploit_run):
+        live_span_lines = [
+            line
+            for line in export_lines(exploit_run.metrics)
+            if '"kind": "span"' in line
+        ]
+        spans, _ = replay_with_sink(exploit_run.trace, span_limit=10**9)
+        assert live_span_lines == spans_to_jsonl_lines(spans)[
+            : len(live_span_lines)
+        ]
+        assert 0 < len(live_span_lines) < len(spans)
+
+    def test_repro_jobs_env_does_not_change_the_export(self, monkeypatch):
+        exports = []
+        for jobs in ("1", "2"):
+            monkeypatch.setenv("REPRO_JOBS", jobs)
+            spans, _ = collect_spans(GOLDEN_TRACE)
+            exports.append(
+                (spans_to_jsonl_lines(spans), perfetto_text(spans))
+            )
+        assert exports[0] == exports[1]
+
+    def test_perfetto_structure(self):
+        spans, _ = collect_spans(GOLDEN_TRACE)
+        doc = spans_to_perfetto(spans)
+        assert doc["displayTimeUnit"] == "ns"
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        metas = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert len(slices) == len(spans)
+        assert len(instants) == sum(len(s["hops"]) for s in spans)
+        assert len(metas) == len({s["vm"] for s in spans})
+        assert json.loads(perfetto_text(spans)) == doc
+
+    def test_host_context_never_reaches_the_export(self, exploit_run):
+        # Live spans carry host hops (exit/ef/em); every export scope
+        # except "all" must strip them.
+        snapshot = exploit_run.metrics
+        assert any("host" in span for span in snapshot["spans"])
+        for line in export_lines(snapshot):
+            if '"kind": "span"' in line:
+                assert '"host"' not in line
+
+
+# ======================================================================
+# Serve streams: spans follow the stream identity.
+# ======================================================================
+class TestServeStreams:
+    def test_spans_and_drops_relabel_by_stream_id(self, exploit_run):
+        spans = []
+        registry = MetricsRegistry(span_limit=4)
+        registry.set_span_sink(spans.append)
+        pipeline = StreamPipeline(
+            "stream-7", exploit_run.trace.header, registry=registry
+        )
+        for record in exploit_run.trace.records:
+            pipeline.feed(record)
+        pipeline.close()
+        assert spans
+        assert {span["vm"] for span in spans} == {"stream-7"}
+        assert all(span["trace"].startswith("stream-7:") for span in spans)
+        for _name, labels, _v in registry.rows("trace.spans_dropped"):
+            assert labels["vm"] == "stream-7"
+
+
+# ======================================================================
+# Triage tooling.
+# ======================================================================
+class TestCriticalPath:
+    def test_golden_attribution_tables(self):
+        spans, _ = collect_spans(GOLDEN_TRACE)
+        lines = critical_path_lines(spans, worst=5)
+        text = "\n".join(lines)
+        assert "exit-to-verdict paths:" in text
+        assert "per-stage attribution" in text
+        assert "deliver" in text and "verdict" in text
+
+    def test_timer_latency_is_attributed(self, hang_run):
+        spans, _ = replay_with_sink(hang_run.trace, span_limit=10**9)
+        lines = critical_path_lines(spans, worst=3)
+        header = next(l for l in lines if "exit-to-verdict paths" in l)
+        worst = lines[lines.index(header) + 2]
+        latency = int(worst.split()[0])
+        assert latency > 0
+        assert "timer" in worst
+
+    def test_worst_n_is_deterministic_and_bounded(self):
+        spans, _ = collect_spans(GOLDEN_TRACE)
+        assert critical_path_lines(spans, worst=1) == critical_path_lines(
+            list(spans), worst=1
+        )
+
+
+class TestSlice:
+    def test_slice_by_trace_id(self):
+        spans, _ = collect_spans(GOLDEN_TRACE)
+        hit = slice_spans(spans, trace_id=spans[0]["trace"])
+        assert hit == [spans[0]]
+
+    def test_slice_by_auditor_name_in_hop_detail(self):
+        spans, _ = collect_spans(GOLDEN_TRACE)
+        touched = slice_spans(spans, reason="ht-ninja")
+        assert touched
+        for span in touched:
+            assert any("ht-ninja" in map(str, hop) for hop in span["hops"])
+
+    def test_slice_by_vm_and_no_match(self):
+        spans, _ = collect_spans(GOLDEN_TRACE)
+        assert slice_spans(spans, vm="vm0") == spans
+        assert slice_spans(spans, vm="no-such-vm") == []

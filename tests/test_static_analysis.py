@@ -495,8 +495,8 @@ class TestDeterminism:
             },
         )
         report = run_analysis(root, selected_rules=["determinism"])
-        assert len(report.findings) == 2
-        assert {"import random", "time.time()"} <= {
+        assert len(report.findings) == 3
+        assert {"import random", "import time", "time.time()"} <= {
             m for f in report.findings for m in [f.message.split("'")[1]]
         }
 
@@ -522,8 +522,11 @@ class TestDeterminism:
         )
         assert len(run_analysis(root, selected_rules=["determinism"]).findings) == 2
 
-    def test_perf_counter_is_allowed(self, tmp_path):
-        # Wall-clock *throughput reporting* never feeds verdicts.
+    def test_wall_clock_confined_to_repro_prof(self, tmp_path):
+        # `import time` anywhere outside repro.prof is a finding now —
+        # even for perf_counter-grade throughput timing.  Consumers
+        # import the accessor from repro.prof instead, so one grep
+        # enumerates every wall-clock read in the tree.
         root = write_tree(
             tmp_path,
             {
@@ -534,6 +537,41 @@ class TestDeterminism:
                 def measure():
                     return time.perf_counter()
                 """,
+                "repro/prof/__init__.py": """
+                import time
+
+                perf_counter = time.perf_counter
+                """,
+            },
+        )
+        report = run_analysis(root, selected_rules=["determinism"])
+        assert len(report.findings) == 1
+        assert report.findings[0].path.endswith("bench.py")
+        assert "repro.prof" in report.findings[0].message
+
+    def test_wall_clock_import_suppressible_with_pragma(self, tmp_path):
+        root = write_tree(
+            tmp_path,
+            {
+                "repro/replay/bench.py": """
+                import time  # hypertap: allow(determinism) — test fixture
+                """,
+            },
+        )
+        assert run_analysis(root, selected_rules=["determinism"]).findings == []
+
+    def test_prof_accessor_import_is_clean(self, tmp_path):
+        # The sanctioned route: import the accessor, not the module.
+        root = write_tree(
+            tmp_path,
+            {
+                "repro/replay/bench.py": """
+                from repro.prof import perf_counter
+
+
+                def measure():
+                    return perf_counter()
+                """,
             },
         )
         assert run_analysis(root, selected_rules=["determinism"]).findings == []
@@ -541,7 +579,9 @@ class TestDeterminism:
     def test_wall_clock_banned_inside_repro_obs(self, tmp_path):
         # Inside repro.obs even perf_counter-grade imports are off
         # limits: exports must be byte-identical live vs replay, so the
-        # whole module family is flagged at the import, not the call.
+        # whole module family is flagged at the import, not the call —
+        # and with the stricter repro.obs message, not the repro.prof
+        # confinement one a non-obs module gets.
         root = write_tree(
             tmp_path,
             {
@@ -553,9 +593,12 @@ class TestDeterminism:
             },
         )
         report = run_analysis(root, selected_rules=["determinism"])
-        assert len(report.findings) == 2
-        assert all(f.path.endswith("sampler.py") for f in report.findings)
-        assert all("repro.obs" in f.message for f in report.findings)
+        assert len(report.findings) == 3
+        obs = [f for f in report.findings if f.path.endswith("sampler.py")]
+        other = [f for f in report.findings if f.path.endswith("timer.py")]
+        assert len(obs) == 2 and len(other) == 1
+        assert all("repro.obs" in f.message for f in obs)
+        assert "repro.prof" in other[0].message
 
     def test_scheduling_imports_confined_to_repro_parallel(self, tmp_path):
         # Worker completion order is ambient entropy; only the indexed
